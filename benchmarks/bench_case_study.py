@@ -1,0 +1,62 @@
+"""Section IV-E bench: the 3-D DRAM-µP system.
+
+Regenerates the paper's four-number comparison (A / B(1000) / FEM / 1-D)
+and benchmarks each model on the per-via unit cell — including the paper's
+runtime story (seconds of analytics vs minutes of FEM, here milliseconds
+vs tens of milliseconds on the reduced cell).
+"""
+
+import pytest
+
+from repro import Model1D, ModelA, ModelB
+from repro.analysis import format_table
+from repro.casestudy import build_case_study
+from repro.experiments import case_study
+from repro.fem import FEMReference
+from repro.resistances import FittingCoefficients
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_case_study()
+
+
+@pytest.mark.parametrize(
+    "make_model",
+    [
+        lambda: ModelA(FittingCoefficients.paper_case_study()),
+        lambda: ModelB(1000, bond_factor=3.5),
+        lambda: Model1D(),
+    ],
+    ids=["model_a", "model_b_1000", "model_1d"],
+)
+def test_case_study_models(benchmark, system, make_model):
+    """Solve time of each analytical model on the case-study unit cell."""
+    model = make_model()
+    result = benchmark(model.solve, system.cell_stack, system.via, system.cell_power)
+    assert result.max_rise > 0
+
+
+def test_case_study_fem(benchmark, system):
+    """FEM solve time on the (bond-enhanced) case-study unit cell."""
+    stack = system.cell_stack.with_bond_conductivity_factor(3.5)
+    model = FEMReference("medium")
+    result = benchmark.pedantic(
+        model.solve, args=(stack, system.via, system.cell_power), rounds=3, iterations=1
+    )
+    assert result.max_rise > 0
+
+
+def test_case_study_reproduction(benchmark):
+    """Regenerate the Section IV-E table with recalibration."""
+    exp = benchmark.pedantic(
+        lambda: case_study.run(fem_resolution="medium", recalibrate=True),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(case_study.TITLE)
+    print(format_table(exp.rows(), float_format="{:.2f}"))
+    print("paper: A = 12.8, B(1000) = 13.9, FEM = 12, 1-D = 20 °C")
+    rises = exp.report.rises()
+    assert rises["model_1d"] > 1.5 * rises["fem"]  # the paper's headline

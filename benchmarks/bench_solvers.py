@@ -1,0 +1,88 @@
+"""Solver micro-benchmarks and ablations.
+
+Not a paper artefact — engineering data for the library itself: network
+assembly/solve scaling, FVM mesh scaling, the dense/sparse crossover and
+the Model B discretisation-scheme ablation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ModelB, PowerSpec, paper_stack, paper_tsv
+from repro.fem import FEMReference, build_axisym_grids, solve_axisymmetric
+from repro.network import GROUND, ThermalCircuit
+from repro.units import um
+
+
+def build_ladder(n: int) -> ThermalCircuit:
+    circuit = ThermalCircuit()
+    prev = GROUND
+    for i in range(n):
+        circuit.add_resistor(prev, i, 1.0)
+        circuit.add_source(i, 0.01)
+        prev = i
+    return circuit
+
+
+@pytest.mark.parametrize("n", [50, 500, 5000], ids=lambda n: f"nodes={n}")
+def test_network_solve_scaling(benchmark, n):
+    """Sparse KCL solve across three orders of network size."""
+    circuit = build_ladder(n)
+    solution = benchmark(circuit.solve)
+    assert solution.max_rise > 0
+
+
+@pytest.mark.parametrize("resolution", ["coarse", "medium", "fine"])
+def test_fem_mesh_scaling(benchmark, fig5_block, resolution):
+    """Axisymmetric FVM wall-time vs mesh preset."""
+    stack, via, power = fig5_block
+    model = FEMReference(resolution)
+    result = benchmark.pedantic(
+        model.solve, args=(stack, via, power), rounds=3, iterations=1
+    )
+    assert result.max_rise > 0
+
+
+def test_fem_assembly_only(benchmark, fig5_block):
+    """Grid construction cost (voxelisation without the solve)."""
+    stack, via, power = fig5_block
+    grids = benchmark(build_axisym_grids, stack, via, power)
+    assert grids.conductivity.shape[0] == grids.r_edges.size - 1
+
+
+def test_fem_solve_only(benchmark, fig5_block):
+    """Sparse solve cost on a prebuilt medium grid."""
+    stack, via, power = fig5_block
+    grids = build_axisym_grids(stack, via, power)
+    field = benchmark(
+        solve_axisymmetric,
+        grids.r_edges,
+        grids.z_edges,
+        grids.conductivity,
+        grids.source_density,
+    )
+    assert field.max_rise > 0
+
+
+@pytest.mark.parametrize("scheme", ["paper", "uniform"])
+def test_model_b_scheme_ablation(benchmark, fig5_block, scheme):
+    """Eq. (21) assignment vs per-height continuum discretisation."""
+    stack, via, power = fig5_block
+    model = ModelB(100, scheme=scheme)
+    result = benchmark(model.solve, stack, via, power)
+    assert result.max_rise > 0
+
+
+def test_mesh_convergence_report(benchmark, fig5_block):
+    """Richardson check: the medium preset is within ~2% of extrapolation."""
+    from repro.analysis import mesh_convergence, richardson_extrapolate
+
+    stack, via, power = fig5_block
+    points = benchmark.pedantic(
+        lambda: mesh_convergence(stack, via, power), rounds=1, iterations=1
+    )
+    coarse, medium, fine = (p.max_rise for p in points)
+    limit = richardson_extrapolate(medium, fine)
+    print(f"\nFVM mesh convergence: coarse={coarse:.2f} medium={medium:.2f} "
+          f"fine={fine:.2f} -> Richardson limit {limit:.2f} K")
+    assert abs(medium - limit) / limit < 0.05

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures and the experiment report printer.
+
+Each ``bench_*`` module does two things:
+
+* micro-benchmarks the models that make up one paper table/figure
+  (pytest-benchmark timings — the paper's runtime comparisons), and
+* regenerates the table/figure itself once per session and prints it, so
+  ``pytest benchmarks/ --benchmark-only`` reproduces every row/series the
+  paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PowerSpec, paper_stack, paper_tsv
+from repro.units import um
+
+
+def print_experiment(result, *, extra: str = "") -> None:
+    """Print one experiment's regenerated figure/table."""
+    print()
+    print("=" * 78)
+    print(result.title)
+    print("=" * 78)
+    print(result.table_text())
+    print()
+    print("errors vs our FEM reference:")
+    from repro.analysis import format_table
+
+    print(format_table(result.error_rows()))
+    print()
+    print(result.plot_text())
+    if extra:
+        print(extra)
+    print("=" * 78)
+
+
+@pytest.fixture(scope="session")
+def fig5_block():
+    """The Fig. 5 geometry at tL = 1 um (shared micro-benchmark subject)."""
+    stack = paper_stack(t_si_upper=um(45.0), t_ild=um(7.0), t_bond=um(1.0))
+    via = paper_tsv(radius=um(5.0), liner_thickness=um(1.0))
+    return stack, via, PowerSpec()

@@ -1,0 +1,58 @@
+"""Cluster design: one fat via or many thin ones?  (the Fig. 7 scenario)
+
+Keeping the copper budget constant (Eq. (22)), splitting one via into n
+members enlarges the liner surface and cools the stack — with diminishing
+returns.  This example finds the smallest n that achieves a target ΔT,
+prints the whole trade-off curve, and contrasts the cluster against simply
+buying a single bigger via.
+
+Run:  python examples/cluster_design.py
+"""
+
+from repro import ModelA, PowerSpec, TSVCluster, paper_stack, paper_tsv
+from repro.analysis import format_table
+from repro.fem import FEMReference
+from repro.units import um
+
+
+def main() -> None:
+    stack = paper_stack(t_si_upper=um(20), t_ild=um(4), t_bond=um(1))
+    base = paper_tsv(radius=um(10), liner_thickness=um(1))
+    power = PowerSpec()
+    model = ModelA()
+    target = 15.0  # degC rise budget for the top plane
+
+    rows = [["n vias", "member r [um]", "ΔT (A) [°C]", "ΔT (FEM) [°C]", "liner area x"]]
+    chosen = None
+    for n in (1, 2, 4, 9, 16, 25):
+        cluster = TSVCluster(base, n)
+        rise_a = model.solve(stack, cluster, power).max_rise
+        rise_fem = FEMReference("medium").solve(stack, cluster, power).max_rise
+        rows.append([
+            n,
+            cluster.member_radius * 1e6,
+            rise_a,
+            rise_fem,
+            cluster.total_lateral_perimeter / (2 * 3.141592653589793 * base.radius),
+        ])
+        if chosen is None and rise_a <= target:
+            chosen = n
+    print(format_table(rows))
+    print()
+    if chosen:
+        print(f"smallest cluster meeting ΔT ≤ {target:.0f} °C: n = {chosen}")
+    else:
+        print(f"no cluster size up to 25 meets ΔT ≤ {target:.0f} °C")
+
+    # compare with spending the same *outer footprint* on one big via
+    big_r = TSVCluster(base, chosen or 16).total_occupied_area / 3.141592653589793
+    big = base.with_radius(big_r**0.5 - base.liner_thickness)
+    rise_big = model.solve(stack, big, power).max_rise
+    print(
+        f"a single via with the same outer footprint reaches {rise_big:.1f} °C — "
+        "more copper, similar cooling: the cluster wins on metal budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Transient extension: how fast does a TTSV tame a power spike?
+
+The paper's models are steady state.  The library's RC extension attaches
+thermal capacitances (ρ·cp·V per node) to Model A's network and integrates
+the step response, so a user can ask how long the top plane takes to heat
+up after a workload step — and how the TTSV changes the thermal time
+constant.
+
+Run:  python examples/transient_response.py
+"""
+
+from repro import ModelA, PowerSpec, paper_stack, paper_tsv
+from repro.core.model_a import build_model_a_circuit, bulk_node
+from repro.network import step_response, time_constants
+from repro.units import um
+
+
+def transient_circuit(stack, via, power, *, with_via: bool):
+    """Model A's network with node capacitances from the plane volumes."""
+    model = ModelA()
+    resistances = model.resistances(stack, via if with_via else via.with_radius(1e-9))
+    heats = tuple(power.plane_heat(stack, j) for j in range(stack.n_planes))
+    circuit = build_model_a_circuit(resistances, heats)
+    for j, plane in stack.iter_planes():
+        # lump each plane's substrate+ILD heat capacity on its bulk node
+        volume = stack.footprint_area * plane.thickness
+        c = plane.substrate.material.volumetric_heat_capacity * volume
+        circuit.add_capacitor(bulk_node(j), c)
+    return circuit
+
+
+def main() -> None:
+    stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+    via = paper_tsv(radius=um(10), liner_thickness=um(1))
+    power = PowerSpec()
+
+    for label, with_via in (("with TTSV (r = 10 um)", True), ("via-less", False)):
+        circuit = transient_circuit(stack, via, power, with_via=with_via)
+        taus = time_constants(circuit, n=1)
+        result = step_response(circuit, t_end=8 * taus[0], n_steps=400)
+        top = result.trace(bulk_node(stack.n_planes - 1))
+        final = top[-1]
+        # time to reach 90 % of the steady rise
+        idx = next(i for i, t in enumerate(top) if t >= 0.9 * final)
+        print(f"{label:>22}: steady ΔT = {final:6.2f} °C, "
+              f"slowest τ = {taus[0] * 1e6:7.1f} us, "
+              f"90 % settle = {result.times[idx] * 1e6:7.1f} us")
+
+    print()
+    print("the via lowers both the steady-state rise and the settling time —")
+    print("it is a conductance in parallel with the slow bulk path.")
+
+
+if __name__ == "__main__":
+    main()

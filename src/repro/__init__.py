@@ -1,0 +1,70 @@
+"""ttsv-thermal — analytical heat-transfer models for thermal TSVs.
+
+Reproduction of Xu, Pavlidis, De Micheli, "Analytical Heat Transfer Model
+for Thermal Through-Silicon Vias", DATE 2011.
+
+Quickstart
+----------
+>>> from repro import ModelA, PowerSpec, paper_stack, paper_tsv
+>>> stack = paper_stack()
+>>> result = ModelA().solve(stack, paper_tsv(), PowerSpec())
+>>> result.max_rise > 0
+True
+"""
+
+from .core import (
+    Model1D,
+    ModelA,
+    ModelB,
+    ModelResult,
+    SegmentScheme,
+    SweepResult,
+    ThermalTSVModel,
+    make_model,
+    solve_three_plane_closed_form,
+    sweep,
+)
+from .geometry import (
+    TSV,
+    DevicePlane,
+    Layer,
+    LayerKind,
+    PowerSpec,
+    Stack3D,
+    TSVCluster,
+    paper_stack,
+    paper_tsv,
+)
+from .materials import Material
+from .resistances import FittingCoefficients, compute_model_a_resistances
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # models
+    "ThermalTSVModel",
+    "ModelA",
+    "ModelB",
+    "Model1D",
+    "ModelResult",
+    "SegmentScheme",
+    "make_model",
+    "solve_three_plane_closed_form",
+    "sweep",
+    "SweepResult",
+    # geometry
+    "Layer",
+    "LayerKind",
+    "DevicePlane",
+    "Stack3D",
+    "TSV",
+    "TSVCluster",
+    "PowerSpec",
+    "paper_stack",
+    "paper_tsv",
+    # materials & resistances
+    "Material",
+    "FittingCoefficients",
+    "compute_model_a_resistances",
+]

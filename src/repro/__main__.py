@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs one (or all) of the paper's experiments and prints the regenerated
+tables/figures; optionally writes the markdown report and raw CSV/JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import export_json, format_table
+from .experiments import REGISTRY, case_study, render_markdown, run_all, table1_segments
+from .experiments.harness import ExperimentResult
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the DATE 2011 TTSV paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*REGISTRY.keys(), "all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced sweeps (CI-speed)"
+    )
+    parser.add_argument(
+        "--fem-resolution",
+        default="medium",
+        choices=["coarse", "medium", "fine"],
+        help="mesh preset for the FEM reference (default: medium)",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip the recalibrated Model A variant",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also write JSON payloads (and EXPERIMENTS.md for 'all') here",
+    )
+    return parser
+
+
+def _print_result(result) -> None:
+    if isinstance(result, ExperimentResult):
+        print(result.title)
+        print()
+        print(result.table_text())
+        print()
+        print(format_table(result.error_rows()))
+        print()
+        print(result.plot_text())
+        if "table_rows" in result.metadata:
+            print()
+            print(format_table(result.metadata["table_rows"]))
+    else:  # the case study has its own shape
+        print(case_study.TITLE)
+        print()
+        print(format_table(result.rows(), float_format="{:.2f}"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    kwargs = {"fem_resolution": args.fem_resolution, "fast": args.fast}
+    if args.experiment == "all":
+        results = run_all(**kwargs)
+        for result in results.values():
+            print()
+            _print_result(result)
+        if args.output_dir:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / "EXPERIMENTS.md").write_text(render_markdown(results))
+            for exp_id, result in results.items():
+                export_json(
+                    args.output_dir / f"{exp_id}.json", result.to_payload()
+                )
+            print(f"\nreports written to {args.output_dir}")
+        return 0
+    run = REGISTRY[args.experiment]
+    if args.experiment in ("fig4", "fig5", "fig6", "fig7"):
+        kwargs["calibrate"] = not args.no_calibrate
+    if args.experiment == "case_study":
+        kwargs["recalibrate"] = not args.no_calibrate
+    result = run(**kwargs)
+    if args.experiment == "table1" and isinstance(result, ExperimentResult):
+        print(table1_segments.table_text(result))
+        print()
+    _print_result(result)
+    if args.output_dir:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        export_json(
+            args.output_dir / f"{args.experiment}.json", result.to_payload()
+        )
+        print(f"\npayload written to {args.output_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Analysis: error metrics, convergence studies, tables, plots, export."""
+
+from .ascii_plot import ascii_plot
+from .convergence import (
+    ConvergencePoint,
+    mesh_convergence,
+    richardson_extrapolate,
+    segment_convergence,
+)
+from .export import export_json, export_series_csv, read_series_csv
+from .metrics import (
+    ErrorMetrics,
+    crossover_points,
+    is_monotonic,
+    relative_errors,
+    series_errors,
+)
+from .report import format_kv_block, format_series_table, format_table
+from .sensitivity import Sensitivity, sensitivity, sensitivity_table
+
+__all__ = [
+    "ErrorMetrics",
+    "series_errors",
+    "relative_errors",
+    "crossover_points",
+    "is_monotonic",
+    "format_table",
+    "format_series_table",
+    "format_kv_block",
+    "ascii_plot",
+    "export_series_csv",
+    "export_json",
+    "read_series_csv",
+    "segment_convergence",
+    "mesh_convergence",
+    "richardson_extrapolate",
+    "ConvergencePoint",
+    "Sensitivity",
+    "sensitivity",
+    "sensitivity_table",
+]

@@ -1,0 +1,77 @@
+"""Terminal line plots.
+
+The paper's figures are regenerated as data tables plus these ASCII plots,
+so the benchmark harness can show the *shape* (who wins, where curves
+cross, where the Fig. 6 minimum sits) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+#: marker characters assigned to series in order
+MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y(x) series on a character canvas.
+
+    Each series gets a marker from :data:`MARKERS`; a legend line maps
+    markers to names.  Points are plotted at their nearest cell; later
+    series overwrite earlier ones where they collide.
+    """
+    if not series:
+        raise ValidationError("need at least one series")
+    if len(series) > len(MARKERS):
+        raise ValidationError(f"at most {len(MARKERS)} series supported")
+    if width < 16 or height < 6:
+        raise ValidationError("canvas too small (min 16x6)")
+    xs = np.asarray(list(x), dtype=float)
+    if xs.size < 2:
+        raise ValidationError("need at least two x points")
+    all_y: list[np.ndarray] = []
+    for name, ys in series.items():
+        arr = np.asarray(list(ys), dtype=float)
+        if arr.shape != xs.shape:
+            raise ValidationError(
+                f"series {name!r} has {arr.size} points, x has {xs.size}"
+            )
+        all_y.append(arr)
+    y_min = min(float(a.min()) for a in all_y)
+    y_max = max(float(a.max()) for a in all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+
+    canvas = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(MARKERS, series.items()):
+        arr = np.asarray(list(ys), dtype=float)
+        cols = np.rint((xs - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = np.rint((arr - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+
+    left = [f"{y_max:10.2f} |", *(["           |"] * (height - 2)), f"{y_min:10.2f} |"]
+    lines = [lab + "".join(row) for lab, row in zip(left, canvas)]
+    lines.append("           +" + "-" * width)
+    x_axis = f"{x_min:<12.3g}{' ' * max(0, width - 24)}{x_max:>12.3g}"
+    lines.append("            " + x_axis)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series.keys())
+    )
+    lines.append(f"   legend: {legend}")
+    if x_label or y_label:
+        lines.append(f"   x: {x_label}   y: {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Convergence studies.
+
+Two questions the paper raises quantitatively:
+
+* Table I — how does Model B's accuracy/runtime trade off against its
+  segment count?  (:func:`segment_convergence`)
+* implicitly — is the FVM reference itself converged?
+  (:func:`mesh_convergence` plus Richardson extrapolation)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.model_b import ModelB
+from ..errors import ValidationError
+from ..fem import FEMReference
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One resolution level of a convergence study."""
+
+    level: int | str
+    max_rise: float
+    solve_time: float
+    n_unknowns: int
+
+
+def segment_convergence(
+    stack: Stack3D,
+    via: "TSV | TSVCluster",
+    power: PowerSpec,
+    segment_counts: Sequence[int],
+    **model_b_kwargs,
+) -> list[ConvergencePoint]:
+    """Model B max-ΔT versus segment count (Table I's sweep axis)."""
+    if not segment_counts:
+        raise ValidationError("need at least one segment count")
+    out: list[ConvergencePoint] = []
+    for n in segment_counts:
+        result = ModelB(n, **model_b_kwargs).solve(stack, via, power)
+        out.append(
+            ConvergencePoint(
+                level=n,
+                max_rise=result.max_rise,
+                solve_time=result.solve_time,
+                n_unknowns=result.n_unknowns,
+            )
+        )
+    return out
+
+
+def mesh_convergence(
+    stack: Stack3D,
+    via: "TSV | TSVCluster",
+    power: PowerSpec,
+    resolutions: Sequence[str | tuple[int, ...]] = ("coarse", "medium", "fine"),
+    *,
+    solver: str = "axisym",
+) -> list[ConvergencePoint]:
+    """FVM max-ΔT versus mesh resolution."""
+    if not resolutions:
+        raise ValidationError("need at least one resolution")
+    out: list[ConvergencePoint] = []
+    for res in resolutions:
+        result = FEMReference(res, solver=solver).solve(stack, via, power)
+        out.append(
+            ConvergencePoint(
+                level=str(res),
+                max_rise=result.max_rise,
+                solve_time=result.solve_time,
+                n_unknowns=result.n_unknowns,
+            )
+        )
+    return out
+
+
+def richardson_extrapolate(coarse: float, fine: float, *, order: float = 2.0, ratio: float = 2.0) -> float:
+    """Richardson-extrapolated limit from two resolution levels.
+
+    Assumes the error scales as h^order and the fine mesh is ``ratio``
+    times finer than the coarse one.
+    """
+    if order <= 0.0 or ratio <= 1.0:
+        raise ValidationError("order must be positive and ratio > 1")
+    factor = ratio**order
+    return (factor * fine - coarse) / (factor - 1.0)

@@ -1,0 +1,67 @@
+"""Export sweep/series data to CSV and JSON.
+
+Experiments write their raw data next to the printed tables so results can
+be re-plotted or diffed across runs without re-solving anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from ..errors import ValidationError
+
+
+def export_series_csv(
+    path: str | Path,
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+) -> Path:
+    """Write an x column plus one column per series; returns the path."""
+    if not series:
+        raise ValidationError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValidationError(
+                f"series {name!r} has {len(ys)} points, x has {len(x_values)}"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_label, *series.keys()])
+        for i, x in enumerate(x_values):
+            writer.writerow([x, *(series[name][i] for name in series)])
+    return path
+
+
+def export_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a JSON document (pretty-printed, stable key order)."""
+    if not isinstance(payload, dict):
+        raise ValidationError("payload must be a dict")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return path
+
+
+def read_series_csv(path: str | Path) -> tuple[str, list[float], dict[str, list[float]]]:
+    """Read back a CSV written by :func:`export_series_csv`."""
+    path = Path(path)
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if not header or len(header) < 2:
+            raise ValidationError(f"{path} is not a series CSV")
+        x_label, *names = header
+        x_values: list[float] = []
+        series: dict[str, list[float]] = {name: [] for name in names}
+        for row in reader:
+            x_values.append(float(row[0]))
+            for name, value in zip(names, row[1:]):
+                series[name].append(float(value))
+    return x_label, x_values, series

@@ -1,0 +1,5 @@
+"""Calibration of Model A fitting coefficients against a reference solver."""
+
+from .fit import CalibrationResult, fit_coefficients, radius_sweep_samples
+
+__all__ = ["fit_coefficients", "CalibrationResult", "radius_sweep_samples"]

@@ -1,0 +1,132 @@
+"""Calibration of Model A's fitting coefficients against a reference.
+
+The paper determines k1 and k2 "by the simulation of a block of the
+investigated circuit" (Section IV-E): run the detailed solver once on a
+small representative structure, then least-squares-fit the coefficients so
+Model A tracks it.  :func:`fit_coefficients` reproduces that workflow
+against any reference model (normally :class:`~repro.fem.FEMReference`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize as opt
+
+from ..core.base import ThermalTSVModel
+from ..core.model_a import ModelA
+from ..errors import CalibrationError
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
+from ..resistances import FittingCoefficients
+
+#: one calibration sample: the geometry/power triple Model A must match
+Sample = tuple[Stack3D, "TSV | TSVCluster", PowerSpec]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a coefficient fit."""
+
+    coefficients: FittingCoefficients
+    residual_rms: float  # RMS relative ΔT error after the fit
+    reference_rises: tuple[float, ...]
+    fitted_rises: tuple[float, ...]
+    n_evaluations: int
+
+    def summary(self) -> str:
+        c = self.coefficients
+        return (
+            f"k1 = {c.k1:.3f}, k2 = {c.k2:.3f}, c_bond = {c.c_bond:.3f} "
+            f"(RMS rel. error {self.residual_rms * 100.0:.2f} % over "
+            f"{len(self.reference_rises)} samples)"
+        )
+
+
+def fit_coefficients(
+    samples: Sequence[Sample],
+    reference: ThermalTSVModel,
+    *,
+    fit_c_bond: bool = False,
+    initial: FittingCoefficients | None = None,
+    bounds: tuple[float, float] = (0.05, 20.0),
+) -> CalibrationResult:
+    """Least-squares fit of (k1, k2[, c_bond]) to a reference model.
+
+    Parameters
+    ----------
+    samples:
+        Calibration points — vary the parameter(s) the model will later be
+        used to sweep (the paper calibrates on one representative block).
+        At least two samples are needed to constrain two coefficients.
+    reference:
+        The trusted model, usually an :class:`~repro.fem.FEMReference`.
+    fit_c_bond:
+        Also fit the bond conductance multiplier (case-study style).
+    initial:
+        Starting point; defaults to unity coefficients.
+    bounds:
+        Common (lower, upper) bounds for every coefficient.
+    """
+    if len(samples) < (3 if fit_c_bond else 2):
+        raise CalibrationError(
+            f"need at least {'3' if fit_c_bond else '2'} samples to constrain "
+            "the coefficients"
+        )
+    targets = np.array(
+        [reference.solve(stack, via, power).max_rise for stack, via, power in samples]
+    )
+    if np.any(targets <= 0.0):
+        raise CalibrationError("reference produced non-positive temperature rises")
+    start = initial or FittingCoefficients.unity()
+    x0 = [start.k1, start.k2] + ([start.c_bond] if fit_c_bond else [])
+    evaluations = 0
+
+    def unpack(x: np.ndarray) -> FittingCoefficients:
+        c_bond = x[2] if fit_c_bond else 1.0
+        return FittingCoefficients(k1=float(x[0]), k2=float(x[1]), c_bond=float(c_bond))
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        nonlocal evaluations
+        evaluations += 1
+        model = ModelA(unpack(x))
+        predicted = np.array(
+            [model.solve(stack, via, power).max_rise for stack, via, power in samples]
+        )
+        return (predicted - targets) / targets
+
+    result = opt.least_squares(
+        residuals,
+        x0,
+        bounds=([bounds[0]] * len(x0), [bounds[1]] * len(x0)),
+        xtol=1e-10,
+        ftol=1e-12,
+    )
+    if not result.success:
+        raise CalibrationError(f"least-squares fit failed: {result.message}")
+    coefficients = unpack(result.x)
+    fitted = ModelA(coefficients)
+    fitted_rises = tuple(
+        fitted.solve(stack, via, power).max_rise for stack, via, power in samples
+    )
+    residual = np.asarray(fitted_rises) / targets - 1.0
+    return CalibrationResult(
+        coefficients=coefficients,
+        residual_rms=float(np.sqrt(np.mean(residual**2))),
+        reference_rises=tuple(float(t) for t in targets),
+        fitted_rises=fitted_rises,
+        n_evaluations=evaluations,
+    )
+
+
+def radius_sweep_samples(
+    stack: Stack3D,
+    base_via: TSV,
+    power: PowerSpec,
+    radii: Sequence[float],
+) -> list[Sample]:
+    """Convenience: calibration samples varying the via radius."""
+    if not radii:
+        raise CalibrationError("need at least one radius")
+    return [(stack, base_via.with_radius(r), power) for r in radii]

@@ -1,0 +1,15 @@
+"""The 3-D DRAM-µP case study of Section IV-E."""
+
+from .dram_up import (
+    CaseStudyReport,
+    CaseStudySystem,
+    analyze_case_study,
+    build_case_study,
+)
+
+__all__ = [
+    "CaseStudySystem",
+    "CaseStudyReport",
+    "build_case_study",
+    "analyze_case_study",
+]

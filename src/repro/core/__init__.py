@@ -1,0 +1,28 @@
+"""Core analytical models: Model A, Model B, the 1-D baseline, sweeps."""
+
+from .base import ThermalTSVModel
+from .factory import make_model
+from .model_1d import Model1D
+from .model_a import ModelA, build_model_a_circuit, solve_three_plane_closed_form
+from .model_b import ModelB, SegmentScheme, build_model_b_circuit
+from .nonlinear import NonlinearResult, NonlinearSolver
+from .result import ModelResult
+from .sweep import SweepPoint, SweepResult, sweep
+
+__all__ = [
+    "ThermalTSVModel",
+    "ModelResult",
+    "ModelA",
+    "ModelB",
+    "Model1D",
+    "SegmentScheme",
+    "build_model_a_circuit",
+    "build_model_b_circuit",
+    "solve_three_plane_closed_form",
+    "make_model",
+    "sweep",
+    "SweepResult",
+    "SweepPoint",
+    "NonlinearSolver",
+    "NonlinearResult",
+]

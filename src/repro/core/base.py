@@ -1,0 +1,47 @@
+"""Abstract interface shared by every thermal TSV model."""
+
+from __future__ import annotations
+
+import abc
+
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
+from ..geometry.tsv import as_cluster
+from .result import ModelResult
+
+
+class ThermalTSVModel(abc.ABC):
+    """A steady-state thermal model of a TTSV-equipped 3-D stack.
+
+    Concrete models implement :meth:`_solve`; the public :meth:`solve`
+    validates the geometry first so all models reject the same bad inputs.
+    """
+
+    #: short identifier used in reports and sweeps
+    name: str = "abstract"
+
+    def solve(
+        self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        """Compute the steady-state temperature rises.
+
+        Parameters
+        ----------
+        stack:
+            The N-plane 3-D stack.
+        via:
+            A single TTSV or an Eq.-(22) cluster.
+        power:
+            Heat generation specification.
+        """
+        cluster = as_cluster(via)
+        validate_tsv_in_stack(stack, cluster.member)
+        return self._solve(stack, cluster, power)
+
+    @abc.abstractmethod
+    def _solve(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        """Model-specific solve; ``via`` is already normalised to a cluster."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,47 @@
+"""Model factory: build any model from a short name.
+
+Handy for CLI-ish entry points and for experiments that take model choices
+as configuration.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .base import ThermalTSVModel
+from .model_1d import Model1D
+from .model_a import ModelA
+from .model_b import ModelB
+
+
+def make_model(spec: str, **kwargs) -> ThermalTSVModel:
+    """Create a model from a spec string.
+
+    * ``"a"`` / ``"model_a"``      → :class:`ModelA`
+    * ``"b"`` / ``"model_b"``      → :class:`ModelB` (default 100 segments)
+    * ``"b:500"`` / ``"model_b:500"`` → :class:`ModelB` with 500 segments
+    * ``"1d"`` / ``"model_1d"``    → :class:`Model1D`
+
+    Extra keyword arguments are forwarded to the model constructor.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ValidationError(f"model spec must be a non-empty string, got {spec!r}")
+    name, _, arg = spec.lower().partition(":")
+    name = name.removeprefix("model_")
+    if name == "a":
+        if arg:
+            raise ValidationError(f"model A takes no :argument, got {spec!r}")
+        return ModelA(**kwargs)
+    if name == "b":
+        if arg:
+            try:
+                kwargs.setdefault("segments", int(arg))
+            except ValueError:
+                raise ValidationError(
+                    f"model B segment count must be an int, got {arg!r}"
+                ) from None
+        return ModelB(**kwargs)
+    if name == "1d":
+        if arg:
+            raise ValidationError(f"model 1D takes no :argument, got {spec!r}")
+        return Model1D(**kwargs)
+    raise ValidationError(f"unknown model spec {spec!r}; use 'a', 'b[:n]' or '1d'")

@@ -1,0 +1,130 @@
+"""The traditional 1-D TTSV model (the paper's baseline, refs [1], [2], [9]).
+
+The via is "a vertical lumped thermal resistor in each physical plane,
+proportional to the length and inversely proportional to the diameter"
+(Section I).  Per plane the via resistor sits in parallel with the bulk
+slab between the plane nodes, heat flows strictly downward and there is no
+lateral liner path and no fitting coefficient.
+
+Consequences the paper demonstrates (Section IV):
+
+* the liner thickness barely matters (it only nudges the bulk area),
+* ΔT grows monotonically with the substrate thickness (no lateral relief),
+* splitting one via into n thinner ones changes nothing (the total metal
+  cross-section — hence the lumped resistor — is preserved),
+* the error grows with the via aspect ratio, overestimating ΔT because the
+  lateral heat entry into the via (path 2 of Fig. 1(b)) is ignored.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..geometry import PowerSpec, Stack3D, TSVCluster
+from ..resistances.primitives import parallel
+from .base import ThermalTSVModel
+from .result import ModelResult
+
+
+@dataclass(frozen=True, slots=True)
+class PlaneLink1D:
+    """The single series link between plane j−1 and plane j (K/W)."""
+
+    bulk: float
+    via: float
+
+    @property
+    def combined(self) -> float:
+        return parallel((self.bulk, self.via))
+
+
+def build_1d_links(
+    stack: Stack3D, via: TSVCluster, *, include_liner_area: bool = True
+) -> tuple[list[PlaneLink1D], float]:
+    """Per-plane (bulk ∥ via) links plus the lumped first-substrate Rs.
+
+    Spans follow the same Fig. 2 conventions as Model A (plane 1:
+    tD + l_ext; middle: tD + tSi + tb; last: via over tSi + tb) but with
+    no k1/k2/c coefficients and no lateral liner resistance.
+    """
+    tsv = via.base
+    member = via.member
+    area = stack.footprint_area - via.total_occupied_area
+    metal_area = math.pi * tsv.radius**2  # preserved under clustering
+    liner_area = via.count * math.pi * (member.outer_radius**2 - member.radius**2)
+    k_fill = tsv.fill.thermal_conductivity
+    k_liner = tsv.liner.thermal_conductivity
+
+    links: list[PlaneLink1D] = []
+    for j, plane in stack.iter_planes():
+        t_ild = plane.ild.thickness
+        k_ild = plane.ild.conductivity
+        t_si = plane.substrate.thickness
+        k_si = plane.substrate.conductivity
+        if j == 0:
+            span = t_ild + tsv.extension
+            bulk_sum = t_ild / k_ild + tsv.extension / k_si
+        else:
+            bond = stack.bond_below(j)
+            k_bond = bond.material.thermal_conductivity
+            bulk_sum = t_ild / k_ild + t_si / k_si + bond.thickness / k_bond
+            last = j == stack.n_planes - 1
+            span = (t_si + bond.thickness) if last else (t_ild + t_si + bond.thickness)
+        via_conductance = k_fill * metal_area / span
+        if include_liner_area:
+            via_conductance += k_liner * liner_area / span
+        links.append(PlaneLink1D(bulk=bulk_sum / area, via=1.0 / via_conductance))
+
+    first = stack.planes[0].substrate
+    rs = (first.thickness - tsv.extension) / (
+        first.conductivity * stack.footprint_area
+    )
+    return links, rs
+
+
+class Model1D(ThermalTSVModel):
+    """The traditional vertical-only baseline (coefficient-free).
+
+    Parameters
+    ----------
+    include_liner_area:
+        Count the liner annulus as a (poorly conducting) parallel vertical
+        path inside the via resistor.  Either choice leaves the baseline
+        blind to the lateral effects the paper studies.
+    """
+
+    name = "model_1d"
+
+    def __init__(self, *, include_liner_area: bool = True) -> None:
+        self.include_liner_area = include_liner_area
+
+    def _solve(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        start = time.perf_counter()
+        links, rs = build_1d_links(
+            stack, via, include_liner_area=self.include_liner_area
+        )
+        heats = [power.plane_heat(stack, j) for j in range(stack.n_planes)]
+        # heat entering at plane j crosses every link at or below j, plus Rs
+        plane_rises: list[float] = []
+        temperature = rs * sum(heats)
+        for j, link in enumerate(links):
+            crossing = sum(heats[j:])
+            temperature += link.combined * crossing
+            plane_rises.append(temperature)
+        elapsed = time.perf_counter() - start
+        return ModelResult(
+            model_name=self.name,
+            max_rise=max(plane_rises),
+            plane_rises=tuple(plane_rises),
+            sink_temperature=stack.sink_temperature,
+            solve_time=elapsed,
+            n_unknowns=len(links) + 1,
+            metadata={
+                "include_liner_area": self.include_liner_area,
+                "cluster_count": via.count,
+            },
+        )

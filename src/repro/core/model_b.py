@@ -1,0 +1,325 @@
+"""Model B — the distributed π-segment ladder (Section III, Fig. 3).
+
+Each plane j is discretised into n_j π-segments.  A segment contributes a
+vertical bulk resistor (surroundings column), a vertical metal resistor
+(via column) and a lateral liner resistor linking the two columns — the
+R_{3i-2} / R_{3i-1} / R_{3i} triplet of Eq. (21).  KCL at the resulting
+2·nA nodes gives the sparse linear system A·T = b of Eq. (19), with the
+per-plane heat q_j split evenly over the plane's ILD bulk nodes (Eq. (20)).
+
+Two discretisation schemes are provided:
+
+* ``"paper"`` (default) — the literal Eq. (21) assignment: within plane j
+  every segment uses R_metal = RM_j/n_j and R_lateral = n_j·RL_j computed
+  over the plane's whole via span, the bulk resistance is divided per
+  layer, and the bond below the plane is lumped into the plane's first
+  substrate segment;
+* ``"uniform"`` — a plain discretisation of the continuum cylinder where
+  every segment's three resistances follow from its own height (the bond
+  becomes its own segment, the top-plane ILD has no via column).  Used as
+  a convergence ablation.
+
+No fitting coefficients are used in either scheme.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..geometry import PowerSpec, Stack3D, TSVCluster
+from ..geometry.stack import LayerInterval
+from ..geometry.tsv import as_cluster
+from ..network import GROUND, ThermalCircuit
+from ..resistances import compute_model_b_resistances
+from ..resistances.model_a_set import _liner_lateral
+from ..units import require_positive_int
+from .base import ThermalTSVModel
+from .result import ModelResult
+
+#: name of the via-bottom node shared with Model A
+T0_NODE = "t0"
+
+_SCHEMES = ("paper", "uniform")
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentScheme:
+    """How many π-segments each plane receives (bottom-up)."""
+
+    plane_segments: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.plane_segments:
+            raise ValidationError("plane_segments must be non-empty")
+        for n in self.plane_segments:
+            require_positive_int("plane segment count", n)
+
+    @classmethod
+    def paper(cls, n_upper: int, n_planes: int = 3, n_first: int | None = None) -> "SegmentScheme":
+        """The paper's convention: n_upper segments in planes 2..N and
+        roughly a tenth of that in plane 1 (Table I uses (1,1), (2,20),
+        (10,100), (50,500))."""
+        require_positive_int("n_upper", n_upper)
+        require_positive_int("n_planes", n_planes)
+        if n_first is None:
+            n_first = max(1, n_upper // 10)
+        require_positive_int("n_first", n_first)
+        return cls((n_first,) + (n_upper,) * (n_planes - 1))
+
+    @property
+    def total(self) -> int:
+        """The paper's n_A = Σ n_j."""
+        return sum(self.plane_segments)
+
+    def split(self, stack: Stack3D, plane_index: int) -> tuple[int, int]:
+        """(n_Si, n_ILD) for one plane: proportional to layer thickness,
+        at least one ILD segment (heat must be injectable), no substrate
+        segments in plane 1 (its substrate is the lumped Rs)."""
+        n = self.plane_segments[plane_index]
+        if plane_index == 0:
+            return 0, n
+        if n == 1:
+            return 0, 1
+        plane = stack.planes[plane_index]
+        t_si = plane.substrate.thickness
+        t_ild = plane.ild.thickness
+        n_si = round(n * t_si / (t_si + t_ild))
+        n_si = min(max(n_si, 1), n - 1)
+        return n_si, n - n_si
+
+
+@dataclass(frozen=True, slots=True)
+class _Segment:
+    """One assembled π-segment (resistances in K/W)."""
+
+    bulk: float
+    metal: float | None  # None above the via top (no metal column)
+    lateral: float | None
+    heat: float  # W injected at the bulk node
+    plane_index: int
+
+
+def _paper_segments(
+    stack: Stack3D,
+    via: TSVCluster,
+    scheme: SegmentScheme,
+    power: PowerSpec,
+    bond_factor: float,
+    exact_area: bool,
+) -> list[_Segment]:
+    """Eq. (21) segment list, bottom-up across all planes."""
+    quantities = compute_model_b_resistances(
+        stack, via, bond_factor=bond_factor, exact_area=exact_area
+    )
+    segments: list[_Segment] = []
+    for j in range(stack.n_planes):
+        q = quantities.planes[j]
+        n_si, n_ild = scheme.split(stack, j)
+        n_j = n_si + n_ild
+        metal = q.metal_total / n_j
+        lateral = n_j * q.liner_total
+        heat_per_ild = power.plane_heat(stack, j) / n_ild
+        extra_bulk = 0.0  # substrate+bond folded into the first ILD segment
+        if n_si == 0 and q.substrate_bulk is not None:
+            extra_bulk = q.substrate_bulk + (q.bond_bulk or 0.0)
+        for i in range(n_si):
+            bulk = (q.substrate_bulk or 0.0) / n_si
+            if i == 0:
+                bulk += q.bond_bulk or 0.0
+            segments.append(_Segment(bulk, metal, lateral, 0.0, j))
+        for i in range(n_ild):
+            bulk = q.ild_bulk / n_ild
+            if i == 0:
+                bulk += extra_bulk
+            segments.append(_Segment(bulk, metal, lateral, heat_per_ild, j))
+    return segments
+
+
+def _uniform_segments(
+    stack: Stack3D,
+    via: TSVCluster,
+    scheme: SegmentScheme,
+    power: PowerSpec,
+    bond_factor: float,
+    exact_area: bool,
+) -> list[_Segment]:
+    """Continuum discretisation: resistances from each segment's height."""
+    quantities = compute_model_b_resistances(
+        stack, via, bond_factor=bond_factor, exact_area=exact_area
+    )
+    tsv = via.base
+    z_bottom, z_top = stack.tsv_span(tsv.extension)
+    area = stack.footprint_area - (
+        via.total_occupied_area if exact_area else tsv.occupied_area
+    )
+    metal_area = math.pi * tsv.radius**2
+    k_fill = tsv.fill.thermal_conductivity
+
+    def sub_layers(j: int) -> list[tuple[float, float, bool]]:
+        """(height, conductivity, is_ild) pieces of plane j, bottom-up.
+
+        Plane 1 contributes only the via-spanning sliver l_ext + ILD1
+        (its substrate bulk is the lumped Rs, as in the paper scheme).
+        """
+        plane = stack.planes[j]
+        pieces: list[tuple[float, float, bool]] = []
+        if j == 0:
+            if tsv.extension > 0.0:
+                pieces.append((tsv.extension, plane.substrate.conductivity, False))
+        else:
+            bond = stack.bond_below(j)
+            pieces.append(
+                (bond.thickness, bond.material.thermal_conductivity * bond_factor, False)
+            )
+            pieces.append((plane.substrate.thickness, plane.substrate.conductivity, False))
+        pieces.append((plane.ild.thickness, plane.ild.conductivity, True))
+        return pieces
+
+    segments: list[_Segment] = []
+    z = z_bottom
+    for j in range(stack.n_planes):
+        n_si, n_ild = scheme.split(stack, j)
+        n_j = n_si + n_ild
+        heat_per_ild = power.plane_heat(stack, j) / n_ild
+        pieces = sub_layers(j)
+        non_ild_height = sum(h for h, _, is_ild in pieces if not is_ild)
+        for height, k_layer, is_ild in pieces:
+            count = n_ild if is_ild else max(
+                1, round(n_si * height / non_ild_height) if non_ild_height else 1
+            )
+            if not is_ild and n_si == 0:
+                count = 1
+            dz = height / count
+            for _ in range(count):
+                in_span = z + dz / 2.0 < z_top
+                metal = dz / (k_fill * metal_area) if in_span else None
+                lateral = _liner_lateral(via, dz, 1.0) if in_span else None
+                segments.append(
+                    _Segment(
+                        bulk=dz / (k_layer * area),
+                        metal=metal,
+                        lateral=lateral,
+                        heat=heat_per_ild if is_ild else 0.0,
+                        plane_index=j,
+                    )
+                )
+                z += dz
+    del quantities  # aggregates only needed for validation side effects
+    return segments
+
+
+def build_model_b_circuit(
+    segments: list[_Segment], rs: float
+) -> tuple[ThermalCircuit, list[str]]:
+    """Wire the π-segment ladder; returns the circuit and the per-plane
+    topmost bulk node names (for plane-rise readouts)."""
+    circuit = ThermalCircuit()
+    circuit.add_resistor(T0_NODE, GROUND, rs, label="Rs")
+    prev_bulk = T0_NODE
+    prev_metal: str | None = T0_NODE
+    plane_top: dict[int, str] = {}
+    for i, seg in enumerate(segments):
+        b = f"b{i + 1}"
+        circuit.add_resistor(prev_bulk, b, seg.bulk, label=f"R{3 * i + 1}")
+        if seg.metal is not None and prev_metal is not None:
+            m = f"m{i + 1}"
+            circuit.add_resistor(prev_metal, m, seg.metal, label=f"R{3 * i + 2}")
+            if seg.lateral is not None:
+                circuit.add_resistor(b, m, seg.lateral, label=f"R{3 * i + 3}")
+            prev_metal = m
+        else:
+            prev_metal = None  # the via column has ended
+        if seg.heat:
+            circuit.add_source(b, seg.heat, label=f"q(b{i + 1})")
+        prev_bulk = b
+        plane_top[seg.plane_index] = b
+    top_nodes = [plane_top[j] for j in sorted(plane_top)]
+    return circuit, top_nodes
+
+
+class ModelB(ThermalTSVModel):
+    """The distributed, coefficient-free Model B.
+
+    Parameters
+    ----------
+    segments:
+        Either an int n (→ the paper's ``SegmentScheme.paper(n)``: n
+        segments in planes 2..N, n//10 in plane 1) or an explicit
+        :class:`SegmentScheme`.
+    scheme:
+        ``"paper"`` for the literal Eq. (21) assignment, ``"uniform"``
+        for the per-height continuum discretisation (ablation).
+    bond_factor:
+        Effective bond conductance multiplier (case study's c_{1,2}).
+    exact_area:
+        Use the exact n-via occupied area in bulk-area terms.
+    """
+
+    def __init__(
+        self,
+        segments: int | SegmentScheme = 100,
+        *,
+        scheme: str = "paper",
+        bond_factor: float = 1.0,
+        exact_area: bool = False,
+    ) -> None:
+        if scheme not in _SCHEMES:
+            raise ValidationError(f"scheme must be one of {_SCHEMES}, got {scheme!r}")
+        if isinstance(segments, SegmentScheme):
+            self._scheme_obj: SegmentScheme | None = segments
+            self._n_upper = max(segments.plane_segments)
+        else:
+            require_positive_int("segments", segments)
+            self._scheme_obj = None
+            self._n_upper = segments
+        self.scheme = scheme
+        self.bond_factor = bond_factor
+        self.exact_area = exact_area
+        self.name = f"model_b({self._n_upper})"
+
+    def segment_scheme(self, stack: Stack3D) -> SegmentScheme:
+        """The per-plane segment counts used for ``stack``."""
+        if self._scheme_obj is not None:
+            if len(self._scheme_obj.plane_segments) != stack.n_planes:
+                raise ValidationError(
+                    f"segment scheme covers {len(self._scheme_obj.plane_segments)} "
+                    f"planes but the stack has {stack.n_planes}"
+                )
+            return self._scheme_obj
+        return SegmentScheme.paper(self._n_upper, stack.n_planes)
+
+    def _solve(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        cluster = as_cluster(via)
+        scheme = self.segment_scheme(stack)
+        start = time.perf_counter()
+        build = _paper_segments if self.scheme == "paper" else _uniform_segments
+        segments = build(
+            stack, cluster, scheme, power, self.bond_factor, self.exact_area
+        )
+        rs = compute_model_b_resistances(
+            stack, cluster, bond_factor=self.bond_factor, exact_area=self.exact_area
+        ).rs
+        circuit, top_nodes = build_model_b_circuit(segments, rs)
+        solution = circuit.solve()
+        elapsed = time.perf_counter() - start
+        plane_rises = tuple(solution[node] for node in top_nodes)
+        return ModelResult(
+            model_name=self.name,
+            max_rise=solution.max_rise,
+            plane_rises=plane_rises,
+            sink_temperature=stack.sink_temperature,
+            solve_time=elapsed,
+            n_unknowns=circuit.n_nodes,
+            node_temperatures=dict(solution.temperatures),
+            metadata={
+                "scheme": self.scheme,
+                "plane_segments": scheme.plane_segments,
+                "n_segments_total": scheme.total,
+                "cluster_count": cluster.count,
+            },
+        )

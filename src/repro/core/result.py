@@ -1,0 +1,78 @@
+"""Model results.
+
+Every model (A, B, 1-D, FEM reference) returns a :class:`ModelResult` so
+experiments can sweep and compare them uniformly.  Temperatures are stored
+as *rises* ΔT above the heat-sink face, the quantity the paper plots;
+absolute temperatures add the stack's sink temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Outcome of one steady-state thermal solve.
+
+    Parameters
+    ----------
+    model_name:
+        E.g. ``"model_a"``, ``"model_b(100)"``, ``"model_1d"``, ``"fem"``.
+    max_rise:
+        Maximum temperature rise ΔT in kelvin (== °C of rise).
+    plane_rises:
+        ΔT at the representative (bulk) node of each plane, bottom-up.
+    node_temperatures:
+        Full node map for network models (may be empty for field solvers).
+    sink_temperature:
+        Absolute sink temperature in °C used for absolute readouts.
+    solve_time:
+        Wall-clock seconds spent solving (assembly + factorisation).
+    n_unknowns:
+        Size of the solved linear system.
+    metadata:
+        Free-form extras (segment counts, mesh sizes, ...).
+    """
+
+    model_name: str
+    max_rise: float
+    plane_rises: tuple[float, ...]
+    sink_temperature: float
+    solve_time: float
+    n_unknowns: int
+    node_temperatures: dict[Any, float] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.model_name:
+            raise ValidationError("model_name must be non-empty")
+        if self.n_unknowns < 0:
+            raise ValidationError("n_unknowns must be non-negative")
+
+    @property
+    def max_temperature(self) -> float:
+        """Absolute maximum temperature in °C (sink + ΔT)."""
+        return self.sink_temperature + self.max_rise
+
+    def plane_rise(self, plane_index: int) -> float:
+        """ΔT of one plane (0-based, bottom-up)."""
+        try:
+            return self.plane_rises[plane_index]
+        except IndexError:
+            raise ValidationError(
+                f"plane {plane_index} out of range; result has "
+                f"{len(self.plane_rises)} planes"
+            ) from None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        rises = ", ".join(f"{t:.2f}" for t in self.plane_rises)
+        return (
+            f"{self.model_name}: max ΔT = {self.max_rise:.2f} K "
+            f"(planes: [{rises}] K, {self.n_unknowns} unknowns, "
+            f"{self.solve_time * 1e3:.2f} ms)"
+        )

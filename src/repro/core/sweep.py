@@ -1,0 +1,114 @@
+"""Parameter-sweep engine.
+
+Every figure of the paper is a sweep: vary one parameter (radius, liner
+thickness, substrate thickness, cluster size), run several models on each
+point, and compare the resulting max-ΔT series.  :func:`sweep` captures that
+pattern once; the experiment modules supply the per-point configuration
+callback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ValidationError
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
+from .base import ThermalTSVModel
+from .result import ModelResult
+
+#: a configuration callback maps a swept value to (stack, via, power)
+Configurator = Callable[[Any], tuple[Stack3D, "TSV | TSVCluster", PowerSpec]]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All model results at one swept value."""
+
+    value: Any
+    results: dict[str, ModelResult]
+
+    def rise(self, model_name: str) -> float:
+        try:
+            return self.results[model_name].max_rise
+        except KeyError:
+            known = ", ".join(self.results)
+            raise ValidationError(
+                f"no model {model_name!r} at sweep point {self.value!r}; "
+                f"known: {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep: one :class:`SweepPoint` per value."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def values(self) -> list[Any]:
+        return [p.value for p in self.points]
+
+    @property
+    def model_names(self) -> list[str]:
+        if not self.points:
+            return []
+        return list(self.points[0].results)
+
+    def series(self, model_name: str) -> list[float]:
+        """Max-ΔT values of one model across the sweep."""
+        return [p.rise(model_name) for p in self.points]
+
+    def result_series(self, model_name: str) -> list[ModelResult]:
+        """Full results of one model across the sweep."""
+        return [p.results[model_name] for p in self.points]
+
+    def rows(self) -> list[list[Any]]:
+        """Tabular view: one row per swept value, one column per model."""
+        names = self.model_names
+        out: list[list[Any]] = [["value", *names]]
+        for p in self.points:
+            out.append([p.value, *(p.rise(n) for n in names)])
+        return out
+
+
+def sweep(
+    parameter: str,
+    values: Iterable[Any],
+    models: Sequence[ThermalTSVModel],
+    configure: Configurator,
+    *,
+    metadata: dict[str, Any] | None = None,
+) -> SweepResult:
+    """Run every model at every swept value.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the swept quantity (for reports).
+    values:
+        The swept values, in plot order.
+    models:
+        Model instances; their ``name`` attributes index the results and
+        must be unique.
+    configure:
+        Callback mapping a swept value to the (stack, via, power) triple
+        the models should solve.
+    """
+    models = list(models)
+    names = [m.name for m in models]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"model names must be unique, got {names}")
+    points: list[SweepPoint] = []
+    for value in values:
+        stack, via, power = configure(value)
+        results = {m.name: m.solve(stack, via, power) for m in models}
+        points.append(SweepPoint(value=value, results=results))
+    if not points:
+        raise ValidationError("sweep needs at least one value")
+    return SweepResult(
+        parameter=parameter, points=tuple(points), metadata=metadata or {}
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for ttsv-thermal.
+
+All library-raised exceptions derive from :class:`ReproError` so that client
+code can catch everything the library throws with a single handler while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A user-supplied parameter is out of its physical or numeric domain."""
+
+
+class GeometryError(ValidationError):
+    """A geometric description is inconsistent (e.g. via wider than the die)."""
+
+
+class MaterialError(ValidationError):
+    """A material is unknown or has non-physical properties."""
+
+
+class NetworkError(ReproError):
+    """A thermal network is malformed (floating nodes, no ground, ...)."""
+
+
+class SingularNetworkError(NetworkError):
+    """The conductance matrix is singular; some node has no path to ground."""
+
+
+class SolverError(ReproError):
+    """A numerical solve failed to produce a usable solution."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative procedure exhausted its budget without converging."""
+
+
+class CalibrationError(ReproError):
+    """Fitting-coefficient calibration failed or was given unusable data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run is inconsistent."""

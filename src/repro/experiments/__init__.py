@@ -1,0 +1,28 @@
+"""Experiments: one module per paper table/figure plus a combined runner."""
+
+from . import (
+    case_study,
+    fig4_radius,
+    fig5_liner,
+    fig6_substrate,
+    fig7_cluster,
+    paper_facts,
+    table1_segments,
+)
+from .harness import ExperimentResult, run_sweep_experiment
+from .runner import REGISTRY, render_markdown, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "run_sweep_experiment",
+    "run_all",
+    "render_markdown",
+    "REGISTRY",
+    "fig4_radius",
+    "fig5_liner",
+    "fig6_substrate",
+    "fig7_cluster",
+    "table1_segments",
+    "case_study",
+    "paper_facts",
+]

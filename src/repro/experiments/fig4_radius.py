@@ -1,0 +1,69 @@
+"""Fig. 4 — max ΔT versus TTSV radius (1–20 µm).
+
+The aspect-ratio limit forces thicker upper substrates for larger vias
+(5 µm substrates up to r = 5 µm, 45 µm beyond), producing the
+characteristic jump in the middle of the paper's figure.  All four curves
+(Model A, Model B(100), 1-D, FEM) fall as the radius grows.
+"""
+
+from __future__ import annotations
+
+from ..core.model_1d import Model1D
+from ..core.model_a import ModelA
+from ..core.model_b import ModelB
+from ..fem import FEMReference
+from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
+from .params import FIG4_RADII_UM, FIG4_RADII_UM_FAST, fig4_config
+
+EXPERIMENT_ID = "fig4"
+TITLE = "Fig. 4: max ΔT vs TTSV radius"
+
+
+def run(
+    *,
+    fem_resolution: str | tuple[int, int] = "medium",
+    fast: bool = False,
+    model_b_segments: int = 100,
+    calibrate: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 4.
+
+    Parameters
+    ----------
+    fem_resolution:
+        Mesh preset for the FEM reference.
+    fast:
+        Use the reduced radius list (for CI-speed runs).
+    model_b_segments:
+        Segment count of the Model B curve (the paper plots B(100)).
+    calibrate:
+        Also run Model A with k1/k2 freshly fitted against our FEM
+        (``model_a_cal``) — the paper's own coefficient workflow.
+    """
+    radii = FIG4_RADII_UM_FAST if fast else FIG4_RADII_UM
+
+    def configure(radius_um: float):
+        cfg = fig4_config(radius_um)
+        return cfg.stack, cfg.via, cfg.power
+
+    reference = FEMReference(fem_resolution)
+    models = [
+        ModelA(fig4_config(radii[0]).fit),
+        ModelB(model_b_segments),
+        Model1D(),
+    ]
+    if calibrate:
+        models.insert(1, calibrated_model_a(radii, configure, reference))
+    return run_sweep_experiment(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="radius [um]",
+        values=radii,
+        configure=configure,
+        models=models,
+        reference=reference,
+        metadata={
+            "caption": "tL=0.5um, tD=4um, tb=1um; tSi2,3 = 5um (r<=5) / 45um (r>5)",
+            "fast": fast,
+        },
+    )

@@ -1,0 +1,67 @@
+"""Fig. 5 — max ΔT versus liner thickness (0.5–3 µm).
+
+The liner is the lateral gateway into the via; thickening it raises every
+curve except the 1-D baseline, which is blind to the lateral path.  The
+paper plots Model B at four segment counts here, which doubles as the
+Table I accuracy/runtime study.
+"""
+
+from __future__ import annotations
+
+from ..core.model_1d import Model1D
+from ..core.model_a import ModelA
+from ..core.model_b import ModelB, SegmentScheme
+from ..fem import FEMReference
+from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
+from .params import FIG5_LINERS_UM, FIG5_LINERS_UM_FAST, TABLE1_SEGMENTS, fig5_config
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Fig. 5: max ΔT vs liner thickness"
+
+
+def model_b_variants(segment_counts=TABLE1_SEGMENTS) -> list[ModelB]:
+    """The B(1)/B(20)/B(100)/B(500) family with the paper's per-plane
+    split ((1,1), (2,20), (10,100), (50,500))."""
+    variants = []
+    for n in segment_counts:
+        n_first = max(1, n // 10) if n > 1 else 1
+        variants.append(ModelB(SegmentScheme((n_first, n, n))))
+    return variants
+
+
+def run(
+    *,
+    fem_resolution: str | tuple[int, int] = "medium",
+    fast: bool = False,
+    segment_counts=TABLE1_SEGMENTS,
+    calibrate: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 5 (and the sweep behind Table I)."""
+    liners = FIG5_LINERS_UM_FAST if fast else FIG5_LINERS_UM
+
+    def configure(liner_um: float):
+        cfg = fig5_config(liner_um)
+        return cfg.stack, cfg.via, cfg.power
+
+    reference = FEMReference(fem_resolution)
+    models = [
+        ModelA(fig5_config(liners[0]).fit),
+        *model_b_variants(segment_counts),
+        Model1D(),
+    ]
+    if calibrate:
+        models.insert(1, calibrated_model_a(liners, configure, reference))
+    return run_sweep_experiment(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="liner [um]",
+        values=liners,
+        configure=configure,
+        models=models,
+        reference=reference,
+        metadata={
+            "caption": "r=5um, tD=7um, tb=1um, tSi2,3=45um",
+            "fast": fast,
+            "segment_counts": list(segment_counts),
+        },
+    )

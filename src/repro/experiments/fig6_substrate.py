@@ -1,0 +1,56 @@
+"""Fig. 6 — max ΔT versus upper-substrate thickness (5–80 µm).
+
+The headline non-monotonic result: thinning the substrate below ~20 µm
+*raises* the temperature because it chokes the lateral spreading path into
+the via, while thickening it raises the vertical resistance.  Models A and
+B capture the minimum; the 1-D baseline is monotonic.
+"""
+
+from __future__ import annotations
+
+from ..core.model_1d import Model1D
+from ..core.model_a import ModelA
+from ..core.model_b import ModelB
+from ..fem import FEMReference
+from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
+from .params import FIG6_SUBSTRATES_UM, FIG6_SUBSTRATES_UM_FAST, fig6_config
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Fig. 6: max ΔT vs substrate thickness (non-monotonic)"
+
+
+def run(
+    *,
+    fem_resolution: str | tuple[int, int] = "medium",
+    fast: bool = False,
+    model_b_segments: int = 100,
+    calibrate: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 6."""
+    thicknesses = FIG6_SUBSTRATES_UM_FAST if fast else FIG6_SUBSTRATES_UM
+
+    def configure(t_si_um: float):
+        cfg = fig6_config(t_si_um)
+        return cfg.stack, cfg.via, cfg.power
+
+    reference = FEMReference(fem_resolution)
+    models = [
+        ModelA(fig6_config(thicknesses[0]).fit),
+        ModelB(model_b_segments),
+        Model1D(),
+    ]
+    if calibrate:
+        models.insert(1, calibrated_model_a(thicknesses, configure, reference))
+    return run_sweep_experiment(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="tSi2,3 [um]",
+        values=thicknesses,
+        configure=configure,
+        models=models,
+        reference=reference,
+        metadata={
+            "caption": "tL=1um, tD=7um, tb=1um, r=8um",
+            "fast": fast,
+        },
+    )

@@ -1,0 +1,64 @@
+"""Fig. 7 — max ΔT versus cluster size (one via split into n ∈ {1,2,4,9,16}).
+
+The Eq. (22) transform keeps the total metal area constant, so the 1-D
+baseline is flat while Models A/B and FEM show the saturating improvement
+that comes from the growing liner surface.
+
+The FEM reference uses the adiabatic unit-cell reduction (footprint/n per
+member via).  An optional 3-D Cartesian cross-check solves the full block
+with all n vias placed explicitly.
+"""
+
+from __future__ import annotations
+
+from ..core.model_1d import Model1D
+from ..core.model_a import ModelA
+from ..core.model_b import ModelB
+from ..fem import FEMReference
+from ..geometry import TSVCluster
+from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
+from .params import FIG7_COUNTS, fig7_config
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Fig. 7: max ΔT vs number of TTSVs (constant metal area)"
+
+
+def run(
+    *,
+    fem_resolution: str | tuple[int, int] = "medium",
+    fast: bool = False,
+    model_b_segments: int = 100,
+    cartesian_cross_check: bool = False,
+    calibrate: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 7.
+
+    ``cartesian_cross_check`` additionally solves each point with the 3-D
+    Cartesian solver on the full block (slow; off by default).
+    """
+    counts = FIG7_COUNTS[:3] if fast else FIG7_COUNTS
+    cfg = fig7_config()
+
+    def configure(n: int):
+        return cfg.stack, TSVCluster(cfg.via, n), cfg.power
+
+    reference = FEMReference(fem_resolution)
+    models = [ModelA(cfg.fit), ModelB(model_b_segments), Model1D()]
+    if calibrate:
+        models.insert(1, calibrated_model_a(counts, configure, reference))
+    if cartesian_cross_check:
+        models.append(FEMReference("coarse", solver="cartesian"))
+    return run_sweep_experiment(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="n TTSVs",
+        values=counts,
+        configure=configure,
+        models=models,
+        reference=reference,
+        metadata={
+            "caption": "tL=1um, tD=4um, tb=1um, tSi2,3=20um, r0=10um",
+            "fast": fast,
+            "cartesian_cross_check": cartesian_cross_check,
+        },
+    )

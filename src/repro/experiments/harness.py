@@ -1,0 +1,152 @@
+"""Shared experiment harness.
+
+An experiment = a sweep + a reference model + error metrics + report
+rendering.  Each ``figN``/``table1``/``case_study`` module configures this
+harness with the paper's parameters; the benchmark suite then prints the
+same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..analysis import (
+    ErrorMetrics,
+    ascii_plot,
+    format_series_table,
+    series_errors,
+)
+from ..calibration import fit_coefficients
+from ..core.base import ThermalTSVModel
+from ..core.model_a import ModelA
+from ..core.sweep import Configurator, SweepResult, sweep
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A completed experiment, ready for reporting."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: list[Any]
+    series: dict[str, list[float]]  # model name -> max ΔT series
+    reference_name: str
+    errors: dict[str, ErrorMetrics]  # vs the reference, per non-reference model
+    runtimes_ms: dict[str, float]  # mean solve time per model
+    metadata: dict[str, Any] = field(default_factory=dict)
+    sweep_result: SweepResult | None = None
+
+    def table_text(self) -> str:
+        """The figure's data as an aligned table (ΔT in °C rise)."""
+        return format_series_table(self.x_label, self.x_values, self.series)
+
+    def plot_text(self, *, width: int = 72, height: int = 18) -> str:
+        """ASCII rendition of the figure."""
+        x = [float(v) for v in self.x_values]
+        return ascii_plot(
+            x,
+            self.series,
+            width=width,
+            height=height,
+            x_label=self.x_label,
+            y_label="max ΔT [°C]",
+        )
+
+    def error_rows(self) -> list[list[Any]]:
+        """Error table rows: model, max %, avg %, mean runtime ms."""
+        rows: list[list[Any]] = [["model", "max err %", "avg err %", "time [ms]"]]
+        for name, err in self.errors.items():
+            pct = err.as_percentages()
+            rows.append([name, pct["max_%"], pct["avg_%"], self.runtimes_ms[name]])
+        return rows
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable dump for the export helpers."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": self.x_values,
+            "series": self.series,
+            "reference": self.reference_name,
+            "errors_pct": {
+                name: err.as_percentages() for name, err in self.errors.items()
+            },
+            "runtimes_ms": self.runtimes_ms,
+            "metadata": self.metadata,
+        }
+
+
+def calibrated_model_a(
+    values: Sequence[Any],
+    configure: Configurator,
+    reference: ThermalTSVModel,
+    *,
+    n_samples: int = 4,
+    name: str = "model_a_cal",
+) -> ModelA:
+    """Model A with coefficients fitted to the experiment's own reference.
+
+    This is the paper's actual workflow — k1/k2 come from "the simulation
+    of a block" — re-run against *our* FEM.  Samples are taken at up to
+    ``n_samples`` evenly spaced sweep values.
+    """
+    if n_samples < 2:
+        raise ExperimentError("calibration needs at least two samples")
+    step = max(1, (len(values) - 1) // (n_samples - 1)) if len(values) > 1 else 1
+    picked = list(values)[::step][:n_samples]
+    if len(picked) < 2:
+        picked = list(values)[:2]
+    samples = [configure(v) for v in picked]
+    fit = fit_coefficients(samples, reference)
+    model = ModelA(fit.coefficients)
+    model.name = name
+    return model
+
+
+def run_sweep_experiment(
+    *,
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    values: Sequence[Any],
+    configure: Configurator,
+    models: Sequence[ThermalTSVModel],
+    reference: ThermalTSVModel,
+    metadata: dict[str, Any] | None = None,
+) -> ExperimentResult:
+    """Sweep all models plus the reference and compute errors against it."""
+    all_models = list(models) + [reference]
+    names = [m.name for m in all_models]
+    if len(set(names)) != len(names):
+        raise ExperimentError(f"duplicate model names in experiment: {names}")
+    result = sweep(x_label, values, all_models, configure, metadata=metadata)
+    reference_series = result.series(reference.name)
+    series = {m.name: result.series(m.name) for m in all_models}
+    errors = {
+        m.name: series_errors(series[m.name], reference_series) for m in models
+    }
+    runtimes = {
+        m.name: float(
+            np.mean([r.solve_time for r in result.result_series(m.name)]) * 1e3
+        )
+        for m in all_models
+    }
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        x_values=list(values),
+        series=series,
+        reference_name=reference.name,
+        errors=errors,
+        runtimes_ms=runtimes,
+        metadata=metadata or {},
+        sweep_result=result,
+    )

@@ -1,0 +1,50 @@
+"""Quantitative claims stated in the paper's text, for comparison.
+
+Only numbers printed in the running text or tables are recorded here
+(figure curves are not digitised); EXPERIMENTS.md compares our measured
+values against these.
+"""
+
+from __future__ import annotations
+
+#: Fig. 4 (radius sweep): (max |error| %, avg |error| %) vs FEM
+FIG4_ERRORS = {"model_a": (6.0, 3.0), "model_b(100)": (11.0, 3.0), "model_1d": (21.0, 13.0)}
+
+#: Fig. 5: FEM ΔT spread across the liner sweep: "up to 11%, ≈ 4 °C"
+FIG5_FEM_SPREAD_PCT = 11.0
+FIG5_FEM_SPREAD_DEGC = 4.0
+
+#: Table I (over the Fig. 5 sweep): model -> (max err %, avg err %, time ms)
+TABLE1 = {
+    "model_b(1)": (23.0, 19.0, 1.0),
+    "model_b(20)": (12.0, 11.0, 3.0),
+    "model_b(100)": (6.0, 4.0, 32.0),
+    "model_b(500)": (5.0, 3.0, 2475.0),
+    "model_a": (4.0, 2.0, None),
+    "model_1d": (30.0, 23.0, None),
+}
+
+#: Fig. 6 (substrate sweep): (max err %, avg err %) and the qualitative
+#: minimum: ΔT falls for 5 ≤ tSi ≤ 20 µm, rises beyond ≈ 20 µm
+FIG6_ERRORS = {"model_a": (7.0, 4.0), "model_b(100)": (18.0, 6.0), "model_1d": (32.0, 17.0)}
+FIG6_MINIMUM_RANGE_UM = (10.0, 45.0)
+
+#: Fig. 7 (cluster sweep): (max err %, avg err %); 1-D flat in n
+FIG7_ERRORS = {"model_a": (1.0, 1.0), "model_b(100)": (4.0, 2.0), "model_1d": (14.0, 8.0)}
+
+#: Section IV-E case study: model -> max ΔT (°C rise above the sink)
+CASE_STUDY_RISES = {
+    "model_a": 12.8,
+    "model_b(1000)": 13.9,
+    "fem": 12.0,
+    "model_1d": 20.0,
+}
+#: and the reported runtimes
+CASE_STUDY_RUNTIMES = {
+    "fem": 59 * 60.0,  # seconds
+    "model_a_calibration": 1.9 * 60.0,
+    "model_b(1000)": 8.5,
+}
+
+#: overall claim (Conclusions): average error across all parameter sweeps
+OVERALL_AVG_ERROR = {"model_a": 2.0, "model_b": 4.0}

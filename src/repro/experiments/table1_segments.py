@@ -1,0 +1,63 @@
+"""Table I — accuracy and runtime versus Model B segment count.
+
+The paper evaluates B(1)/B(20)/B(100)/B(500), Model A and the 1-D model
+over the Fig. 5 liner sweep and reports max/avg error against FEM plus the
+solve time.  This module re-derives the table from the Fig. 5 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..analysis import format_table
+from .harness import ExperimentResult
+from . import fig5_liner
+
+EXPERIMENT_ID = "table1"
+TITLE = "Table I: error and run time vs # of segments in Model B"
+
+
+def rows_from_fig5(result: ExperimentResult) -> list[list[Any]]:
+    """Table I rows (model, max err %, avg err %, time ms) from Fig. 5 data.
+
+    Order mirrors the paper: B(1), B(20), B(100), B(500), A, 1-D.
+    """
+    ordered = sorted(
+        (name for name in result.errors if name.startswith("model_b(")),
+        key=lambda n: int(n[len("model_b("):-1]),
+    )
+    ordered += [n for n in ("model_a", "model_1d") if n in result.errors]
+    out: list[list[Any]] = [["model", "max err %", "avg err %", "time [ms]"]]
+    for name in ordered:
+        pct = result.errors[name].as_percentages()
+        out.append([name, pct["max_%"], pct["avg_%"], result.runtimes_ms[name]])
+    return out
+
+
+def run(
+    *,
+    fem_resolution: str | tuple[int, int] = "medium",
+    fast: bool = False,
+    fig5_result: ExperimentResult | None = None,
+) -> ExperimentResult:
+    """Reproduce Table I (reusing a Fig. 5 run when provided)."""
+    result = fig5_result or fig5_liner.run(fem_resolution=fem_resolution, fast=fast)
+    metadata = dict(result.metadata)
+    metadata["table_rows"] = rows_from_fig5(result)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label=result.x_label,
+        x_values=result.x_values,
+        series=result.series,
+        reference_name=result.reference_name,
+        errors=result.errors,
+        runtimes_ms=result.runtimes_ms,
+        metadata=metadata,
+        sweep_result=result.sweep_result,
+    )
+
+
+def table_text(result: ExperimentResult) -> str:
+    """Render Table I as aligned text."""
+    return format_table(result.metadata["table_rows"])

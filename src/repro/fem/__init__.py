@@ -1,0 +1,33 @@
+"""Finite-volume heat solvers — the library's COMSOL substitute."""
+
+from .axisym import AxisymField, solve_axisymmetric
+from .cartesian import CartesianField, solve_cartesian
+from .mesh import centers, graded_mesh, layered_mesh, refine, unique_breakpoints
+from .reference import AXISYM_PRESETS, CARTESIAN_PRESETS, FEMReference
+from .voxelize import (
+    AxisymGrids,
+    CartesianGrids,
+    build_axisym_grids,
+    build_cartesian_grids,
+    grid_via_positions,
+)
+
+__all__ = [
+    "solve_axisymmetric",
+    "AxisymField",
+    "solve_cartesian",
+    "CartesianField",
+    "FEMReference",
+    "AXISYM_PRESETS",
+    "CARTESIAN_PRESETS",
+    "build_axisym_grids",
+    "build_cartesian_grids",
+    "grid_via_positions",
+    "AxisymGrids",
+    "CartesianGrids",
+    "layered_mesh",
+    "graded_mesh",
+    "centers",
+    "refine",
+    "unique_breakpoints",
+]

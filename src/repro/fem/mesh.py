@@ -1,0 +1,106 @@
+"""Structured 1-D mesh utilities for the finite-volume solvers.
+
+Meshes are arrays of cell *edges*.  Both solvers build their grids as
+tensor products of 1-D meshes that are aligned with every material
+boundary (layer interfaces, via radius, liner radius), so no cell ever
+straddles two materials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import require_positive_int
+
+
+def unique_breakpoints(points: list[float], *, tol: float = 1e-12) -> np.ndarray:
+    """Sort and deduplicate breakpoints (within ``tol`` of each other)."""
+    if not points:
+        raise ValidationError("need at least one breakpoint")
+    arr = np.sort(np.asarray(points, dtype=float))
+    keep = [arr[0]]
+    for p in arr[1:]:
+        if p - keep[-1] > tol:
+            keep.append(p)
+    out = np.asarray(keep)
+    if out.size < 2:
+        raise ValidationError("breakpoints collapse to a single point")
+    return out
+
+
+def layered_mesh(
+    breakpoints: list[float],
+    target_cells: int,
+    *,
+    min_per_layer: int = 2,
+    weights: list[float] | None = None,
+) -> np.ndarray:
+    """Cell edges spanning ``breakpoints`` with ~``target_cells`` cells.
+
+    Cells are distributed across the intervals proportionally to interval
+    length (or to ``weights``), with at least ``min_per_layer`` cells per
+    interval so thin liners/bonds are always resolved.  Edges within each
+    interval are uniform.
+    """
+    require_positive_int("target_cells", target_cells)
+    require_positive_int("min_per_layer", min_per_layer)
+    bp = unique_breakpoints(breakpoints)
+    lengths = np.diff(bp)
+    if weights is None:
+        w = lengths / lengths.sum()
+    else:
+        if len(weights) != lengths.size:
+            raise ValidationError(
+                f"{lengths.size} intervals but {len(weights)} weights"
+            )
+        w = np.asarray(weights, dtype=float)
+        if np.any(w <= 0):
+            raise ValidationError("weights must be positive")
+        w = w / w.sum()
+    counts = np.maximum(min_per_layer, np.rint(target_cells * w).astype(int))
+    edges: list[np.ndarray] = []
+    for (z0, z1), n in zip(zip(bp[:-1], bp[1:]), counts):
+        edges.append(np.linspace(z0, z1, n + 1)[:-1])
+    return np.append(np.concatenate(edges), bp[-1])
+
+
+def graded_mesh(
+    start: float, end: float, n: int, *, ratio: float = 1.0, toward_start: bool = True
+) -> np.ndarray:
+    """Geometrically graded edges over [start, end].
+
+    ``ratio`` is the size ratio of the largest to the smallest cell;
+    ``toward_start`` puts the small cells at ``start``.
+    """
+    require_positive_int("n", n)
+    if end <= start:
+        raise ValidationError(f"end ({end}) must exceed start ({start})")
+    if ratio <= 0.0:
+        raise ValidationError("ratio must be positive")
+    if abs(ratio - 1.0) < 1e-12 or n == 1:
+        return np.linspace(start, end, n + 1)
+    growth = ratio ** (1.0 / (n - 1))
+    sizes = growth ** np.arange(n)
+    sizes = sizes / sizes.sum() * (end - start)
+    if not toward_start:
+        sizes = sizes[::-1]
+    return np.concatenate(([start], start + np.cumsum(sizes)))
+
+
+def centers(edges: np.ndarray) -> np.ndarray:
+    """Cell centres of an edge array."""
+    edges = np.asarray(edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValidationError("edges must be a 1-D array of at least two points")
+    return 0.5 * (edges[:-1] + edges[1:])
+
+
+def refine(edges: np.ndarray, factor: int = 2) -> np.ndarray:
+    """Split every cell into ``factor`` equal cells (for convergence tests)."""
+    require_positive_int("factor", factor)
+    edges = np.asarray(edges, dtype=float)
+    out: list[float] = [float(edges[0])]
+    for a, b in zip(edges[:-1], edges[1:]):
+        out.extend(np.linspace(a, b, factor + 1)[1:].tolist())
+    return np.asarray(out)

@@ -1,0 +1,161 @@
+"""The FEM reference model — the library's stand-in for the paper's COMSOL.
+
+:class:`FEMReference` plugs the finite-volume solvers into the common
+:class:`~repro.core.base.ThermalTSVModel` interface so experiments can
+sweep it next to Models A/B/1-D.
+
+Cluster handling mirrors the experiments' physics:
+
+* the axisymmetric back-end reduces an n-via cluster to a unit cell of
+  area A0/n carrying 1/n of the heat (uniformly distributed vias and
+  power make the cell boundaries adiabatic symmetry planes);
+* the Cartesian back-end places all n vias explicitly on a uniform grid
+  inside the square footprint — slower, used as a cross-check.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..geometry import PowerSpec, Stack3D, TSVCluster
+from .axisym import solve_axisymmetric
+from .cartesian import solve_cartesian
+from .voxelize import build_axisym_grids, build_cartesian_grids, grid_via_positions
+from ..core.base import ThermalTSVModel
+from ..core.result import ModelResult
+
+#: resolution presets: (nr, nz) for axisym, (nx, ny, nz) for cartesian
+AXISYM_PRESETS = {
+    "coarse": (24, 60),
+    "medium": (36, 90),
+    "fine": (56, 140),
+}
+CARTESIAN_PRESETS = {
+    "coarse": (24, 24, 48),
+    "medium": (36, 36, 72),
+    "fine": (52, 52, 104),
+}
+
+
+class FEMReference(ThermalTSVModel):
+    """Finite-volume reference solution (the COMSOL substitute).
+
+    Parameters
+    ----------
+    resolution:
+        ``"coarse"`` / ``"medium"`` / ``"fine"`` or an explicit cell-count
+        tuple — (nr, nz) for the axisymmetric back-end, (nx, ny, nz) for
+        the Cartesian one.
+    solver:
+        ``"axisym"`` (default, fast) or ``"cartesian"``.
+    """
+
+    def __init__(
+        self,
+        resolution: str | tuple[int, ...] = "medium",
+        *,
+        solver: str = "axisym",
+    ) -> None:
+        if solver not in ("axisym", "cartesian"):
+            raise ValidationError(f"solver must be 'axisym' or 'cartesian', got {solver!r}")
+        self.solver = solver
+        presets = AXISYM_PRESETS if solver == "axisym" else CARTESIAN_PRESETS
+        if isinstance(resolution, str):
+            try:
+                self.resolution = presets[resolution]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown resolution {resolution!r}; known: {sorted(presets)}"
+                ) from None
+        else:
+            expected = 2 if solver == "axisym" else 3
+            if len(resolution) != expected:
+                raise ValidationError(
+                    f"{solver} resolution needs {expected} cell counts, got {resolution!r}"
+                )
+            self.resolution = tuple(int(n) for n in resolution)
+        self.name = "fem" if solver == "axisym" else "fem3d"
+
+    def _solve(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        if self.solver == "axisym":
+            return self._solve_axisym(stack, via, power)
+        return self._solve_cartesian(stack, via, power)
+
+    def _solve_axisym(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        nr, nz = self.resolution
+        n = via.count
+        grids = build_axisym_grids(
+            stack,
+            via.member,
+            power,
+            cell_area=stack.footprint_area / n,
+            power_scale=1.0 / n,
+            nr=nr,
+            nz=nz,
+        )
+        field = solve_axisymmetric(
+            grids.r_edges, grids.z_edges, grids.conductivity, grids.source_density
+        )
+        plane_rises = tuple(
+            field.max_rise_in_band(z0, z1) for z0, z1 in grids.plane_bands
+        )
+        return ModelResult(
+            model_name=self.name,
+            max_rise=field.max_rise,
+            plane_rises=plane_rises,
+            sink_temperature=stack.sink_temperature,
+            solve_time=field.solve_time,
+            n_unknowns=field.n_unknowns,
+            metadata={
+                "solver": "axisym",
+                "nr": field.nr,
+                "nz": field.nz,
+                "cluster_count": n,
+                "unit_cell": n > 1,
+            },
+        )
+
+    def _solve_cartesian(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        nx, ny, nz = self.resolution
+        side = stack.footprint_side
+        positions = grid_via_positions(via.count, side, side)
+        grids = build_cartesian_grids(
+            stack,
+            via.member,
+            power,
+            via_positions=positions,
+            nx=nx,
+            ny=ny,
+            nz=nz,
+        )
+        field = solve_cartesian(
+            grids.x_edges,
+            grids.y_edges,
+            grids.z_edges,
+            grids.conductivity,
+            grids.source_density,
+        )
+        plane_rises = tuple(
+            field.max_rise_in_band(z0, z1) for z0, z1 in grids.plane_bands
+        )
+        return ModelResult(
+            model_name=self.name,
+            max_rise=field.max_rise,
+            plane_rises=plane_rises,
+            sink_temperature=stack.sink_temperature,
+            solve_time=field.solve_time,
+            n_unknowns=field.n_unknowns,
+            metadata={
+                "solver": "cartesian",
+                "shape": tuple(int(s - 1) for s in (
+                    grids.x_edges.size, grids.y_edges.size, grids.z_edges.size
+                )),
+                "cluster_count": via.count,
+                "via_positions": positions,
+            },
+        )

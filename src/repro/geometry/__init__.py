@@ -1,0 +1,26 @@
+"""Geometry: layers, planes, stacks, TSVs and power specifications."""
+
+from .builders import paper_stack, paper_tsv, validate_tsv_in_stack
+from .layers import Layer, LayerKind, bond, dielectric, substrate
+from .plane import DevicePlane
+from .power import PowerSpec
+from .stack import LayerInterval, Stack3D
+from .tsv import TSV, TSVCluster, as_cluster
+
+__all__ = [
+    "Layer",
+    "LayerKind",
+    "substrate",
+    "dielectric",
+    "bond",
+    "DevicePlane",
+    "Stack3D",
+    "LayerInterval",
+    "TSV",
+    "TSVCluster",
+    "as_cluster",
+    "PowerSpec",
+    "paper_stack",
+    "paper_tsv",
+    "validate_tsv_in_stack",
+]

@@ -1,0 +1,91 @@
+"""Convenience builders for the structures the paper investigates.
+
+:func:`paper_stack` creates the Section-IV block: a three-plane (by
+default) stack with SiO2 ILDs, polyimide bonds, a 500 µm first substrate
+and a 100 µm × 100 µm footprint.  All experiment modules derive their
+geometry from it by replacing individual dimensions.
+"""
+
+from __future__ import annotations
+
+from .. import constants
+from ..errors import GeometryError
+from ..materials import POLYIMIDE, SILICON, SILICON_DIOXIDE, Material
+from ..units import require_positive, require_positive_int, um
+from .layers import bond, dielectric, substrate
+from .plane import DevicePlane
+from .stack import Stack3D
+from .tsv import TSV
+
+
+def paper_stack(
+    *,
+    n_planes: int = 3,
+    t_si1: float = constants.PAPER_T_SI1,
+    t_si_upper: float = um(45.0),
+    t_ild: float = um(4.0),
+    t_bond: float = um(1.0),
+    footprint_area: float = constants.PAPER_FOOTPRINT_AREA,
+    device_layer_thickness: float = constants.PAPER_DEVICE_LAYER_THICKNESS,
+    substrate_material: Material = SILICON,
+    ild_material: Material = SILICON_DIOXIDE,
+    bond_material: Material = POLYIMIDE,
+    sink_temperature: float = constants.PAPER_SINK_TEMPERATURE_C,
+) -> Stack3D:
+    """Build the paper's N-plane block (Fig. 1 with Section-IV materials).
+
+    Parameters mirror the paper's symbols: ``t_si1`` is the first-plane
+    substrate (500 µm), ``t_si_upper`` applies to planes 2..N, ``t_ild``
+    is tD for every plane and ``t_bond`` is tb for every bonding layer.
+    """
+    require_positive_int("n_planes", n_planes)
+    require_positive("t_si1", t_si1)
+    if n_planes > 1:
+        require_positive("t_si_upper", t_si_upper)
+    planes = []
+    for i in range(n_planes):
+        t_si = t_si1 if i == 0 else t_si_upper
+        planes.append(
+            DevicePlane(
+                name=f"plane{i + 1}",
+                substrate=substrate(f"Si{i + 1}", t_si, substrate_material),
+                ild=dielectric(f"ILD{i + 1}", t_ild, ild_material),
+                device_layer_thickness=device_layer_thickness,
+            )
+        )
+    bonds = tuple(
+        bond(f"bond{i + 1}", t_bond, bond_material) for i in range(n_planes - 1)
+    )
+    return Stack3D(
+        planes=tuple(planes),
+        bonds=bonds,
+        footprint_area=footprint_area,
+        sink_temperature=sink_temperature,
+    )
+
+
+def paper_tsv(
+    *,
+    radius: float = um(5.0),
+    liner_thickness: float = um(0.5),
+    extension: float = constants.PAPER_L_EXT,
+) -> TSV:
+    """A copper/SiO2 TTSV with the paper's default dimensions."""
+    return TSV(radius=radius, liner_thickness=liner_thickness, extension=extension)
+
+
+def validate_tsv_in_stack(stack: Stack3D, via: TSV) -> None:
+    """Check that a via physically fits the stack.
+
+    Raises
+    ------
+    GeometryError
+        If the via (with liner) occupies the whole footprint, or its
+        extension exceeds the first substrate.
+    """
+    if via.occupied_area >= stack.footprint_area:
+        raise GeometryError(
+            f"TSV outer area {via.occupied_area:.3e} m² does not fit the "
+            f"footprint {stack.footprint_area:.3e} m²"
+        )
+    stack.tsv_span(via.extension)  # raises if the extension is too deep

@@ -1,0 +1,84 @@
+"""Layers: the vertical building blocks of a 3-D stack.
+
+A :class:`Layer` is a homogeneous horizontal slab (one material, one
+thickness).  Layers are tagged with a :class:`LayerKind` so solvers can tell
+substrates (which host device heat at their top surface) from dielectrics
+(which host interconnect Joule heat) and bonding layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from ..errors import GeometryError
+from ..materials import Material
+from ..units import require_positive
+
+
+class LayerKind(enum.Enum):
+    """Role of a layer inside a plane/stack."""
+
+    SUBSTRATE = "substrate"
+    DIELECTRIC = "dielectric"  # ILD / BEOL
+    BOND = "bond"
+
+
+@dataclass(frozen=True, slots=True)
+class Layer:
+    """A homogeneous slab of one material.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"Si2"``, ``"ILD1"``).
+    thickness:
+        Slab thickness in metres; must be positive.
+    material:
+        The slab's :class:`~repro.materials.Material`.
+    kind:
+        The slab's role; see :class:`LayerKind`.
+    """
+
+    name: str
+    thickness: float
+    material: Material
+    kind: LayerKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GeometryError("layer name must be non-empty")
+        require_positive(f"thickness of layer {self.name!r}", self.thickness)
+        if not isinstance(self.material, Material):
+            raise GeometryError(f"layer {self.name!r}: material must be a Material")
+        if not isinstance(self.kind, LayerKind):
+            raise GeometryError(f"layer {self.name!r}: kind must be a LayerKind")
+
+    @property
+    def conductivity(self) -> float:
+        """Thermal conductivity of the layer material, W/(m·K)."""
+        return self.material.thermal_conductivity
+
+    def vertical_resistance(self, area: float) -> float:
+        """1-D through-thickness resistance over ``area``, K/W."""
+        require_positive("area", area)
+        return self.thickness / (self.conductivity * area)
+
+    def with_thickness(self, thickness: float) -> "Layer":
+        """Copy of this layer with a new thickness (sweep helper)."""
+        return replace(self, thickness=require_positive("thickness", thickness))
+
+
+def substrate(name: str, thickness: float, material: Material) -> Layer:
+    """Convenience constructor for a substrate layer."""
+    return Layer(name, thickness, material, LayerKind.SUBSTRATE)
+
+
+def dielectric(name: str, thickness: float, material: Material) -> Layer:
+    """Convenience constructor for an ILD/BEOL layer."""
+    return Layer(name, thickness, material, LayerKind.DIELECTRIC)
+
+
+def bond(name: str, thickness: float, material: Material) -> Layer:
+    """Convenience constructor for a bonding layer."""
+    return Layer(name, thickness, material, LayerKind.BOND)

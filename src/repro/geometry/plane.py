@@ -1,0 +1,67 @@
+"""Device planes.
+
+A :class:`DevicePlane` is one die of a 3-D stack: a silicon substrate with
+its BEOL (ILD + interconnects) on top.  Following the paper's structure
+(Fig. 1), the active devices sit on the *top surface* of the substrate and
+the bonding layer that glues this plane to the one above belongs to the
+:class:`~repro.geometry.stack.Stack3D`, not to the plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import GeometryError
+from ..units import require_positive
+from .layers import Layer, LayerKind
+
+
+@dataclass(frozen=True, slots=True)
+class DevicePlane:
+    """One die: substrate below, ILD/BEOL above.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"plane2"`` or ``"DRAM0"``.
+    substrate:
+        The silicon substrate layer (kind ``SUBSTRATE``).
+    ild:
+        The inter-layer-dielectric/BEOL layer (kind ``DIELECTRIC``).
+    device_layer_thickness:
+        Thickness of the active region at the top of the substrate over
+        which device power is spread (see ``PowerSpec``); must be smaller
+        than the substrate thickness.
+    """
+
+    name: str
+    substrate: Layer
+    ild: Layer
+    device_layer_thickness: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GeometryError("plane name must be non-empty")
+        if self.substrate.kind is not LayerKind.SUBSTRATE:
+            raise GeometryError(f"plane {self.name!r}: substrate layer has kind {self.substrate.kind}")
+        if self.ild.kind is not LayerKind.DIELECTRIC:
+            raise GeometryError(f"plane {self.name!r}: ild layer has kind {self.ild.kind}")
+        require_positive("device_layer_thickness", self.device_layer_thickness)
+        if self.device_layer_thickness >= self.substrate.thickness:
+            raise GeometryError(
+                f"plane {self.name!r}: device layer ({self.device_layer_thickness}) "
+                f"must be thinner than the substrate ({self.substrate.thickness})"
+            )
+
+    @property
+    def thickness(self) -> float:
+        """Substrate + ILD thickness (the bond layer is counted by the stack)."""
+        return self.substrate.thickness + self.ild.thickness
+
+    def with_substrate_thickness(self, thickness: float) -> "DevicePlane":
+        """Copy with a new substrate thickness (used by the Fig. 6 sweep)."""
+        return replace(self, substrate=self.substrate.with_thickness(thickness))
+
+    def with_ild_thickness(self, thickness: float) -> "DevicePlane":
+        """Copy with a new ILD thickness."""
+        return replace(self, ild=self.ild.with_thickness(thickness))

@@ -1,0 +1,127 @@
+"""Power specifications.
+
+Two ways to describe heat generation, matching the paper's two setups:
+
+* density mode (Section IV, Figs. 4–7): a volumetric device power density
+  over a thin active layer at the top of each substrate plus a volumetric
+  Joule density throughout each ILD;
+* per-plane totals (Section IV-E case study): "the power dissipated by the
+  µP and DRAM planes is 70 W and 7 W".
+
+Either way, the network models consume one scalar q_j per plane (the paper
+injects the whole of plane j's heat at the plane-j node / ILD-j segment
+nodes), while the finite-volume solvers consume volumetric densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+from ..errors import ValidationError
+from ..units import require_non_negative
+from .stack import Stack3D
+
+
+@dataclass(frozen=True, slots=True)
+class PowerSpec:
+    """Heat generation for every plane of a stack.
+
+    Exactly one of the two modes is active:
+
+    * if ``plane_powers`` is given, it lists the total power (W) of each
+      plane, split between devices and ILD by ``ild_fraction``;
+    * otherwise, the volumetric densities are used: device power =
+      ``device_power_density`` × footprint × device-layer thickness, ILD
+      power = ``ild_power_density`` × footprint × ILD thickness.
+    """
+
+    device_power_density: float = constants.PAPER_DEVICE_POWER_DENSITY
+    ild_power_density: float = constants.PAPER_ILD_POWER_DENSITY
+    plane_powers: tuple[float, ...] | None = None
+    ild_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_non_negative("device_power_density", self.device_power_density)
+        require_non_negative("ild_power_density", self.ild_power_density)
+        if self.plane_powers is not None:
+            if not self.plane_powers:
+                raise ValidationError("plane_powers must be non-empty when given")
+            for p in self.plane_powers:
+                require_non_negative("plane power", p)
+        if not 0.0 <= self.ild_fraction < 1.0:
+            raise ValidationError(
+                f"ild_fraction must lie in [0, 1), got {self.ild_fraction!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # per-plane scalars for the network models
+    # ------------------------------------------------------------------
+    def _check_plane(self, stack: Stack3D, plane_index: int) -> None:
+        if not 0 <= plane_index < stack.n_planes:
+            raise ValidationError(
+                f"plane {plane_index} out of range for {stack.n_planes}-plane stack"
+            )
+        if self.plane_powers is not None and len(self.plane_powers) != stack.n_planes:
+            raise ValidationError(
+                f"plane_powers has {len(self.plane_powers)} entries but the stack "
+                f"has {stack.n_planes} planes"
+            )
+
+    def device_heat(self, stack: Stack3D, plane_index: int) -> float:
+        """Device (active-layer) heat of one plane, W."""
+        self._check_plane(stack, plane_index)
+        if self.plane_powers is not None:
+            return self.plane_powers[plane_index] * (1.0 - self.ild_fraction)
+        plane = stack.planes[plane_index]
+        volume = stack.footprint_area * plane.device_layer_thickness
+        return self.device_power_density * volume
+
+    def ild_heat(self, stack: Stack3D, plane_index: int) -> float:
+        """Interconnect Joule heat of one plane's ILD, W."""
+        self._check_plane(stack, plane_index)
+        if self.plane_powers is not None:
+            return self.plane_powers[plane_index] * self.ild_fraction
+        plane = stack.planes[plane_index]
+        volume = stack.footprint_area * plane.ild.thickness
+        return self.ild_power_density * volume
+
+    def plane_heat(self, stack: Stack3D, plane_index: int) -> float:
+        """Total heat q_j of one plane (devices + ILD), W."""
+        return self.device_heat(stack, plane_index) + self.ild_heat(stack, plane_index)
+
+    def total_heat(self, stack: Stack3D) -> float:
+        """Σ q_j over all planes, W."""
+        return sum(self.plane_heat(stack, i) for i in range(stack.n_planes))
+
+    # ------------------------------------------------------------------
+    # volumetric densities for the finite-volume solvers
+    # ------------------------------------------------------------------
+    def device_density(self, stack: Stack3D, plane_index: int) -> float:
+        """Volumetric density (W/m³) in plane ``plane_index``'s device layer."""
+        plane = stack.planes[plane_index]
+        volume = stack.footprint_area * plane.device_layer_thickness
+        return self.device_heat(stack, plane_index) / volume
+
+    def ild_density(self, stack: Stack3D, plane_index: int) -> float:
+        """Volumetric density (W/m³) in plane ``plane_index``'s ILD."""
+        plane = stack.planes[plane_index]
+        volume = stack.footprint_area * plane.ild.thickness
+        return self.ild_heat(stack, plane_index) / volume
+
+    def scaled_to_area(self, stack: Stack3D, area: float) -> "PowerSpec":
+        """Power spec for a unit cell of ``area`` carved out of ``stack``.
+
+        Only meaningful in ``plane_powers`` mode (uniform power density is
+        assumed, as in the case study); density mode is area-independent
+        and is returned unchanged.
+        """
+        if self.plane_powers is None:
+            return self
+        scale = area / stack.footprint_area
+        return PowerSpec(
+            device_power_density=self.device_power_density,
+            ild_power_density=self.ild_power_density,
+            plane_powers=tuple(p * scale for p in self.plane_powers),
+            ild_fraction=self.ild_fraction,
+        )

@@ -1,0 +1,40 @@
+"""Materials: the :class:`Material` type, a standard library and
+effective-medium helpers."""
+
+from .effective import (
+    effective_ild_conductivity,
+    maxwell_eucken,
+    parallel_bound,
+    series_bound,
+)
+from .library import (
+    ALUMINIUM,
+    BCB,
+    COPPER,
+    POLYIMIDE,
+    SILICON,
+    SILICON_DIOXIDE,
+    TUNGSTEN,
+    get,
+    names,
+    register,
+)
+from .material import Material
+
+__all__ = [
+    "Material",
+    "get",
+    "names",
+    "register",
+    "SILICON",
+    "SILICON_DIOXIDE",
+    "COPPER",
+    "POLYIMIDE",
+    "TUNGSTEN",
+    "ALUMINIUM",
+    "BCB",
+    "effective_ild_conductivity",
+    "maxwell_eucken",
+    "parallel_bound",
+    "series_bound",
+]

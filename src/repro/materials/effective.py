@@ -1,0 +1,89 @@
+"""Effective-medium conductivity models.
+
+The paper notes that "since metal interconnects are embedded in the ILD,
+kD can be adapted to include the effect of the metal within the ILD layer".
+These helpers derive such an effective kD from the metal volume fraction.
+
+All bounds/estimates here concern *isotropic two-phase composites*:
+
+* :func:`parallel_bound` (Voigt / arithmetic mean) — upper bound, exact for
+  metal wires running along the heat-flow direction;
+* :func:`series_bound` (Reuss / harmonic mean) — lower bound, exact for
+  layered metal/dielectric stacks perpendicular to the flow;
+* :func:`maxwell_eucken` — dilute spherical-inclusion estimate, the usual
+  choice for sparse vias/wires in a dielectric matrix;
+* :func:`effective_ild_conductivity` — convenience wrapper returning an
+  adapted ILD :class:`~repro.materials.material.Material`.
+"""
+
+from __future__ import annotations
+
+from ..errors import MaterialError
+from ..units import require_fraction, require_positive
+from .material import Material
+
+
+def parallel_bound(k_matrix: float, k_inclusion: float, fraction: float) -> float:
+    """Voigt (arithmetic-mean) upper bound for a two-phase composite."""
+    require_positive("k_matrix", k_matrix)
+    require_positive("k_inclusion", k_inclusion)
+    fraction = require_fraction("fraction", fraction)
+    return (1.0 - fraction) * k_matrix + fraction * k_inclusion
+
+
+def series_bound(k_matrix: float, k_inclusion: float, fraction: float) -> float:
+    """Reuss (harmonic-mean) lower bound for a two-phase composite."""
+    require_positive("k_matrix", k_matrix)
+    require_positive("k_inclusion", k_inclusion)
+    fraction = require_fraction("fraction", fraction)
+    return 1.0 / ((1.0 - fraction) / k_matrix + fraction / k_inclusion)
+
+
+def maxwell_eucken(k_matrix: float, k_inclusion: float, fraction: float) -> float:
+    """Maxwell–Eucken estimate for dilute spherical inclusions.
+
+    Reduces to ``k_matrix`` at fraction 0 and to ``k_inclusion`` at
+    fraction 1, and always lies between the series and parallel bounds.
+    """
+    require_positive("k_matrix", k_matrix)
+    require_positive("k_inclusion", k_inclusion)
+    fraction = require_fraction("fraction", fraction)
+    km, ki, f = k_matrix, k_inclusion, fraction
+    num = 2.0 * km + ki + 2.0 * f * (ki - km)
+    den = 2.0 * km + ki - f * (ki - km)
+    return km * num / den
+
+
+_MODELS = {
+    "parallel": parallel_bound,
+    "series": series_bound,
+    "maxwell": maxwell_eucken,
+}
+
+
+def effective_ild_conductivity(
+    ild: Material,
+    metal: Material,
+    metal_fraction: float,
+    *,
+    model: str = "maxwell",
+) -> Material:
+    """Return an ILD material whose kD accounts for embedded metal.
+
+    Parameters
+    ----------
+    ild, metal:
+        The dielectric matrix and the embedded interconnect metal.
+    metal_fraction:
+        Volume fraction of metal in the BEOL stack (typically 0.1–0.3).
+    model:
+        One of ``"maxwell"`` (default), ``"parallel"``, ``"series"``.
+    """
+    try:
+        fn = _MODELS[model]
+    except KeyError:
+        raise MaterialError(
+            f"unknown effective-medium model {model!r}; known: {sorted(_MODELS)}"
+        ) from None
+    k_eff = fn(ild.thermal_conductivity, metal.thermal_conductivity, metal_fraction)
+    return ild.with_conductivity(k_eff, name=f"{ild.name}+{metal.name}({metal_fraction:g})")

@@ -1,0 +1,95 @@
+"""Standard material library.
+
+Conductivities for the paper's materials come from ``repro.constants``;
+density/specific-heat values are textbook numbers used only by the optional
+transient extension.
+"""
+
+from __future__ import annotations
+
+from .. import constants
+from ..errors import MaterialError
+from .material import Material
+
+SILICON = Material(
+    "silicon",
+    thermal_conductivity=constants.K_SILICON,
+    density=2329.0,
+    specific_heat=700.0,
+    conductivity_slope=-0.42,  # silicon k falls with T near 300 K
+)
+SILICON_DIOXIDE = Material(
+    "silicon_dioxide",
+    thermal_conductivity=constants.K_SILICON_DIOXIDE,
+    density=2200.0,
+    specific_heat=730.0,
+)
+COPPER = Material(
+    "copper",
+    thermal_conductivity=constants.K_COPPER,  # paper value kf = 400
+    density=8960.0,
+    specific_heat=385.0,
+)
+POLYIMIDE = Material(
+    "polyimide",
+    thermal_conductivity=constants.K_POLYIMIDE,
+    density=1420.0,
+    specific_heat=1090.0,
+)
+TUNGSTEN = Material(
+    "tungsten",
+    thermal_conductivity=constants.K_TUNGSTEN,
+    density=19300.0,
+    specific_heat=134.0,
+)
+ALUMINIUM = Material(
+    "aluminium",
+    thermal_conductivity=constants.K_ALUMINIUM,
+    density=2700.0,
+    specific_heat=897.0,
+)
+BCB = Material(
+    "bcb",
+    thermal_conductivity=constants.K_BCB,
+    density=1050.0,
+    specific_heat=2180.0,
+)
+
+_REGISTRY: dict[str, Material] = {
+    m.name: m
+    for m in (SILICON, SILICON_DIOXIDE, COPPER, POLYIMIDE, TUNGSTEN, ALUMINIUM, BCB)
+}
+
+
+def get(name: str) -> Material:
+    """Look a material up by name.
+
+    >>> get("silicon").thermal_conductivity
+    148.0
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MaterialError(f"unknown material {name!r}; known: {known}") from None
+
+
+def register(material: Material, *, overwrite: bool = False) -> None:
+    """Add a material to the library registry.
+
+    Parameters
+    ----------
+    material:
+        The material to register under ``material.name``.
+    overwrite:
+        Allow replacing an existing entry; otherwise re-registering an
+        existing name raises :class:`MaterialError`.
+    """
+    if material.name in _REGISTRY and not overwrite:
+        raise MaterialError(f"material {material.name!r} already registered")
+    _REGISTRY[material.name] = material
+
+
+def names() -> list[str]:
+    """All registered material names, sorted."""
+    return sorted(_REGISTRY)

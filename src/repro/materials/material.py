@@ -1,0 +1,100 @@
+"""The :class:`Material` value type.
+
+A material carries the thermal conductivity used by every model in the
+library, plus optional density/specific-heat data consumed by the transient
+network extension.  Conductivity may optionally vary linearly with
+temperature, which is sufficient for the narrow (tens of kelvin) rises the
+paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import MaterialError
+from ..units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class Material:
+    """An isotropic solid with thermal properties.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"silicon"``.
+    thermal_conductivity:
+        k at the reference temperature, W/(m·K). Must be positive.
+    density:
+        kg/m³; optional, needed only for transient analysis.
+    specific_heat:
+        J/(kg·K); optional, needed only for transient analysis.
+    conductivity_slope:
+        dk/dT in W/(m·K²) around ``reference_temperature``; 0 keeps k
+        constant (the paper's steady-state models are temperature
+        independent).
+    reference_temperature:
+        Temperature (K) at which ``thermal_conductivity`` holds.
+    """
+
+    name: str
+    thermal_conductivity: float
+    density: float | None = None
+    specific_heat: float | None = None
+    conductivity_slope: float = 0.0
+    reference_temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise MaterialError(f"material name must be a non-empty string, got {self.name!r}")
+        require_positive("thermal_conductivity", self.thermal_conductivity)
+        if self.density is not None:
+            require_positive("density", self.density)
+        if self.specific_heat is not None:
+            require_positive("specific_heat", self.specific_heat)
+        require_positive("reference_temperature", self.reference_temperature)
+
+    @property
+    def k(self) -> float:
+        """Shorthand for :attr:`thermal_conductivity`."""
+        return self.thermal_conductivity
+
+    @property
+    def volumetric_heat_capacity(self) -> float:
+        """ρ·cp in J/(m³·K).
+
+        Raises
+        ------
+        MaterialError
+            If density or specific heat were not provided.
+        """
+        if self.density is None or self.specific_heat is None:
+            raise MaterialError(
+                f"material {self.name!r} has no density/specific-heat data; "
+                "transient analysis needs both"
+            )
+        return self.density * self.specific_heat
+
+    def conductivity_at(self, temperature: float) -> float:
+        """k(T) with the linear temperature model, clipped to stay positive.
+
+        Parameters
+        ----------
+        temperature:
+            Absolute temperature in kelvin.
+        """
+        require_positive("temperature", temperature)
+        k = self.thermal_conductivity + self.conductivity_slope * (
+            temperature - self.reference_temperature
+        )
+        if k <= 0.0:
+            raise MaterialError(
+                f"material {self.name!r} extrapolates to non-positive conductivity "
+                f"at T = {temperature} K"
+            )
+        return k
+
+    def with_conductivity(self, k: float, *, name: str | None = None) -> "Material":
+        """Return a copy with a different conductivity (e.g. an effective kD)."""
+        require_non_negative("k", k)
+        return replace(self, thermal_conductivity=k, name=name or self.name)

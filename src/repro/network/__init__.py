@@ -1,0 +1,26 @@
+"""Generic thermal resistance network substrate.
+
+Model A, Model B and the 1-D baseline are all assembled as
+:class:`ThermalCircuit` instances and solved through the same KCL stamping
+machinery the paper's Eqs. (1)–(6) and (17)–(19) describe.
+"""
+
+from .circuit import NetworkSolution, ThermalCircuit
+from .elements import GROUND, Capacitor, HeatSource, Resistor
+from .graph import dominant_paths, effective_resistance, to_networkx
+from .transient import TransientResult, step_response, time_constants
+
+__all__ = [
+    "GROUND",
+    "Resistor",
+    "HeatSource",
+    "Capacitor",
+    "ThermalCircuit",
+    "NetworkSolution",
+    "to_networkx",
+    "effective_resistance",
+    "dominant_paths",
+    "TransientResult",
+    "step_response",
+    "time_constants",
+]

@@ -1,0 +1,218 @@
+"""The :class:`ThermalCircuit` builder and its steady-state solution.
+
+Both analytical models of the paper (and the 1-D baseline) are assembled on
+top of this class: nodes are created implicitly by referencing them from
+resistors/sources, the ground node is the heat sink, and ``solve()`` stamps
+the nodal conductance matrix (KCL) and solves G·ΔT = q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import NetworkError
+from .elements import GROUND, Capacitor, HeatSource, NodeId, Resistor
+from .solve import solve_linear_system
+
+
+@dataclass(frozen=True)
+class NetworkSolution:
+    """Steady-state node temperature rises above the ground node.
+
+    Access temperatures with item syntax: ``solution["bulk2"]``; the ground
+    node always reads 0.
+    """
+
+    temperatures: dict[NodeId, float]
+    circuit: "ThermalCircuit"
+
+    def __getitem__(self, node: NodeId) -> float:
+        if node == GROUND:
+            return 0.0
+        try:
+            return self.temperatures[node]
+        except KeyError:
+            raise NetworkError(f"no node {node!r} in the solved circuit") from None
+
+    @property
+    def max_rise(self) -> float:
+        """Largest temperature rise in the network, K."""
+        return max(self.temperatures.values(), default=0.0)
+
+    @property
+    def hottest_node(self) -> NodeId:
+        """The node with the largest rise."""
+        if not self.temperatures:
+            raise NetworkError("empty network has no hottest node")
+        return max(self.temperatures, key=self.temperatures.__getitem__)
+
+    def heat_flow(self, node_a: NodeId, node_b: NodeId) -> float:
+        """Net heat (W) flowing from ``node_a`` to ``node_b`` through all
+        resistors that directly connect them."""
+        g_total = sum(
+            r.conductance
+            for r in self.circuit.resistors
+            if {r.node_a, r.node_b} == {node_a, node_b}
+        )
+        if g_total == 0.0:
+            raise NetworkError(f"no resistor connects {node_a!r} and {node_b!r}")
+        return (self[node_a] - self[node_b]) * g_total
+
+    def sink_heat(self) -> float:
+        """Total heat (W) flowing into the ground node; equals Σ sources
+        at steady state (energy conservation)."""
+        total = 0.0
+        for r in self.circuit.resistors:
+            if r.node_a == GROUND:
+                total += (self[r.node_b] - 0.0) * r.conductance
+            elif r.node_b == GROUND:
+                total += (self[r.node_a] - 0.0) * r.conductance
+        return total
+
+
+class ThermalCircuit:
+    """A mutable thermal resistance network with a single ground node."""
+
+    def __init__(self) -> None:
+        self.resistors: list[Resistor] = []
+        self.sources: list[HeatSource] = []
+        self.capacitors: list[Capacitor] = []
+        self._nodes: dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _touch(self, node: NodeId) -> None:
+        if node != GROUND and node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+
+    def add_resistor(
+        self, node_a: NodeId, node_b: NodeId, resistance: float, *, label: str = ""
+    ) -> Resistor:
+        """Add a resistor (K/W) between two nodes, creating them if new."""
+        r = Resistor(node_a, node_b, resistance, label)
+        self._touch(node_a)
+        self._touch(node_b)
+        self.resistors.append(r)
+        return r
+
+    def add_source(self, node: NodeId, power: float, *, label: str = "") -> HeatSource:
+        """Inject ``power`` watts into ``node``."""
+        s = HeatSource(node, power, label)
+        self._touch(node)
+        self.sources.append(s)
+        return s
+
+    def add_capacitor(
+        self, node: NodeId, capacitance: float, *, label: str = ""
+    ) -> Capacitor:
+        """Attach a thermal capacitance (J/K) to ``node`` (transient only)."""
+        c = Capacitor(node, capacitance, label)
+        self._touch(node)
+        self.capacitors.append(c)
+        return c
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[NodeId]:
+        """All non-ground nodes in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def node_index(self, node: NodeId) -> int:
+        """Matrix row/column of a node."""
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise NetworkError(f"no node {node!r} in the circuit") from None
+
+    def validate(self) -> None:
+        """Check the network is solvable: non-empty and fully grounded.
+
+        Every node must reach :data:`GROUND` through resistors, otherwise
+        the conductance matrix is singular.
+        """
+        if not self._nodes:
+            raise NetworkError("circuit has no nodes")
+        # BFS from ground over the resistor adjacency
+        adjacency: dict[NodeId, list[NodeId]] = {}
+        for r in self.resistors:
+            adjacency.setdefault(r.node_a, []).append(r.node_b)
+            adjacency.setdefault(r.node_b, []).append(r.node_a)
+        seen = {GROUND}
+        frontier = [GROUND]
+        while frontier:
+            current = frontier.pop()
+            for nb in adjacency.get(current, ()):
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        floating = [n for n in self._nodes if n not in seen]
+        if floating:
+            raise NetworkError(
+                f"{len(floating)} node(s) have no path to ground, e.g. {floating[0]!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # assembly and solve
+    # ------------------------------------------------------------------
+    def conductance_matrix(self, *, sparse: bool | None = None):
+        """The KCL nodal conductance matrix G (ground eliminated).
+
+        Parameters
+        ----------
+        sparse:
+            Force sparse (True) or dense (False) output; ``None`` picks
+            sparse for > 200 nodes.
+        """
+        n = self.n_nodes
+        if sparse is None:
+            sparse = n > 200
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for r in self.resistors:
+            g = r.conductance
+            ia = None if r.node_a == GROUND else self._nodes[r.node_a]
+            ib = None if r.node_b == GROUND else self._nodes[r.node_b]
+            if ia is not None:
+                rows.append(ia)
+                cols.append(ia)
+                vals.append(g)
+            if ib is not None:
+                rows.append(ib)
+                cols.append(ib)
+                vals.append(g)
+            if ia is not None and ib is not None:
+                rows.extend((ia, ib))
+                cols.extend((ib, ia))
+                vals.extend((-g, -g))
+        matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        if sparse:
+            return matrix
+        return matrix.toarray()
+
+    def source_vector(self) -> np.ndarray:
+        """The heat-injection vector q aligned with :attr:`nodes`."""
+        q = np.zeros(self.n_nodes)
+        for s in self.sources:
+            q[self._nodes[s.node]] += s.power
+        return q
+
+    def solve(self) -> NetworkSolution:
+        """Solve G·ΔT = q and return node temperature rises."""
+        self.validate()
+        matrix = self.conductance_matrix()
+        temps = solve_linear_system(matrix, self.source_vector())
+        return NetworkSolution(
+            temperatures={node: float(temps[i]) for node, i in self._nodes.items()},
+            circuit=self,
+        )

@@ -1,0 +1,80 @@
+"""Primitive elements of a thermal resistance network.
+
+The electrothermal duality the paper invokes maps heat flow (W) to current,
+temperature (K) to voltage and thermal resistance (K/W) to electrical
+resistance.  Elements reference nodes by hashable ids (strings throughout
+this library); :data:`GROUND` is the reserved id of the isothermal
+reference node (the heat-sink face in the paper's models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..errors import NetworkError
+from ..units import require_non_negative, require_positive
+
+#: Reserved id of the reference (heat-sink) node, held at ΔT = 0.
+GROUND: str = "__ground__"
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Resistor:
+    """A thermal resistor between two nodes.
+
+    ``resistance`` is in K/W and must be positive (a zero-resistance link
+    should be expressed by merging nodes instead).
+    """
+
+    node_a: NodeId
+    node_b: NodeId
+    resistance: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise NetworkError(f"resistor {self.label!r} connects a node to itself")
+        require_positive(f"resistance {self.label!r}", self.resistance)
+
+    @property
+    def conductance(self) -> float:
+        """1/R in W/K."""
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True, slots=True)
+class HeatSource:
+    """A heat source injecting ``power`` watts into ``node``.
+
+    Negative power (heat removal) is allowed for modelling local cooling.
+    """
+
+    node: NodeId
+    power: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node == GROUND:
+            raise NetworkError("injecting heat directly into the ground node is a no-op")
+        if not isinstance(self.power, (int, float)):
+            raise NetworkError(f"power of source {self.label!r} must be a number")
+
+
+@dataclass(frozen=True, slots=True)
+class Capacitor:
+    """A thermal capacitance (J/K) from ``node`` to ground.
+
+    Used only by the transient extension; steady-state solves ignore it.
+    """
+
+    node: NodeId
+    capacitance: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node == GROUND:
+            raise NetworkError("a capacitance on the ground node has no effect")
+        require_non_negative(f"capacitance {self.label!r}", self.capacitance)

@@ -1,0 +1,86 @@
+"""Linear-system back-ends for thermal networks.
+
+Small systems (Model A: a handful of nodes) use a dense LAPACK solve;
+large systems (Model B with hundreds of π-segments, FVM grids) use
+scipy.sparse.  :func:`solve_linear_system` picks automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SingularNetworkError, SolverError
+
+#: below this many unknowns a dense solve is faster than sparse setup
+DENSE_CUTOFF = 200
+
+
+def solve_dense(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve a dense SPD-ish system, raising library errors on failure."""
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularNetworkError(
+            "conductance matrix is singular — some node has no path to ground"
+        ) from exc
+
+
+#: above this many unknowns, prefer preconditioned CG over direct solve
+#: (SuperLU remains faster than ILU+CG for the moderately sized 3-D grids
+#: used here; CG is the safety net against fill-in blow-up on huge grids)
+ITERATIVE_CUTOFF = 150_000
+
+
+def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve a sparse SPD system.
+
+    Direct factorisation (SuperLU) up to :data:`ITERATIVE_CUTOFF` unknowns;
+    beyond that, conjugate gradients with an incomplete-LU preconditioner —
+    the conductance matrices here are symmetric positive definite, for
+    which CG is the method of choice and avoids 3-D fill-in blow-up.
+    """
+    csr = sp.csr_matrix(matrix)
+    n = rhs.shape[0]
+    if n > ITERATIVE_CUTOFF:
+        solution = _solve_cg(csr, rhs)
+        if solution is not None:
+            return solution
+    try:
+        solution = spla.spsolve(csr, rhs)
+    except RuntimeError as exc:  # umfpack/superlu signal singularity this way
+        raise SingularNetworkError(
+            "sparse conductance matrix is singular — some node has no path to ground"
+        ) from exc
+    arr = np.asarray(solution, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise SolverError("sparse solve produced non-finite temperatures")
+    return arr
+
+
+def _solve_cg(csr: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray | None:
+    """Preconditioned CG; returns None to fall back to the direct solver."""
+    try:
+        ilu = spla.spilu(csr.tocsc(), drop_tol=1e-5, fill_factor=8.0)
+    except RuntimeError:
+        return None
+    preconditioner = spla.LinearOperator(csr.shape, ilu.solve)
+    solution, info = spla.cg(
+        csr, rhs, rtol=1e-10, atol=0.0, maxiter=2000, M=preconditioner
+    )
+    if info != 0 or not np.all(np.isfinite(solution)):
+        return None
+    return np.asarray(solution, dtype=float)
+
+
+def solve_linear_system(matrix, rhs: np.ndarray) -> np.ndarray:
+    """Dispatch to the dense or sparse back-end based on system size."""
+    n = rhs.shape[0]
+    if sp.issparse(matrix):
+        if n <= DENSE_CUTOFF:
+            return solve_dense(matrix.toarray(), rhs)
+        return solve_sparse(matrix, rhs)
+    if n <= DENSE_CUTOFF:
+        return solve_dense(np.asarray(matrix, dtype=float), rhs)
+    return solve_sparse(sp.csr_matrix(matrix), rhs)

@@ -1,0 +1,123 @@
+"""Transient RC analysis of thermal networks (extension beyond the paper).
+
+The paper's models are steady-state.  Attaching thermal capacitances
+(C = ρ·cp·V) to the network nodes turns G·ΔT = q into
+C·dΔT/dt + G·ΔT = q(t), which this module integrates with the
+unconditionally stable backward-Euler scheme.  This is the standard
+compact-transient extension and lets users ask, e.g., how fast a TTSV pulls
+a power spike down.
+
+Nodes without an explicit capacitance are treated as massless (their
+equations stay algebraic), which backward Euler handles naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as la
+import scipy.sparse as sp
+
+from ..errors import SolverError, ValidationError
+from ..units import require_positive, require_positive_int
+from .circuit import ThermalCircuit
+from .elements import NodeId
+from .solve import solve_linear_system
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Node temperature rises over time.
+
+    ``temperatures[k, i]`` is node ``nodes[i]`` at ``times[k]``.
+    """
+
+    times: np.ndarray
+    temperatures: np.ndarray
+    nodes: list[NodeId]
+
+    def trace(self, node: NodeId) -> np.ndarray:
+        """Temperature history of one node."""
+        try:
+            i = self.nodes.index(node)
+        except ValueError:
+            raise ValidationError(f"no node {node!r} in the transient result") from None
+        return self.temperatures[:, i]
+
+    @property
+    def final(self) -> np.ndarray:
+        """Temperatures at the last time point."""
+        return self.temperatures[-1]
+
+
+def capacitance_vector(circuit: ThermalCircuit) -> np.ndarray:
+    """Per-node capacitance (J/K) aligned with ``circuit.nodes``."""
+    c = np.zeros(circuit.n_nodes)
+    for cap in circuit.capacitors:
+        c[circuit.node_index(cap.node)] += cap.capacitance
+    return c
+
+
+def step_response(
+    circuit: ThermalCircuit,
+    *,
+    t_end: float,
+    n_steps: int = 200,
+) -> TransientResult:
+    """Integrate the network from ΔT = 0 with the sources switched on at t=0.
+
+    Backward Euler: (C/dt + G)·T_{k+1} = q + (C/dt)·T_k.  With any massless
+    nodes the scheme degenerates to their algebraic KCL rows, which is the
+    correct differential-algebraic limit.
+    """
+    require_positive("t_end", t_end)
+    require_positive_int("n_steps", n_steps)
+    circuit.validate()
+    g = circuit.conductance_matrix(sparse=True)
+    q = circuit.source_vector()
+    c = capacitance_vector(circuit)
+    dt = t_end / n_steps
+    c_over_dt = sp.diags(c / dt)
+    lhs = (g + c_over_dt).tocsr()
+
+    times = np.linspace(0.0, t_end, n_steps + 1)
+    temps = np.zeros((n_steps + 1, circuit.n_nodes))
+    current = np.zeros(circuit.n_nodes)
+    for k in range(1, n_steps + 1):
+        rhs = q + (c / dt) * current
+        current = solve_linear_system(lhs, rhs)
+        temps[k] = current
+    return TransientResult(times=times, temperatures=temps, nodes=circuit.nodes)
+
+
+def time_constants(circuit: ThermalCircuit, *, n: int = 5) -> np.ndarray:
+    """The ``n`` slowest thermal time constants (seconds) of the network.
+
+    Solves the generalised eigenproblem G·v = λ·C·v restricted to nodes
+    that carry capacitance; τ = 1/λ.  Massless nodes are eliminated by
+    Schur complement (Kron reduction), which preserves the dynamics seen
+    from the massive nodes.
+    """
+    require_positive_int("n", n)
+    circuit.validate()
+    g = np.asarray(circuit.conductance_matrix(sparse=True).todense(), dtype=float)
+    c = capacitance_vector(circuit)
+    massive = np.where(c > 0.0)[0]
+    if massive.size == 0:
+        raise SolverError("no node carries capacitance; add Capacitor elements first")
+    massless = np.where(c == 0.0)[0]
+    g_mm = g[np.ix_(massive, massive)]
+    if massless.size:
+        g_ma = g[np.ix_(massive, massless)]
+        g_aa = g[np.ix_(massless, massless)]
+        g_am = g[np.ix_(massless, massive)]
+        try:
+            g_mm = g_mm - g_ma @ la.solve(g_aa, g_am)
+        except la.LinAlgError as exc:
+            raise SolverError("Kron reduction failed: massless block singular") from exc
+    c_mm = np.diag(c[massive])
+    eigenvalues = la.eigh(g_mm, c_mm, eigvals_only=True)
+    eigenvalues = eigenvalues[eigenvalues > 1e-30]
+    taus = np.sort(1.0 / eigenvalues)[::-1]
+    return taus[:n]

@@ -1,0 +1,12 @@
+"""TTSV planning extension: power maps and greedy via insertion."""
+
+from .insertion import GreedyPlanner, PlanningResult
+from .power_map import PowerMap, hotspot_power_map, uniform_power_map
+
+__all__ = [
+    "PowerMap",
+    "uniform_power_map",
+    "hotspot_power_map",
+    "GreedyPlanner",
+    "PlanningResult",
+]

@@ -1,0 +1,118 @@
+"""Floorplan power maps for the TTSV planning extension.
+
+The planner works on a coarse grid of floorplan cells.  A :class:`PowerMap`
+holds per-cell, per-plane power (watts), typically derived from block-level
+power budgets.  This extends the paper toward the via-planning use case its
+conclusion motivates (refs [4], [5]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class PowerMap:
+    """Per-cell, per-plane power over a square floorplan.
+
+    ``cell_powers`` has shape (n_planes, rows, cols), in watts per cell.
+    """
+
+    cell_powers: np.ndarray
+    side: float  # physical side length of the floorplan, metres
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.cell_powers, dtype=float)
+        if arr.ndim != 3:
+            raise ValidationError("cell_powers must be (planes, rows, cols)")
+        if np.any(arr < 0.0):
+            raise ValidationError("cell powers must be non-negative")
+        require_positive("side", self.side)
+        object.__setattr__(self, "cell_powers", arr)
+
+    @property
+    def n_planes(self) -> int:
+        return self.cell_powers.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.cell_powers.shape[1:]
+
+    @property
+    def cell_area(self) -> float:
+        rows, cols = self.shape
+        return (self.side / rows) * (self.side / cols)
+
+    @property
+    def total_power(self) -> float:
+        return float(self.cell_powers.sum())
+
+    def cell_center(self, row: int, col: int) -> tuple[float, float]:
+        """Physical (x, y) of a cell centre."""
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ValidationError(f"cell ({row}, {col}) outside {rows}x{cols} grid")
+        return ((col + 0.5) * self.side / cols, (row + 0.5) * self.side / rows)
+
+    def plane_cell_power(self, row: int, col: int) -> tuple[float, ...]:
+        """Per-plane watts of one cell (bottom-up)."""
+        return tuple(float(p) for p in self.cell_powers[:, row, col])
+
+    def densest_cells(self, count: int = 5) -> list[tuple[int, int, float]]:
+        """The ``count`` cells with the highest summed power: (row, col, W)."""
+        require_positive_int("count", count)
+        summed = self.cell_powers.sum(axis=0)
+        flat = np.argsort(summed, axis=None)[::-1][:count]
+        rows, cols = np.unravel_index(flat, summed.shape)
+        return [(int(r), int(c), float(summed[r, c])) for r, c in zip(rows, cols)]
+
+
+def uniform_power_map(
+    plane_powers: tuple[float, ...], side: float, grid: int
+) -> PowerMap:
+    """Spread per-plane total powers evenly over a grid×grid floorplan."""
+    require_positive_int("grid", grid)
+    if not plane_powers:
+        raise ValidationError("need at least one plane power")
+    cells = np.empty((len(plane_powers), grid, grid))
+    for j, p in enumerate(plane_powers):
+        if p < 0:
+            raise ValidationError("plane powers must be non-negative")
+        cells[j] = p / (grid * grid)
+    return PowerMap(cell_powers=cells, side=side)
+
+
+def hotspot_power_map(
+    plane_powers: tuple[float, ...],
+    side: float,
+    grid: int,
+    *,
+    hotspots: list[tuple[float, float, float, float]],
+    plane_index: int = -1,
+) -> PowerMap:
+    """A uniform map plus Gaussian hotspots on one plane.
+
+    Each hotspot is (x_frac, y_frac, extra_watts, sigma_frac): position and
+    width as fractions of the floorplan side.  The extra watts are added on
+    ``plane_index`` (default: the top plane, the paper's worst case).
+    """
+    base = uniform_power_map(plane_powers, side, grid)
+    cells = base.cell_powers.copy()
+    rows, cols = base.shape
+    y, x = np.meshgrid(
+        (np.arange(rows) + 0.5) / rows, (np.arange(cols) + 0.5) / cols, indexing="ij"
+    )
+    for x0, y0, watts, sigma in hotspots:
+        if watts < 0.0 or sigma <= 0.0:
+            raise ValidationError("hotspot watts must be >= 0 and sigma > 0")
+        blob = np.exp(-((x - x0) ** 2 + (y - y0) ** 2) / (2.0 * sigma**2))
+        blob_sum = blob.sum()
+        if blob_sum == 0.0:
+            raise ValidationError("hotspot falls outside the floorplan grid")
+        cells[plane_index] += watts * blob / blob_sum
+    return PowerMap(cell_powers=cells, side=side)

@@ -1,0 +1,48 @@
+"""Thermal-resistance formulas: Eqs. (7)–(16), (21) aggregates, Eq. (22)
+cluster transform and conduction primitives."""
+
+from .fitting import FittingCoefficients
+from .model_a_set import (
+    ModelAResistances,
+    PlaneResistances,
+    compute_model_a_resistances,
+)
+from .model_b_set import (
+    ModelBResistances,
+    PlaneLadderQuantities,
+    compute_model_b_resistances,
+)
+from .primitives import (
+    annulus_axial_resistance,
+    cylinder_axial_resistance,
+    cylindrical_shell_resistance,
+    parallel,
+    series,
+    slab_resistance,
+)
+from .spreading import (
+    finite_slab_spreading,
+    semi_infinite_spreading,
+    truncated_cone_resistance,
+    via_cell_spreading,
+)
+
+__all__ = [
+    "FittingCoefficients",
+    "ModelAResistances",
+    "PlaneResistances",
+    "compute_model_a_resistances",
+    "ModelBResistances",
+    "PlaneLadderQuantities",
+    "compute_model_b_resistances",
+    "slab_resistance",
+    "cylinder_axial_resistance",
+    "cylindrical_shell_resistance",
+    "annulus_axial_resistance",
+    "series",
+    "parallel",
+    "semi_infinite_spreading",
+    "finite_slab_spreading",
+    "truncated_cone_resistance",
+    "via_cell_spreading",
+]

@@ -1,0 +1,126 @@
+"""Per-plane aggregate resistances for Model B (Section III).
+
+Model B distributes, within each plane j, the same physics Model A lumps —
+but *without* fitting coefficients ("obtained similar to (7)-(15) without
+k1 and k2").  The per-plane aggregates are:
+
+* ``metal_total``  (RM_j) — via metal over the plane's via span;
+* ``liner_total``  (RL_j) — liner shell over the plane's via span;
+* ``ild_bulk``     (R_ILDj) — vertical bulk resistance of the ILD
+  (plane 1 additionally includes the l_ext dip into the substrate);
+* ``substrate_bulk`` (R_Sj) — vertical bulk resistance of the substrate
+  (``None`` for plane 1, whose substrate is the lumped Rs);
+* ``bond_bulk``    (R_Bj) — vertical bulk resistance of the bond below
+  plane j (``None`` for plane 1), lumped into the first substrate segment
+  per Eq. (21).
+
+The ladder assembly (how these are divided into π-segments) lives in
+:mod:`repro.core.model_b`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from ..geometry import Stack3D, TSV, TSVCluster, as_cluster
+from ..units import require_positive
+from .model_a_set import _bulk_area, _liner_lateral
+
+
+@dataclass(frozen=True, slots=True)
+class PlaneLadderQuantities:
+    """Aggregate (undivided) resistances of one plane's π-ladder, K/W."""
+
+    metal_total: float
+    liner_total: float
+    ild_bulk: float
+    substrate_bulk: float | None
+    bond_bulk: float | None
+    span: float
+
+    @property
+    def is_first_plane(self) -> bool:
+        return self.substrate_bulk is None
+
+
+@dataclass(frozen=True, slots=True)
+class ModelBResistances:
+    """Model B aggregates for all planes plus the lumped Rs."""
+
+    planes: tuple[PlaneLadderQuantities, ...]
+    rs: float
+
+    @property
+    def n_planes(self) -> int:
+        return len(self.planes)
+
+
+def compute_model_b_resistances(
+    stack: Stack3D,
+    via: TSV | TSVCluster,
+    *,
+    bond_factor: float = 1.0,
+    exact_area: bool = False,
+) -> ModelBResistances:
+    """Evaluate the coefficient-free per-plane aggregates of Model B.
+
+    Parameters
+    ----------
+    stack, via:
+        Geometry, as for Model A.
+    bond_factor:
+        Effective bond conductance multiplier (the case study's c_{1,2};
+        1.0 for the block experiments).  This is a material adaptation,
+        not a fitting coefficient — Model B stays k1/k2-free.
+    exact_area:
+        Subtract the true n-via occupied area from the bulk area.
+    """
+    require_positive("bond_factor", bond_factor)
+    cluster = as_cluster(via)
+    tsv = cluster.base
+    if tsv.extension >= stack.planes[0].substrate.thickness:
+        raise GeometryError(
+            f"via extension {tsv.extension} exceeds the first substrate "
+            f"thickness {stack.planes[0].substrate.thickness}"
+        )
+    area = _bulk_area(stack, cluster, exact_area=exact_area)
+    metal_area = math.pi * tsv.radius**2
+    k_fill = tsv.fill.thermal_conductivity
+
+    planes: list[PlaneLadderQuantities] = []
+    for j, plane in stack.iter_planes():
+        t_ild = plane.ild.thickness
+        k_ild = plane.ild.conductivity
+        t_si = plane.substrate.thickness
+        k_si = plane.substrate.conductivity
+        if j == 0:
+            span = t_ild + tsv.extension
+            ild_bulk = (t_ild / k_ild + tsv.extension / k_si) / area
+            substrate_bulk = None
+            bond_bulk = None
+        else:
+            bond = stack.bond_below(j)
+            k_bond = bond.material.thermal_conductivity * bond_factor
+            last = j == stack.n_planes - 1
+            span = (t_si + bond.thickness) if last else (t_ild + t_si + bond.thickness)
+            ild_bulk = t_ild / (k_ild * area)
+            substrate_bulk = t_si / (k_si * area)
+            bond_bulk = bond.thickness / (k_bond * area)
+        planes.append(
+            PlaneLadderQuantities(
+                metal_total=span / (k_fill * metal_area),
+                liner_total=_liner_lateral(cluster, span, 1.0),
+                ild_bulk=ild_bulk,
+                substrate_bulk=substrate_bulk,
+                bond_bulk=bond_bulk,
+                span=span,
+            )
+        )
+
+    first_substrate = stack.planes[0].substrate
+    rs = (first_substrate.thickness - tsv.extension) / (
+        first_substrate.conductivity * stack.footprint_area
+    )
+    return ModelBResistances(planes=tuple(planes), rs=rs)

@@ -1,0 +1,95 @@
+"""Primitive thermal-resistance formulas.
+
+All of the paper's expressions reduce to three one-dimensional conduction
+primitives:
+
+* a slab conducting through its thickness (:func:`slab_resistance`) —
+  the R1/R4/R7 bulk paths and the 1-D baseline;
+* a cylinder conducting along its axis (:func:`cylinder_axial_resistance`)
+  — the R2/R5/R8 via-metal paths;
+* a cylindrical shell conducting radially
+  (:func:`cylindrical_shell_resistance`) — the R3/R6/R9 liner paths,
+  i.e. the integral in Eq. (9).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from ..errors import ValidationError
+from ..units import require_positive
+
+
+def slab_resistance(thickness: float, conductivity: float, area: float) -> float:
+    """R = t/(k·A) of a slab conducting through its thickness, K/W."""
+    require_positive("thickness", thickness)
+    require_positive("conductivity", conductivity)
+    require_positive("area", area)
+    return thickness / (conductivity * area)
+
+
+def cylinder_axial_resistance(
+    length: float, conductivity: float, radius: float
+) -> float:
+    """R = L/(k·πr²) of a solid cylinder conducting along its axis, K/W."""
+    require_positive("length", length)
+    require_positive("conductivity", conductivity)
+    require_positive("radius", radius)
+    return length / (conductivity * math.pi * radius**2)
+
+
+def cylindrical_shell_resistance(
+    r_inner: float, r_outer: float, conductivity: float, height: float
+) -> float:
+    """Radial conduction through a cylindrical shell, K/W.
+
+    This is the closed form of the paper's Eq. (9) integral:
+    R = ln(r_outer/r_inner) / (2π·k·h).
+    """
+    require_positive("r_inner", r_inner)
+    require_positive("r_outer", r_outer)
+    require_positive("conductivity", conductivity)
+    require_positive("height", height)
+    if r_outer <= r_inner:
+        raise ValidationError(
+            f"shell outer radius ({r_outer}) must exceed inner radius ({r_inner})"
+        )
+    return math.log(r_outer / r_inner) / (2.0 * math.pi * conductivity * height)
+
+
+def annulus_axial_resistance(
+    length: float, conductivity: float, r_inner: float, r_outer: float
+) -> float:
+    """Axial conduction along a ring (the liner in the 1-D baseline), K/W."""
+    require_positive("length", length)
+    require_positive("conductivity", conductivity)
+    require_positive("r_inner", r_inner)
+    if r_outer <= r_inner:
+        raise ValidationError(
+            f"annulus outer radius ({r_outer}) must exceed inner radius ({r_inner})"
+        )
+    area = math.pi * (r_outer**2 - r_inner**2)
+    return length / (conductivity * area)
+
+
+def series(resistances: Iterable[float]) -> float:
+    """Series combination ΣR; an empty iterable is an error."""
+    values = list(resistances)
+    if not values:
+        raise ValidationError("series() needs at least one resistance")
+    for r in values:
+        require_positive("resistance", r)
+    return sum(values)
+
+
+def parallel(resistances: Iterable[float]) -> float:
+    """Parallel combination 1/Σ(1/R); an empty iterable is an error."""
+    values = list(resistances)
+    if not values:
+        raise ValidationError("parallel() needs at least one resistance")
+    total = 0.0
+    for r in values:
+        require_positive("resistance", r)
+        total += 1.0 / r
+    return 1.0 / total

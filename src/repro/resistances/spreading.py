@@ -1,0 +1,103 @@
+"""Spreading/constriction resistance primitives (planning extension).
+
+When a small heat source (a hotspot or a via tip) feeds a much larger slab,
+the 1-D slab formula underestimates the resistance near the source.  The
+classic closed forms collected here are used by the TTSV planner to score
+candidate insertion sites; they are not part of the paper's models.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ValidationError
+from ..units import require_fraction, require_positive
+
+
+def semi_infinite_spreading(radius: float, conductivity: float) -> float:
+    """Constriction resistance of a circular isothermal source on a
+    semi-infinite solid: R = 1/(4·k·a)."""
+    require_positive("radius", radius)
+    require_positive("conductivity", conductivity)
+    return 1.0 / (4.0 * conductivity * radius)
+
+
+def finite_slab_spreading(
+    source_radius: float,
+    slab_radius: float,
+    thickness: float,
+    conductivity: float,
+) -> float:
+    """Spreading resistance of a centred circular source on a finite
+    cylindrical slab with an isothermal base.
+
+    Uses the widely quoted dimensionless correlation of Lee et al.:
+    ψ = (1 − ε)^1.5 · φ/2 with tanh-corrected finite thickness, where
+    ε = a/b.  Accurate to a few percent for 0 < ε < 0.9, which covers via
+    and hotspot geometries.
+    """
+    require_positive("source_radius", source_radius)
+    require_positive("slab_radius", slab_radius)
+    require_positive("thickness", thickness)
+    require_positive("conductivity", conductivity)
+    if source_radius >= slab_radius:
+        raise ValidationError("source radius must be smaller than the slab radius")
+    eps = source_radius / slab_radius
+    tau = thickness / slab_radius
+    lam = math.pi + 1.0 / (math.sqrt(math.pi) * eps)
+    phi = (math.tanh(lam * tau) + lam / _biot_infinite()) / (
+        1.0 + lam / _biot_infinite() * math.tanh(lam * tau)
+    )
+    psi = (1.0 - eps) ** 1.5 * phi / 2.0
+    return psi / (conductivity * source_radius * math.sqrt(math.pi))
+
+
+def _biot_infinite() -> float:
+    """Effective Biot number for an isothermal base (Bi → ∞ limit)."""
+    return 1e9
+
+
+def truncated_cone_resistance(
+    r_top: float, r_bottom: float, height: float, conductivity: float
+) -> float:
+    """Axial resistance of a truncated cone: R = h/(π·k·r_top·r_bottom).
+
+    A standard 45°-spreading surrogate for heat fanning out below a via.
+    """
+    require_positive("r_top", r_top)
+    require_positive("r_bottom", r_bottom)
+    require_positive("height", height)
+    require_positive("conductivity", conductivity)
+    return height / (math.pi * conductivity * r_top * r_bottom)
+
+
+def via_cell_spreading(
+    via_radius: float,
+    cell_area: float,
+    substrate_thickness: float,
+    conductivity: float,
+) -> float:
+    """Spreading term seen by one via at the centre of its unit cell.
+
+    Wraps :func:`finite_slab_spreading` with the equal-area circular cell.
+    """
+    require_positive("cell_area", cell_area)
+    cell_radius = math.sqrt(cell_area / math.pi)
+    return finite_slab_spreading(
+        via_radius, cell_radius, substrate_thickness, conductivity
+    )
+
+
+def coverage_corrected_resistance(
+    base_resistance: float, coverage: float
+) -> float:
+    """Scale a per-cell resistance by via coverage (parallel cells).
+
+    ``coverage`` is the fraction of the floorplan covered by via cells;
+    the planner uses this to turn per-cell estimates into block estimates.
+    """
+    require_positive("base_resistance", base_resistance)
+    coverage = require_fraction("coverage", coverage)
+    if coverage == 0.0:
+        raise ValidationError("coverage must be positive to carry any heat")
+    return base_resistance * coverage

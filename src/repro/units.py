@@ -1,0 +1,129 @@
+"""Unit helpers.
+
+The library works internally in strict SI units: metres, watts, kelvins
+(temperature *rises* in kelvin are numerically identical to rises in °C,
+which is how the paper reports ΔT). The helpers here convert the mixed
+micrometre/millimetre vocabulary of the paper into SI and validate numeric
+domains at API boundaries.
+
+Examples
+--------
+>>> um(5)
+5e-06
+>>> mm(10)
+0.01
+>>> to_um(5e-06)
+5.0
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from .errors import ValidationError
+
+#: one micrometre in metres
+MICROMETRE = 1e-6
+#: one millimetre in metres
+MILLIMETRE = 1e-3
+#: one nanometre in metres
+NANOMETRE = 1e-9
+
+#: 0 °C in kelvin
+ZERO_CELSIUS = 273.15
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return float(value) * MICROMETRE
+
+
+def mm(value: float) -> float:
+    """Convert millimetres to metres."""
+    return float(value) * MILLIMETRE
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return float(value) * NANOMETRE
+
+
+def to_um(metres: float) -> float:
+    """Convert metres to micrometres."""
+    return float(metres) / MICROMETRE
+
+
+def to_mm(metres: float) -> float:
+    """Convert metres to millimetres."""
+    return float(metres) / MILLIMETRE
+
+
+def celsius_to_kelvin(t_celsius: float) -> float:
+    """Convert an absolute temperature from °C to K."""
+    return float(t_celsius) + ZERO_CELSIUS
+
+
+def kelvin_to_celsius(t_kelvin: float) -> float:
+    """Convert an absolute temperature from K to °C."""
+    return float(t_kelvin) - ZERO_CELSIUS
+
+
+def w_per_mm3(value: float) -> float:
+    """Convert a volumetric power density from W/mm³ to W/m³.
+
+    The paper quotes device and interconnect heat in W/mm³
+    (700 and 70 W/mm³ respectively).
+    """
+    return float(value) / MILLIMETRE**3
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` as float, raising :class:`ValidationError` unless > 0."""
+    value = _require_number(name, value)
+    if value <= 0.0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Return ``value`` as float, raising :class:`ValidationError` unless >= 0."""
+    value = _require_number(name, value)
+    if value < 0.0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Return ``value`` as float, raising unless it lies in the closed [0, 1]."""
+    value = _require_number(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def require_positive_int(name: str, value: int) -> int:
+    """Return ``value`` as int, raising unless it is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_monotonic(name: str, values: Iterable[float]) -> list[float]:
+    """Validate that ``values`` is strictly increasing and return it as a list."""
+    out = [_require_number(name, v) for v in values]
+    for a, b in zip(out, out[1:]):
+        if b <= a:
+            raise ValidationError(f"{name} must be strictly increasing, got {out!r}")
+    return out
+
+
+def _require_number(name: str, value: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value

@@ -1,0 +1,38 @@
+"""Shared fixtures: the paper's standard geometries at test-friendly sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PowerSpec, TSV, paper_stack, paper_tsv
+from repro.resistances import FittingCoefficients
+from repro.units import um
+
+
+@pytest.fixture()
+def block_stack():
+    """The Fig. 5 block: tSi2,3 = 45 um, tD = 7 um, tb = 1 um."""
+    return paper_stack(t_si_upper=um(45.0), t_ild=um(7.0), t_bond=um(1.0))
+
+
+@pytest.fixture()
+def thin_stack():
+    """A thin-substrate block (Fig. 7 geometry): tSi2,3 = 20 um, tD = 4 um."""
+    return paper_stack(t_si_upper=um(20.0), t_ild=um(4.0), t_bond=um(1.0))
+
+
+@pytest.fixture()
+def block_tsv() -> TSV:
+    """The Fig. 5 via: r = 5 um, tL = 1 um, l_ext = 1 um."""
+    return paper_tsv(radius=um(5.0), liner_thickness=um(1.0))
+
+
+@pytest.fixture()
+def block_power() -> PowerSpec:
+    """The paper's density-mode power spec."""
+    return PowerSpec()
+
+
+@pytest.fixture()
+def paper_fit() -> FittingCoefficients:
+    return FittingCoefficients.paper_block()

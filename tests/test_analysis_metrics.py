@@ -1,0 +1,79 @@
+"""Error metrics, crossovers, monotonicity."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_points,
+    is_monotonic,
+    relative_errors,
+    series_errors,
+)
+from repro.errors import ValidationError
+
+
+class TestSeriesErrors:
+    def test_exact_match(self):
+        err = series_errors([1.0, 2.0], [1.0, 2.0])
+        assert err.max_error == 0.0
+        assert err.avg_error == 0.0
+
+    def test_known_values(self):
+        # +10% and -20% errors
+        err = series_errors([1.1, 0.8], [1.0, 1.0])
+        assert err.max_error == pytest.approx(0.2)
+        assert err.avg_error == pytest.approx(0.15)
+        assert err.signed_mean == pytest.approx(-0.05)
+
+    def test_rms(self):
+        err = series_errors([1.1, 0.9], [1.0, 1.0])
+        assert err.rms_error == pytest.approx(0.1)
+
+    def test_percentages(self):
+        pct = series_errors([1.1], [1.0]).as_percentages()
+        assert pct["max_%"] == pytest.approx(10.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            series_errors([1.0], [1.0, 2.0])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            series_errors([1.0], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            relative_errors([], [])
+
+
+class TestCrossovers:
+    def test_v_shape_minimum_found(self):
+        xs = [5.0, 10.0, 20.0, 40.0, 80.0]
+        ys = [30.0, 25.0, 22.0, 24.0, 30.0]
+        points = crossover_points(xs, ys)
+        assert len(points) == 1
+        assert 10.0 < points[0] < 40.0
+
+    def test_monotonic_has_none(self):
+        assert crossover_points([1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0]) == []
+
+    def test_flat_segment_reported(self):
+        points = crossover_points([1, 2, 3], [1.0, 1.0, 2.0])
+        assert points == [2.0]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            crossover_points([1, 2], [1.0, 2.0])
+
+
+class TestMonotonic:
+    def test_increasing(self):
+        assert is_monotonic([1.0, 2.0, 2.0, 3.0], increasing=True)
+        assert not is_monotonic([1.0, 0.5], increasing=True)
+
+    def test_decreasing(self):
+        assert is_monotonic([3.0, 2.0, 2.0], increasing=False)
+        assert not is_monotonic([1.0, 2.0], increasing=False)
+
+    def test_short_rejected(self):
+        with pytest.raises(ValidationError):
+            is_monotonic([1.0], increasing=True)

@@ -1,0 +1,80 @@
+"""The DRAM-µP case study (Section IV-E)."""
+
+import pytest
+
+from repro import constants
+from repro.casestudy import analyze_case_study, build_case_study
+
+
+class TestBuild:
+    def test_unit_cell_area_from_density(self):
+        system = build_case_study()
+        assert system.cell_area == pytest.approx(
+            system.via.metal_area / constants.CASE_TSV_DENSITY
+        )
+
+    def test_via_count_matches_density(self):
+        system = build_case_study()
+        metal = system.n_vias * system.via.metal_area
+        assert metal / system.full_stack.footprint_area == pytest.approx(
+            constants.CASE_TSV_DENSITY, rel=1e-3
+        )
+
+    def test_cell_power_is_area_share(self):
+        system = build_case_study()
+        share = system.cell_area / system.full_stack.footprint_area
+        assert system.cell_power.plane_powers[0] == pytest.approx(70.0 * share)
+
+    def test_geometry_matches_fig8(self):
+        system = build_case_study()
+        stack = system.full_stack
+        assert stack.n_planes == 3
+        for plane in stack.planes:
+            assert plane.substrate.thickness == pytest.approx(constants.CASE_T_SI)
+            assert plane.ild.thickness == pytest.approx(constants.CASE_T_D)
+        assert system.via.radius == pytest.approx(constants.CASE_TSV_RADIUS)
+
+    def test_density_validated(self):
+        with pytest.raises(Exception):
+            build_case_study(tsv_density=1.5)
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_case_study(
+            model_b_segments=200, fem_resolution="coarse"
+        )
+
+    def test_all_models_present(self, report):
+        assert set(report.rises()) == {"model_a", "model_b(200)", "model_1d", "fem"}
+
+    def test_1d_grossly_overestimates(self, report):
+        # the paper's headline: 20 degC vs 12 degC -> factor ~1.67
+        factor = report.overestimation_factor("model_1d", "fem")
+        assert factor > 1.5
+
+    def test_models_a_b_land_near_fem(self, report):
+        rises = report.rises()
+        assert rises["model_a"] == pytest.approx(rises["fem"], rel=0.5)
+        assert rises["model_b(200)"] == pytest.approx(rises["fem"], rel=0.5)
+        # and far closer to FEM than the 1-D model is
+        for name in ("model_a", "model_b(200)"):
+            assert abs(rises[name] - rises["fem"]) < abs(
+                rises["model_1d"] - rises["fem"]
+            )
+
+    def test_rises_in_paper_band(self, report):
+        # the paper reports 12-20 degC; our substrate reproduces the band
+        # within a factor accounting for FEM differences
+        for name, rise in report.rises().items():
+            assert 3.0 < rise < 30.0, name
+
+    def test_rows_table(self, report):
+        rows = report.rows()
+        assert rows[0][0] == "model"
+        assert len(rows) == 5
+
+    def test_analytic_models_much_faster_than_fem(self, report):
+        fem_time = report.results["fem"].solve_time
+        assert report.results["model_a"].solve_time < fem_time

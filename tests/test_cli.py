@@ -1,0 +1,65 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.fem_resolution == "medium"
+        assert not args.fast
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["fig6", "--fast", "--fem-resolution", "coarse", "--no-calibrate"]
+        )
+        assert args.fast and args.no_calibrate
+        assert args.fem_resolution == "coarse"
+
+
+class TestMain:
+    def test_fig7_fast(self, capsys):
+        code = main(["fig7", "--fast", "--fem-resolution", "coarse", "--no-calibrate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "model_a" in out and "fem" in out
+
+    def test_table1_fast_writes_json(self, capsys, tmp_path):
+        code = main(
+            [
+                "table1",
+                "--fast",
+                "--fem-resolution",
+                "coarse",
+                "--no-calibrate",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["experiment_id"] == "table1"
+        out = capsys.readouterr().out
+        assert "model_b(500)" in out
+
+    def test_case_study_fast(self, capsys):
+        code = main(
+            ["case_study", "--fast", "--fem-resolution", "coarse", "--no-calibrate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DRAM" in out
+        assert "model_1d" in out

@@ -1,0 +1,49 @@
+"""Paper constants: the numbers quoted in Section IV must be exact."""
+
+import pytest
+
+from repro import constants
+from repro.units import um, w_per_mm3
+
+
+class TestBlockSetup:
+    def test_conductivities(self):
+        assert constants.K_SILICON_DIOXIDE == 1.4
+        assert constants.K_POLYIMIDE == 0.15
+        assert constants.K_COPPER == 400.0
+
+    def test_footprint(self):
+        assert constants.PAPER_FOOTPRINT_AREA == pytest.approx(um(100) ** 2)
+
+    def test_first_substrate_and_extension(self):
+        assert constants.PAPER_T_SI1 == pytest.approx(um(500))
+        assert constants.PAPER_L_EXT == pytest.approx(um(1))
+
+    def test_power_densities(self):
+        assert constants.PAPER_DEVICE_POWER_DENSITY == pytest.approx(w_per_mm3(700))
+        assert constants.PAPER_ILD_POWER_DENSITY == pytest.approx(w_per_mm3(70))
+
+    def test_fitting_coefficients(self):
+        assert constants.PAPER_K1 == 1.3
+        assert constants.PAPER_K2 == 0.55
+
+    def test_aspect_ratio_ceiling(self):
+        assert constants.MAX_TSV_ASPECT_RATIO == 10.0
+
+
+class TestCaseStudy:
+    def test_geometry(self):
+        assert constants.CASE_FOOTPRINT_AREA == pytest.approx(1e-4)
+        assert constants.CASE_T_SI == pytest.approx(um(300))
+        assert constants.CASE_T_D == pytest.approx(um(20))
+        assert constants.CASE_T_B == pytest.approx(um(10))
+        assert constants.CASE_TSV_RADIUS == pytest.approx(um(30))
+
+    def test_powers_and_density(self):
+        assert constants.CASE_PLANE_POWERS == (70.0, 7.0, 7.0)
+        assert constants.CASE_TSV_DENSITY == 0.005
+
+    def test_coefficients(self):
+        assert constants.CASE_K1 == 1.6
+        assert constants.CASE_K2 == 0.8
+        assert constants.CASE_C_BOND == 3.5

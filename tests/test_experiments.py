@@ -1,0 +1,145 @@
+"""Experiment harness and the paper experiments end-to-end (coarse/fast)."""
+
+import pytest
+
+from repro.analysis import crossover_points, is_monotonic
+from repro.experiments import (
+    case_study,
+    fig4_radius,
+    fig5_liner,
+    fig6_substrate,
+    fig7_cluster,
+    render_markdown,
+    table1_segments,
+)
+from repro.experiments.table1_segments import rows_from_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5_liner.run(fem_resolution="coarse", fast=True, calibrate=False)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_radius.run(fem_resolution="coarse", fast=True, calibrate=False)
+
+    def test_series_present(self, result):
+        assert {"model_a", "model_b(100)", "model_1d", "fem"} <= set(result.series)
+
+    def test_all_fall_with_radius_at_fixed_substrate(self, result):
+        # monotone within each substrate-thickness regime (r <= 5 / r > 5)
+        for name, ys in result.series.items():
+            thin = [y for x, y in zip(result.x_values, ys) if x <= 5.0]
+            thick = [y for x, y in zip(result.x_values, ys) if x > 5.0]
+            assert is_monotonic(thin, increasing=False), name
+            assert is_monotonic(thick, increasing=False), name
+
+    def test_model_b_tracks_fem_better_than_1d(self, result):
+        assert (
+            result.errors["model_b(100)"].avg_error
+            < result.errors["model_1d"].avg_error
+        )
+
+    def test_table_and_plot_render(self, result):
+        assert "radius" in result.table_text()
+        assert "legend" in result.plot_text()
+
+    def test_payload_serialisable(self, result):
+        import json
+
+        json.dumps(result.to_payload())
+
+
+class TestFig5Table1:
+    def test_fem_sees_liner_effect_1d_does_not(self, fig5_result):
+        fem = fig5_result.series["fem"]
+        one_d = fig5_result.series["model_1d"]
+        fem_spread = (max(fem) - min(fem)) / min(fem)
+        d_spread = (max(one_d) - min(one_d)) / min(one_d)
+        assert fem_spread > 0.05  # the paper: up to 11 %
+        assert d_spread < fem_spread / 3.0
+
+    def test_model_b_error_falls_with_segments(self, fig5_result):
+        errs = [
+            fig5_result.errors[f"model_b({n})"].avg_error for n in (1, 20, 100, 500)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[3] <= errs[2] * 1.2  # saturating
+
+    def test_model_b_runtime_grows(self, fig5_result):
+        times = [
+            fig5_result.runtimes_ms[f"model_b({n})"] for n in (1, 20, 100, 500)
+        ]
+        assert times[3] > times[0]
+
+    def test_table1_rows_order(self, fig5_result):
+        result = table1_segments.run(fig5_result=fig5_result)
+        rows = rows_from_fig5(fig5_result)
+        assert [r[0] for r in rows[1:]] == [
+            "model_b(1)", "model_b(20)", "model_b(100)", "model_b(500)",
+            "model_a", "model_1d",
+        ]
+        assert result.metadata["table_rows"] == rows
+        assert "model" in table1_segments.table_text(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_substrate.run(fem_resolution="coarse", fast=False, calibrate=False)
+
+    def test_fem_non_monotonic(self, result):
+        assert crossover_points(result.x_values, result.series["fem"])
+
+    def test_models_a_b_non_monotonic(self, result):
+        assert crossover_points(result.x_values, result.series["model_a"])
+        assert crossover_points(result.x_values, result.series["model_b(100)"])
+
+    def test_1d_monotonic(self, result):
+        assert is_monotonic(result.series["model_1d"], increasing=True)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_cluster.run(fem_resolution="coarse", fast=False, calibrate=False)
+
+    def test_models_fall_with_n(self, result):
+        for name in ("model_a", "model_b(100)", "fem"):
+            assert is_monotonic(result.series[name], increasing=False), name
+
+    def test_1d_flat(self, result):
+        ys = result.series["model_1d"]
+        assert (max(ys) - min(ys)) / min(ys) < 0.02
+
+    def test_model_a_error_small(self, result):
+        # the paper: 1 % average for Model A on this sweep
+        assert result.errors["model_a"].avg_error < 0.20
+
+
+class TestCaseStudyExperiment:
+    def test_runs_with_recalibration(self):
+        exp = case_study.run(
+            fem_resolution="coarse", fast=True, recalibrate=True
+        )
+        rises = exp.report.rises()
+        assert rises["model_1d"] > rises["fem"] * 1.5
+        assert exp.recalibrated is not None
+        # the recalibrated model must track our FEM closely
+        assert exp.recalibrated_rise == pytest.approx(rises["fem"], rel=0.10)
+        assert len(exp.rows()) == 6
+
+    def test_payload(self):
+        exp = case_study.run(fem_resolution="coarse", fast=True, recalibrate=False)
+        payload = exp.to_payload()
+        assert payload["experiment_id"] == "case_study"
+        assert "recalibrated" not in payload
+
+
+class TestRenderMarkdown:
+    def test_render_from_minimal_results(self, fig5_result):
+        text = render_markdown({"fig5": fig5_result})
+        assert "EXPERIMENTS" in text
+        assert "Fig. 5" in text

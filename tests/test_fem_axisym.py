@@ -1,0 +1,126 @@
+"""Axisymmetric FVM solver against closed-form conduction solutions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError, ValidationError
+from repro.fem import solve_axisymmetric
+
+
+def uniform_grids(nr=8, nz=40, r_max=5e-4, z_max=1e-3):
+    r = np.linspace(0.0, r_max, nr + 1)
+    z = np.linspace(0.0, z_max, nz + 1)
+    return r, z
+
+
+class TestAnalyticSlab:
+    def test_uniform_source_parabola(self):
+        # T(z) = (q/k)(L z - z^2/2); top value q L^2 / 2k
+        k0, q0, height = 10.0, 1e9, 1e-3
+        r, z = uniform_grids(nz=80, z_max=height)
+        k = np.full((8, 80), k0)
+        q = np.full((8, 80), q0)
+        field = solve_axisymmetric(r, z, k, q)
+        zc = 0.5 * (z[:-1] + z[1:])
+        expected = q0 / k0 * (height * zc - zc**2 / 2.0)
+        top = q0 * height**2 / (2.0 * k0)
+        assert np.allclose(field.temperatures[0], expected, atol=5e-3 * top)
+
+    def test_two_layer_slab_interface_temperature(self):
+        # bottom layer k=100 (0..0.5mm), top k=1 (0.5..1mm); flux Q from a
+        # thin source at the very top: T_interface = Q'' * L1/k1
+        r = np.linspace(0.0, 1e-4, 5)
+        z = np.linspace(0.0, 1e-3, 101)
+        k = np.empty((4, 100))
+        k[:, :50] = 100.0
+        k[:, 50:] = 1.0
+        q = np.zeros((4, 100))
+        q[:, -1] = 1e9  # W/m^3 in the top 10-um slab -> flux 1e9*1e-5 = 1e4 W/m^2
+        field = solve_axisymmetric(r, z, k, q)
+        flux = 1e9 * 1e-5
+        # last cell centre below the interface sits at z = 0.495 mm
+        t_below = flux * 0.495e-3 / 100.0
+        assert field.temperatures[0, 49] == pytest.approx(t_below, rel=0.02)
+        # first cell centre above: interface T plus half a cell in k = 1
+        t_above = flux * 0.5e-3 / 100.0 + flux * 0.5e-5 / 1.0
+        assert field.temperatures[0, 50] == pytest.approx(t_above, rel=0.02)
+
+    def test_flat_radial_profile_for_1d_problem(self):
+        r, z = uniform_grids()
+        k = np.full((8, 40), 5.0)
+        q = np.full((8, 40), 1e8)
+        field = solve_axisymmetric(r, z, k, q)
+        spread = field.temperatures.max(axis=0) - field.temperatures.min(axis=0)
+        assert np.all(spread < 1e-9)
+
+
+class TestConservationAndShape:
+    def test_energy_balance_via_bottom_flux(self):
+        r, z = uniform_grids(nr=6, nz=30)
+        rng = np.random.default_rng(7)
+        k = 1.0 + rng.random((6, 30)) * 10.0
+        q = rng.random((6, 30)) * 1e8
+        field = solve_axisymmetric(r, z, k, q)
+        ring = np.pi * (r[1:] ** 2 - r[:-1] ** 2)
+        dz0 = z[1] - z[0]
+        flux_out = np.sum(ring * k[:, 0] * field.temperatures[:, 0] / (dz0 / 2.0))
+        volume = ring[:, None] * np.diff(z)[None, :]
+        total_q = np.sum(q * volume)
+        assert flux_out == pytest.approx(total_q, rel=1e-8)
+
+    def test_all_rises_non_negative(self):
+        r, z = uniform_grids()
+        k = np.full((8, 40), 2.0)
+        q = np.zeros((8, 40))
+        q[:, 20] = 1e9
+        field = solve_axisymmetric(r, z, k, q)
+        assert np.all(field.temperatures >= -1e-12)
+
+    def test_hot_spot_near_source(self):
+        r, z = uniform_grids()
+        k = np.full((8, 40), 2.0)
+        q = np.zeros((8, 40))
+        q[0, 35] = 1e10  # near-axis source high in the domain
+        field = solve_axisymmetric(r, z, k, q)
+        i, j = np.unravel_index(np.argmax(field.temperatures), (8, 40))
+        assert j >= 34 and i <= 2
+
+    def test_max_rise_in_band(self):
+        r, z = uniform_grids(z_max=1.0)
+        k = np.full((8, 40), 2.0)
+        q = np.full((8, 40), 1e3)
+        field = solve_axisymmetric(r, z, k, q)
+        assert field.max_rise_in_band(0.9, 1.0) == pytest.approx(field.max_rise)
+        assert field.max_rise_in_band(0.0, 0.1) < field.max_rise
+
+    def test_max_rise_in_empty_band(self):
+        r, z = uniform_grids(z_max=1.0)
+        field = solve_axisymmetric(r, z, np.full((8, 40), 1.0), np.zeros((8, 40)))
+        with pytest.raises(ValidationError):
+            field.max_rise_in_band(2.0, 3.0)
+
+
+class TestValidation:
+    def test_r_must_start_at_axis(self):
+        r = np.linspace(1e-6, 1e-4, 5)
+        z = np.linspace(0.0, 1e-3, 5)
+        with pytest.raises(ValidationError):
+            solve_axisymmetric(r, z, np.ones((4, 4)), np.zeros((4, 4)))
+
+    def test_shape_mismatch(self):
+        r, z = uniform_grids()
+        with pytest.raises(ValidationError):
+            solve_axisymmetric(r, z, np.ones((3, 3)), np.zeros((3, 3)))
+
+    def test_non_positive_conductivity(self):
+        r, z = uniform_grids()
+        k = np.full((8, 40), 1.0)
+        k[2, 2] = 0.0
+        with pytest.raises(SolverError):
+            solve_axisymmetric(r, z, k, np.zeros((8, 40)))
+
+    def test_non_monotonic_edges(self):
+        r = np.array([0.0, 2e-6, 1e-6])
+        z = np.linspace(0.0, 1e-3, 4)
+        with pytest.raises(ValidationError):
+            solve_axisymmetric(r, z, np.ones((2, 3)), np.zeros((2, 3)))

@@ -1,0 +1,99 @@
+"""Cartesian FVM solver: analytic checks and conservation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError, ValidationError
+from repro.fem import solve_cartesian
+
+
+def grids(n=4, nz=40, side=5e-4, height=1e-3):
+    x = np.linspace(0.0, side, n + 1)
+    y = np.linspace(0.0, side, n + 1)
+    z = np.linspace(0.0, height, nz + 1)
+    return x, y, z
+
+
+class TestAnalytic:
+    def test_uniform_slab_parabola(self):
+        k0, q0, height = 10.0, 1e9, 1e-3
+        x, y, z = grids(nz=80)
+        k = np.full((4, 4, 80), k0)
+        q = np.full((4, 4, 80), q0)
+        field = solve_cartesian(x, y, z, k, q)
+        zc = 0.5 * (z[:-1] + z[1:])
+        expected = q0 / k0 * (height * zc - zc**2 / 2.0)
+        top = q0 * height**2 / (2.0 * k0)
+        assert np.allclose(field.temperatures[0, 0], expected, atol=5e-3 * top)
+
+    def test_lateral_symmetry(self):
+        x, y, z = grids(n=6)
+        k = np.full((6, 6, 40), 3.0)
+        q = np.zeros((6, 6, 40))
+        q[2:4, 2:4, -1] = 1e9  # centred source
+        field = solve_cartesian(x, y, z, k, q)
+        t = field.temperatures
+        assert np.allclose(t, t[::-1, :, :], rtol=1e-10)
+        assert np.allclose(t, t[:, ::-1, :], rtol=1e-10)
+        assert np.allclose(t, np.transpose(t, (1, 0, 2)), rtol=1e-10)
+
+    def test_energy_balance(self):
+        x, y, z = grids(n=5, nz=20)
+        rng = np.random.default_rng(3)
+        k = 1.0 + 5.0 * rng.random((5, 5, 20))
+        q = 1e8 * rng.random((5, 5, 20))
+        field = solve_cartesian(x, y, z, k, q)
+        area = np.outer(np.diff(x), np.diff(y))
+        dz0 = z[1] - z[0]
+        flux_out = np.sum(area * k[:, :, 0] * field.temperatures[:, :, 0] / (dz0 / 2.0))
+        volume = (
+            np.diff(x)[:, None, None]
+            * np.diff(y)[None, :, None]
+            * np.diff(z)[None, None, :]
+        )
+        assert flux_out == pytest.approx(np.sum(q * volume), rel=1e-8)
+
+    def test_matches_axisym_for_1d_problem(self):
+        from repro.fem import solve_axisymmetric
+
+        x, y, z = grids(nz=50)
+        k3 = np.full((4, 4, 50), 7.0)
+        q3 = np.full((4, 4, 50), 2e8)
+        cart = solve_cartesian(x, y, z, k3, q3)
+        r = np.linspace(0.0, 3e-4, 5)
+        axi = solve_axisymmetric(r, z, np.full((4, 50), 7.0), np.full((4, 50), 2e8))
+        assert cart.max_rise == pytest.approx(axi.max_rise, rel=1e-10)
+
+
+class TestAccessors:
+    def test_top_map_shape(self):
+        x, y, z = grids(n=5)
+        field = solve_cartesian(x, y, z, np.full((5, 5, 40), 1.0), np.zeros((5, 5, 40)))
+        assert field.top_map().shape == (5, 5)
+
+    def test_max_rise_in_band(self):
+        x, y, z = grids(nz=10, height=1.0)
+        k = np.full((4, 4, 10), 1.0)
+        q = np.full((4, 4, 10), 1.0)
+        field = solve_cartesian(x, y, z, k, q)
+        assert field.max_rise_in_band(0.9, 1.0) == pytest.approx(field.max_rise)
+
+    def test_band_empty(self):
+        x, y, z = grids(height=1.0)
+        field = solve_cartesian(x, y, z, np.full((4, 4, 40), 1.0), np.zeros((4, 4, 40)))
+        with pytest.raises(ValidationError):
+            field.max_rise_in_band(5.0, 6.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        x, y, z = grids()
+        with pytest.raises(ValidationError):
+            solve_cartesian(x, y, z, np.ones((2, 2, 2)), np.zeros((2, 2, 2)))
+
+    def test_non_positive_conductivity(self):
+        x, y, z = grids()
+        k = np.full((4, 4, 40), 1.0)
+        k[1, 1, 1] = -1.0
+        with pytest.raises(SolverError):
+            solve_cartesian(x, y, z, k, np.zeros((4, 4, 40)))

@@ -1,0 +1,93 @@
+"""Field post-processing: profiles and the heat-path flux partition."""
+
+import numpy as np
+import pytest
+
+from repro import ModelA, PowerSpec, paper_stack, paper_tsv
+from repro.errors import SolverError
+from repro.fem import build_axisym_grids, solve_axisymmetric
+from repro.fem.axisym import AxisymField
+from repro.units import um
+
+
+@pytest.fixture(scope="module")
+def solved_block():
+    stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+    via = paper_tsv(radius=um(5), liner_thickness=um(1))
+    power = PowerSpec()
+    grids = build_axisym_grids(stack, via, power)
+    field = solve_axisymmetric(
+        grids.r_edges, grids.z_edges, grids.conductivity, grids.source_density
+    )
+    return stack, via, power, field
+
+
+class TestProfiles:
+    def test_z_profile_monotone_on_axis_below_sources(self, solved_block):
+        _stack, _via, _power, field = solved_block
+        zc, temps = field.z_profile(0.0)
+        assert zc.shape == temps.shape
+        # on the axis (copper column) temperature rises away from the sink
+        assert temps[0] < temps[-1]
+
+    def test_radial_profile_rises_away_from_via(self, solved_block):
+        stack, _via, _power, field = solved_block
+        top = stack.total_height
+        rc, temps = field.radial_profile(top - um(1))
+        assert temps[0] < temps[-1]  # via is the cold spot
+
+    def test_profile_shapes(self, solved_block):
+        *_x, field = solved_block
+        rc, temps = field.radial_profile(um(250))
+        assert rc.shape == temps.shape
+
+
+class TestFluxPartition:
+    def test_total_flux_matches_heat_above(self, solved_block):
+        stack, via, power, field = solved_block
+        # just above the first substrate's top: everything generated above
+        # that face must flow down through it
+        z = stack.substrate_top(0) + um(0.1)
+        total = float(field.vertical_flux(z).sum())
+        heat_above = power.total_heat(stack) - 0.0
+        # plane-1 device heat sits *below* z (top 1 um of Si1)... the via
+        # dips only l_ext; tolerate the device band straddling
+        assert total == pytest.approx(heat_above, rel=0.35)
+
+    def test_bottom_face_carries_everything(self, solved_block):
+        stack, _via, power, field = solved_block
+        flux = field.vertical_flux(um(1))
+        assert float(flux.sum()) == pytest.approx(
+            power.total_heat(stack), rel=1e-6
+        )
+
+    def test_via_carries_disproportionate_share(self, solved_block):
+        stack, via, power, field = solved_block
+        z = stack.substrate_top(0) + um(2)
+        via_watts, bulk_watts = field.flux_partition(z, via.outer_radius)
+        total = via_watts + bulk_watts
+        area_share = via.occupied_area / stack.footprint_area
+        assert via_watts / total > 5.0 * area_share  # the via is a highway
+
+    def test_partition_roughly_matches_model_a(self, solved_block):
+        stack, via, power, field = solved_block
+        z = stack.substrate_top(0) + um(2)
+        via_watts, bulk_watts = field.flux_partition(z, via.outer_radius)
+        result = ModelA().solve(stack, via, power)
+        t = result.node_temperatures
+        resistances = ModelA().resistances(stack, via)
+        via_model = (t["tsv1"] - t["t0"]) / resistances.planes[0].metal
+        bulk_model = (t["bulk1"] - t["t0"]) / resistances.planes[0].bulk
+        share_fem = via_watts / (via_watts + bulk_watts)
+        share_model = via_model / (via_model + bulk_model)
+        assert share_fem == pytest.approx(share_model, abs=0.15)
+
+    def test_flux_requires_conductivity(self):
+        field = AxisymField(
+            r_edges=np.array([0.0, 1.0]),
+            z_edges=np.array([0.0, 1.0, 2.0]),
+            temperatures=np.zeros((1, 2)),
+            solve_time=0.0,
+        )
+        with pytest.raises(SolverError):
+            field.vertical_flux(1.0)

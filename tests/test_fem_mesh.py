@@ -1,0 +1,89 @@
+"""Mesh utilities: layered, graded, refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.fem import centers, graded_mesh, layered_mesh, refine, unique_breakpoints
+
+
+class TestUniqueBreakpoints:
+    def test_sorts_and_dedupes(self):
+        bp = unique_breakpoints([3.0, 1.0, 1.0 + 1e-15, 2.0])
+        assert np.allclose(bp, [1.0, 2.0, 3.0])
+
+    def test_rejects_collapse(self):
+        with pytest.raises(ValidationError):
+            unique_breakpoints([1.0, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            unique_breakpoints([])
+
+
+class TestLayeredMesh:
+    def test_hits_every_breakpoint(self):
+        bp = [0.0, 1e-6, 5e-6, 50e-6]
+        edges = layered_mesh(bp, 30)
+        for p in bp:
+            assert np.min(np.abs(edges - p)) < 1e-18
+
+    def test_min_per_layer_respected(self):
+        edges = layered_mesh([0.0, 1e-9, 1.0], 10, min_per_layer=2)
+        # the 1-nm sliver still gets two cells
+        assert np.sum((edges > 0) & (edges < 1e-9)) >= 1
+
+    def test_strictly_increasing(self):
+        edges = layered_mesh([0.0, 2e-6, 3e-6, 100e-6], 40)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_weights_shift_cells(self):
+        light = layered_mesh([0.0, 0.5, 1.0], 20, weights=[1.0, 1.0])
+        heavy = layered_mesh([0.0, 0.5, 1.0], 20, weights=[9.0, 1.0])
+        assert np.sum(heavy < 0.5) > np.sum(light < 0.5)
+
+    def test_weight_count_checked(self):
+        with pytest.raises(ValidationError):
+            layered_mesh([0.0, 0.5, 1.0], 20, weights=[1.0])
+
+
+class TestGradedMesh:
+    def test_uniform_when_ratio_one(self):
+        edges = graded_mesh(0.0, 1.0, 4, ratio=1.0)
+        assert np.allclose(np.diff(edges), 0.25)
+
+    def test_small_cells_toward_start(self):
+        edges = graded_mesh(0.0, 1.0, 10, ratio=8.0, toward_start=True)
+        d = np.diff(edges)
+        assert d[0] < d[-1]
+        assert d[-1] / d[0] == pytest.approx(8.0)
+
+    def test_small_cells_toward_end(self):
+        d = np.diff(graded_mesh(0.0, 1.0, 10, ratio=8.0, toward_start=False))
+        assert d[0] > d[-1]
+
+    def test_covers_interval(self):
+        edges = graded_mesh(2.0, 5.0, 7, ratio=3.0)
+        assert edges[0] == pytest.approx(2.0)
+        assert edges[-1] == pytest.approx(5.0)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValidationError):
+            graded_mesh(1.0, 0.0, 5)
+
+
+class TestCentersRefine:
+    def test_centers(self):
+        assert np.allclose(centers(np.array([0.0, 1.0, 3.0])), [0.5, 2.0])
+
+    def test_refine_doubles_cells(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        fine = refine(edges, 2)
+        assert fine.size == 5
+        assert np.allclose(fine, [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_refine_preserves_breakpoints(self):
+        edges = np.array([0.0, 0.3, 1.0])
+        fine = refine(edges, 3)
+        for p in edges:
+            assert np.min(np.abs(fine - p)) < 1e-15

@@ -1,0 +1,63 @@
+"""FEMReference facade: presets, agreement with Model B, unit cells."""
+
+import pytest
+
+from repro import ModelB, TSVCluster, paper_tsv
+from repro.errors import ValidationError
+from repro.fem import FEMReference
+from repro.units import um
+
+
+class TestConstruction:
+    def test_presets(self):
+        assert FEMReference("coarse").resolution == (24, 60)
+        assert FEMReference("fine").resolution == (56, 140)
+
+    def test_explicit_resolution(self):
+        assert FEMReference((20, 50)).resolution == (20, 50)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValidationError):
+            FEMReference("ultra")
+
+    def test_wrong_tuple_length(self):
+        with pytest.raises(ValidationError):
+            FEMReference((10, 10, 10), solver="axisym")
+
+    def test_unknown_solver(self):
+        with pytest.raises(ValidationError):
+            FEMReference(solver="spectral")
+
+    def test_names(self):
+        assert FEMReference().name == "fem"
+        assert FEMReference("coarse", solver="cartesian").name == "fem3d"
+
+
+class TestSolutions:
+    def test_tracks_model_b(self, block_stack, block_tsv, block_power):
+        fem = FEMReference("coarse").solve(block_stack, block_tsv, block_power)
+        model_b = ModelB(100).solve(block_stack, block_tsv, block_power)
+        assert fem.max_rise == pytest.approx(model_b.max_rise, rel=0.12)
+
+    def test_mesh_refinement_moves_little(self, block_stack, block_tsv, block_power):
+        coarse = FEMReference("coarse").solve(block_stack, block_tsv, block_power)
+        medium = FEMReference("medium").solve(block_stack, block_tsv, block_power)
+        assert medium.max_rise == pytest.approx(coarse.max_rise, rel=0.05)
+
+    def test_plane_rises_increase_upward(self, block_stack, block_tsv, block_power):
+        result = FEMReference("coarse").solve(block_stack, block_tsv, block_power)
+        assert list(result.plane_rises) == sorted(result.plane_rises)
+
+    def test_cluster_unit_cell_reduction(self, thin_stack, block_power):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        single = FEMReference("coarse").solve(thin_stack, via, block_power)
+        clustered = FEMReference("coarse").solve(
+            thin_stack, TSVCluster(via, 4), block_power
+        )
+        assert clustered.max_rise < single.max_rise
+        assert clustered.metadata["unit_cell"] is True
+
+    def test_metadata_mesh_shape(self, block_stack, block_tsv, block_power):
+        result = FEMReference("coarse").solve(block_stack, block_tsv, block_power)
+        assert result.metadata["nr"] >= 24
+        assert result.n_unknowns == result.metadata["nr"] * result.metadata["nz"]

@@ -1,0 +1,139 @@
+"""Voxelisation: material maps, source normalisation, via placement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PowerSpec, paper_stack, paper_tsv
+from repro.errors import GeometryError
+from repro.fem import build_axisym_grids, build_cartesian_grids, grid_via_positions
+from repro.fem.voxelize import squared_via_dimensions
+from repro.units import um
+
+
+@pytest.fixture()
+def setup():
+    stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+    return stack, paper_tsv(radius=um(5), liner_thickness=um(1)), PowerSpec()
+
+
+class TestAxisymGrids:
+    def test_total_source_power_preserved(self, setup):
+        stack, via, power = setup
+        grids = build_axisym_grids(stack, via, power)
+        ring = math.pi * (grids.r_edges[1:] ** 2 - grids.r_edges[:-1] ** 2)
+        volume = ring[:, None] * np.diff(grids.z_edges)[None, :]
+        total = np.sum(grids.source_density * volume)
+        assert total == pytest.approx(power.total_heat(stack), rel=1e-9)
+
+    def test_power_scale_applies(self, setup):
+        stack, via, power = setup
+        grids = build_axisym_grids(
+            stack, via, power, cell_area=stack.footprint_area / 4, power_scale=0.25
+        )
+        ring = math.pi * (grids.r_edges[1:] ** 2 - grids.r_edges[:-1] ** 2)
+        volume = ring[:, None] * np.diff(grids.z_edges)[None, :]
+        total = np.sum(grids.source_density * volume)
+        assert total == pytest.approx(power.total_heat(stack) / 4, rel=1e-9)
+
+    def test_copper_on_axis_within_span(self, setup):
+        stack, via, power = setup
+        grids = build_axisym_grids(stack, via, power)
+        z_bottom, z_top = stack.tsv_span(via.extension)
+        zc = 0.5 * (grids.z_edges[:-1] + grids.z_edges[1:])
+        inside = (zc > z_bottom) & (zc < z_top)
+        assert np.all(grids.conductivity[0, inside] == pytest.approx(400.0))
+        assert not np.any(grids.conductivity[0, ~inside] == pytest.approx(400.0))
+
+    def test_liner_ring_present(self, setup):
+        stack, via, power = setup
+        grids = build_axisym_grids(stack, via, power)
+        rc = 0.5 * (grids.r_edges[:-1] + grids.r_edges[1:])
+        ring_cells = (rc > via.radius) & (rc < via.outer_radius)
+        zc = 0.5 * (grids.z_edges[:-1] + grids.z_edges[1:])
+        z_bottom, z_top = stack.tsv_span(via.extension)
+        inside = (zc > z_bottom) & (zc < z_top)
+        block = grids.conductivity[np.ix_(ring_cells, inside)]
+        assert np.all(block == pytest.approx(1.4))
+
+    def test_no_source_inside_via(self, setup):
+        stack, via, power = setup
+        grids = build_axisym_grids(stack, via, power)
+        rc = 0.5 * (grids.r_edges[:-1] + grids.r_edges[1:])
+        inside_via = rc < via.outer_radius
+        # device layers are crossed by the via -> no heat under it
+        z_top = stack.substrate_top(1)
+        zc = 0.5 * (grids.z_edges[:-1] + grids.z_edges[1:])
+        band = (zc > z_top - um(1)) & (zc < z_top)
+        assert np.all(grids.source_density[np.ix_(inside_via, band)] == 0.0)
+
+    def test_plane_bands_cover_planes(self, setup):
+        stack, via, power = setup
+        grids = build_axisym_grids(stack, via, power)
+        assert len(grids.plane_bands) == 3
+        assert grids.plane_bands[0][0] == pytest.approx(0.0)
+        assert grids.plane_bands[-1][1] == pytest.approx(stack.total_height)
+
+    def test_via_must_fit_cell(self, setup):
+        stack, via, power = setup
+        with pytest.raises(GeometryError):
+            build_axisym_grids(stack, via, power, cell_area=via.occupied_area / 2)
+
+
+class TestSquaredVia:
+    def test_metal_area_preserved(self):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        half, _liner = squared_via_dimensions(via)
+        assert (2 * half) ** 2 == pytest.approx(via.metal_area)
+
+    def test_liner_resistance_preserved(self):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        half, t = squared_via_dimensions(via)
+        s = 2 * half
+        square_ring = t / (4.0 * (s + t))  # per unit height and conductivity
+        shell = math.log(via.outer_radius / via.radius) / (2 * math.pi)
+        assert square_ring == pytest.approx(shell, rel=1e-9)
+
+
+class TestCartesianGrids:
+    def test_grid_positions_square_counts(self):
+        pos = grid_via_positions(9, 1.0, 1.0)
+        assert len(pos) == 9
+        xs = sorted({round(p[0], 9) for p in pos})
+        assert xs == [pytest.approx(1 / 6), pytest.approx(0.5), pytest.approx(5 / 6)]
+
+    def test_grid_positions_two(self):
+        pos = grid_via_positions(2, 1.0, 1.0)
+        assert len(pos) == 2
+        assert pos[0][1] == pos[1][1]  # same row
+
+    def test_grid_positions_rejects_zero(self):
+        with pytest.raises(GeometryError):
+            grid_via_positions(0, 1.0, 1.0)
+
+    def test_source_power_preserved(self, setup):
+        stack, via, power = setup
+        grids = build_cartesian_grids(stack, via, power, nx=16, ny=16, nz=40)
+        volume = (
+            np.diff(grids.x_edges)[:, None, None]
+            * np.diff(grids.y_edges)[None, :, None]
+            * np.diff(grids.z_edges)[None, None, :]
+        )
+        total = np.sum(grids.source_density * volume)
+        assert total == pytest.approx(power.total_heat(stack), rel=1e-9)
+
+    def test_metal_volume_matches_squared_via(self, setup):
+        stack, via, power = setup
+        grids = build_cartesian_grids(stack, via, power, nx=16, ny=16, nz=40)
+        zc = 0.5 * (grids.z_edges[:-1] + grids.z_edges[1:])
+        z_bottom, z_top = stack.tsv_span(via.extension)
+        j = int(np.argmax((zc > z_bottom) & (zc < z_top)))
+        cell_area = np.outer(np.diff(grids.x_edges), np.diff(grids.y_edges))
+        metal_area = np.sum(cell_area[grids.conductivity[:, :, j] == 400.0])
+        assert metal_area == pytest.approx(via.metal_area, rel=1e-6)
+
+    def test_bad_style_rejected(self, setup):
+        stack, via, power = setup
+        with pytest.raises(GeometryError):
+            build_cartesian_grids(stack, via, power, via_style="hexagon")

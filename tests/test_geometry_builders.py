@@ -1,0 +1,62 @@
+"""Builder functions and geometric validation."""
+
+import pytest
+
+from repro import constants, paper_stack, paper_tsv
+from repro.errors import GeometryError
+from repro.geometry import validate_tsv_in_stack
+from repro.materials import BCB, TUNGSTEN
+from repro.units import um
+
+
+class TestPaperStack:
+    def test_defaults_match_section_iv(self):
+        stack = paper_stack()
+        assert stack.footprint_area == pytest.approx(constants.PAPER_FOOTPRINT_AREA)
+        assert stack.planes[0].substrate.thickness == pytest.approx(um(500))
+        assert stack.sink_temperature == pytest.approx(27.0)
+        assert stack.bonds[0].material.name == "polyimide"
+
+    def test_custom_materials(self):
+        stack = paper_stack(bond_material=BCB)
+        assert stack.bonds[0].material is BCB
+
+    def test_plane_names_sequential(self):
+        stack = paper_stack(n_planes=4)
+        assert [p.name for p in stack.planes] == [
+            "plane1", "plane2", "plane3", "plane4",
+        ]
+
+    def test_single_plane_needs_no_upper_thickness(self):
+        stack = paper_stack(n_planes=1)
+        assert stack.n_planes == 1
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(Exception):
+            paper_stack(n_planes=0)
+
+
+class TestPaperTSV:
+    def test_defaults(self):
+        via = paper_tsv()
+        assert via.radius == pytest.approx(um(5))
+        assert via.extension == pytest.approx(constants.PAPER_L_EXT)
+
+    def test_custom_fill(self):
+        from repro.geometry import TSV
+
+        via = TSV(radius=um(2), liner_thickness=um(0.2), fill=TUNGSTEN)
+        assert via.fill.thermal_conductivity == pytest.approx(173.0)
+
+
+class TestValidation:
+    def test_fitting_via_passes(self):
+        validate_tsv_in_stack(paper_stack(), paper_tsv())
+
+    def test_oversized_via_rejected(self):
+        with pytest.raises(GeometryError):
+            validate_tsv_in_stack(paper_stack(), paper_tsv(radius=um(60)))
+
+    def test_too_deep_extension_rejected(self):
+        with pytest.raises(GeometryError):
+            validate_tsv_in_stack(paper_stack(), paper_tsv(extension=um(501)))

@@ -1,0 +1,106 @@
+"""Layer and DevicePlane tests."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import DevicePlane, Layer, LayerKind, bond, dielectric, substrate
+from repro.materials import POLYIMIDE, SILICON, SILICON_DIOXIDE
+from repro.units import um
+
+
+class TestLayer:
+    def test_constructors_set_kinds(self):
+        assert substrate("Si", um(50), SILICON).kind is LayerKind.SUBSTRATE
+        assert dielectric("ILD", um(5), SILICON_DIOXIDE).kind is LayerKind.DIELECTRIC
+        assert bond("b", um(1), POLYIMIDE).kind is LayerKind.BOND
+
+    def test_conductivity_from_material(self):
+        layer = substrate("Si", um(50), SILICON)
+        assert layer.conductivity == SILICON.thermal_conductivity
+
+    def test_vertical_resistance(self):
+        layer = dielectric("ILD", um(7), SILICON_DIOXIDE)
+        area = um(100) * um(100)
+        expected = um(7) / (1.4 * area)
+        assert layer.vertical_resistance(area) == pytest.approx(expected)
+
+    def test_vertical_resistance_rejects_bad_area(self):
+        layer = dielectric("ILD", um(7), SILICON_DIOXIDE)
+        with pytest.raises(Exception):
+            layer.vertical_resistance(0.0)
+
+    def test_with_thickness(self):
+        layer = substrate("Si", um(50), SILICON)
+        thicker = layer.with_thickness(um(80))
+        assert thicker.thickness == pytest.approx(um(80))
+        assert layer.thickness == pytest.approx(um(50))
+
+    def test_rejects_zero_thickness(self):
+        with pytest.raises(Exception):
+            substrate("Si", 0.0, SILICON)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(GeometryError):
+            substrate("", um(1), SILICON)
+
+    def test_rejects_non_material(self):
+        with pytest.raises(GeometryError):
+            Layer("Si", um(1), "silicon", LayerKind.SUBSTRATE)
+
+    def test_rejects_non_kind(self):
+        with pytest.raises(GeometryError):
+            Layer("Si", um(1), SILICON, "substrate")
+
+
+class TestDevicePlane:
+    def _plane(self, t_si=um(45), t_dev=um(1)):
+        return DevicePlane(
+            name="p",
+            substrate=substrate("Si", t_si, SILICON),
+            ild=dielectric("ILD", um(7), SILICON_DIOXIDE),
+            device_layer_thickness=t_dev,
+        )
+
+    def test_thickness_sums_substrate_and_ild(self):
+        assert self._plane().thickness == pytest.approx(um(52))
+
+    def test_device_layer_must_fit_substrate(self):
+        with pytest.raises(GeometryError):
+            self._plane(t_si=um(1), t_dev=um(1))
+
+    def test_substrate_kind_enforced(self):
+        with pytest.raises(GeometryError):
+            DevicePlane(
+                name="p",
+                substrate=dielectric("x", um(10), SILICON_DIOXIDE),
+                ild=dielectric("ILD", um(7), SILICON_DIOXIDE),
+                device_layer_thickness=um(1),
+            )
+
+    def test_ild_kind_enforced(self):
+        with pytest.raises(GeometryError):
+            DevicePlane(
+                name="p",
+                substrate=substrate("Si", um(45), SILICON),
+                ild=substrate("x", um(7), SILICON),
+                device_layer_thickness=um(1),
+            )
+
+    def test_with_substrate_thickness(self):
+        plane = self._plane()
+        thick = plane.with_substrate_thickness(um(80))
+        assert thick.substrate.thickness == pytest.approx(um(80))
+        assert thick.ild.thickness == plane.ild.thickness
+
+    def test_with_ild_thickness(self):
+        plane = self._plane()
+        assert plane.with_ild_thickness(um(4)).ild.thickness == pytest.approx(um(4))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GeometryError):
+            DevicePlane(
+                name="",
+                substrate=substrate("Si", um(45), SILICON),
+                ild=dielectric("ILD", um(7), SILICON_DIOXIDE),
+                device_layer_thickness=um(1),
+            )

@@ -1,0 +1,86 @@
+"""PowerSpec tests: density mode, per-plane mode, unit-cell scaling."""
+
+import pytest
+
+from repro import PowerSpec, constants, paper_stack
+from repro.errors import ValidationError
+from repro.units import um
+
+
+class TestDensityMode:
+    def test_device_heat_matches_hand_calculation(self):
+        stack = paper_stack()  # A0 = 1e-8 m^2, device layer 1 um
+        spec = PowerSpec()
+        expected = constants.PAPER_DEVICE_POWER_DENSITY * 1e-8 * um(1)
+        assert spec.device_heat(stack, 0) == pytest.approx(expected)
+
+    def test_ild_heat_scales_with_thickness(self):
+        spec = PowerSpec()
+        thin = paper_stack(t_ild=um(4))
+        thick = paper_stack(t_ild=um(8))
+        assert spec.ild_heat(thick, 0) == pytest.approx(2 * spec.ild_heat(thin, 0))
+
+    def test_plane_heat_is_sum(self):
+        stack = paper_stack()
+        spec = PowerSpec()
+        assert spec.plane_heat(stack, 1) == pytest.approx(
+            spec.device_heat(stack, 1) + spec.ild_heat(stack, 1)
+        )
+
+    def test_total_heat(self):
+        stack = paper_stack()
+        spec = PowerSpec()
+        assert spec.total_heat(stack) == pytest.approx(
+            sum(spec.plane_heat(stack, j) for j in range(3))
+        )
+
+    def test_density_round_trip(self):
+        stack = paper_stack()
+        spec = PowerSpec()
+        assert spec.device_density(stack, 0) == pytest.approx(
+            constants.PAPER_DEVICE_POWER_DENSITY
+        )
+        assert spec.ild_density(stack, 0) == pytest.approx(
+            constants.PAPER_ILD_POWER_DENSITY
+        )
+
+    def test_plane_index_out_of_range(self):
+        with pytest.raises(ValidationError):
+            PowerSpec().plane_heat(paper_stack(), 3)
+
+
+class TestPlanePowersMode:
+    def test_plane_totals(self):
+        stack = paper_stack()
+        spec = PowerSpec(plane_powers=(70.0, 7.0, 7.0), ild_fraction=0.1)
+        assert spec.plane_heat(stack, 0) == pytest.approx(70.0)
+        assert spec.device_heat(stack, 0) == pytest.approx(63.0)
+        assert spec.ild_heat(stack, 0) == pytest.approx(7.0)
+
+    def test_plane_powers_length_checked(self):
+        stack = paper_stack()
+        spec = PowerSpec(plane_powers=(70.0, 7.0))
+        with pytest.raises(ValidationError):
+            spec.plane_heat(stack, 0)
+
+    def test_scaled_to_area(self):
+        stack = paper_stack()
+        spec = PowerSpec(plane_powers=(70.0, 7.0, 7.0))
+        cell = spec.scaled_to_area(stack, stack.footprint_area / 100.0)
+        assert cell.plane_powers[0] == pytest.approx(0.7)
+
+    def test_scaled_to_area_noop_in_density_mode(self):
+        spec = PowerSpec()
+        assert spec.scaled_to_area(paper_stack(), 1e-9) is spec
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(Exception):
+            PowerSpec(plane_powers=(70.0, -1.0, 7.0))
+
+    def test_rejects_empty_powers(self):
+        with pytest.raises(ValidationError):
+            PowerSpec(plane_powers=())
+
+    def test_rejects_bad_ild_fraction(self):
+        with pytest.raises(ValidationError):
+            PowerSpec(ild_fraction=1.0)

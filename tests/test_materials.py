@@ -1,0 +1,127 @@
+"""Material type, library and effective-medium tests."""
+
+import pytest
+
+from repro import constants
+from repro.errors import MaterialError
+from repro.materials import (
+    COPPER,
+    POLYIMIDE,
+    SILICON,
+    SILICON_DIOXIDE,
+    Material,
+    effective_ild_conductivity,
+    get,
+    maxwell_eucken,
+    names,
+    parallel_bound,
+    register,
+    series_bound,
+)
+
+
+class TestMaterial:
+    def test_basic_construction(self):
+        m = Material("test", thermal_conductivity=10.0)
+        assert m.k == 10.0
+
+    def test_rejects_non_positive_conductivity(self):
+        with pytest.raises(Exception):
+            Material("bad", thermal_conductivity=0.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(MaterialError):
+            Material("", thermal_conductivity=1.0)
+
+    def test_volumetric_heat_capacity(self):
+        m = Material("m", thermal_conductivity=1.0, density=1000.0, specific_heat=500.0)
+        assert m.volumetric_heat_capacity == pytest.approx(5e5)
+
+    def test_volumetric_heat_capacity_requires_data(self):
+        m = Material("m", thermal_conductivity=1.0)
+        with pytest.raises(MaterialError):
+            _ = m.volumetric_heat_capacity
+
+    def test_conductivity_at_reference(self):
+        assert SILICON.conductivity_at(300.0) == pytest.approx(SILICON.k)
+
+    def test_conductivity_falls_with_temperature_for_silicon(self):
+        assert SILICON.conductivity_at(350.0) < SILICON.k
+
+    def test_conductivity_at_rejects_nonpositive_result(self):
+        m = Material("m", thermal_conductivity=1.0, conductivity_slope=-1.0)
+        with pytest.raises(MaterialError):
+            m.conductivity_at(400.0)
+
+    def test_with_conductivity_copies(self):
+        m = SILICON_DIOXIDE.with_conductivity(2.0)
+        assert m.k == 2.0
+        assert SILICON_DIOXIDE.k == constants.K_SILICON_DIOXIDE
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SILICON.thermal_conductivity = 5.0
+
+
+class TestLibrary:
+    def test_paper_conductivities(self):
+        assert SILICON_DIOXIDE.k == pytest.approx(1.4)
+        assert POLYIMIDE.k == pytest.approx(0.15)
+        assert COPPER.k == pytest.approx(400.0)
+
+    def test_get_known(self):
+        assert get("silicon") is SILICON
+
+    def test_get_unknown_lists_names(self):
+        with pytest.raises(MaterialError, match="silicon"):
+            get("unobtainium")
+
+    def test_names_sorted(self):
+        ns = names()
+        assert ns == sorted(ns)
+        assert "copper" in ns
+
+    def test_register_and_get(self):
+        m = Material("test_register_xyz", thermal_conductivity=3.0)
+        register(m)
+        try:
+            assert get("test_register_xyz") is m
+        finally:
+            register(m, overwrite=True)  # leave registry consistent
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(MaterialError):
+            register(SILICON)
+
+
+class TestEffectiveMedium:
+    def test_parallel_upper_bound(self):
+        assert parallel_bound(1.0, 100.0, 0.5) == pytest.approx(50.5)
+
+    def test_series_lower_bound(self):
+        assert series_bound(1.0, 100.0, 0.5) == pytest.approx(1.0 / (0.5 + 0.005))
+
+    def test_maxwell_between_bounds(self):
+        km, ki, f = 1.4, 400.0, 0.2
+        me = maxwell_eucken(km, ki, f)
+        assert series_bound(km, ki, f) < me < parallel_bound(km, ki, f)
+
+    def test_maxwell_limits(self):
+        assert maxwell_eucken(1.4, 400.0, 0.0) == pytest.approx(1.4)
+        assert maxwell_eucken(1.4, 400.0, 1.0) == pytest.approx(400.0)
+
+    def test_effective_ild_increases_kd(self):
+        eff = effective_ild_conductivity(SILICON_DIOXIDE, COPPER, 0.2)
+        assert eff.k > SILICON_DIOXIDE.k
+
+    def test_effective_ild_unknown_model(self):
+        with pytest.raises(MaterialError):
+            effective_ild_conductivity(SILICON_DIOXIDE, COPPER, 0.2, model="magic")
+
+    def test_effective_ild_name_mentions_components(self):
+        eff = effective_ild_conductivity(SILICON_DIOXIDE, COPPER, 0.25)
+        assert "copper" in eff.name
+
+    def test_monotonic_in_fraction(self):
+        ks = [maxwell_eucken(1.4, 400.0, f) for f in (0.0, 0.1, 0.2, 0.4)]
+        assert ks == sorted(ks)

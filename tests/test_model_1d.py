@@ -1,0 +1,78 @@
+"""The 1-D baseline: its defining blind spots are features to test."""
+
+import pytest
+
+from repro import Model1D, ModelA, TSVCluster, paper_stack, paper_tsv
+from repro.core.model_1d import build_1d_links
+from repro.geometry import as_cluster
+from repro.units import um
+
+
+class TestModel1D:
+    def test_insensitive_to_cluster_splitting(self, thin_stack, block_power):
+        # constant metal area -> the 1-D model cannot see the split (the
+        # only residual coupling is the liner footprint nibbling the bulk
+        # area, a fraction of a percent)
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        rises = [
+            Model1D(include_liner_area=False)
+            .solve(thin_stack, TSVCluster(via, n), block_power)
+            .max_rise
+            for n in (1, 2, 4, 9, 16)
+        ]
+        assert max(rises) - min(rises) < 0.005 * max(rises)
+
+    def test_nearly_insensitive_to_liner(self, block_stack, block_power):
+        rises = [
+            Model1D().solve(
+                block_stack, paper_tsv(radius=um(5), liner_thickness=um(t)), block_power
+            ).max_rise
+            for t in (0.5, 3.0)
+        ]
+        spread = abs(rises[1] - rises[0]) / rises[0]
+        assert spread < 0.02  # the paper's FEM moves ~11% over this range
+
+    def test_monotonic_in_substrate_thickness(self, block_power):
+        # no lateral relief: thicker substrate only adds vertical resistance
+        via = paper_tsv(radius=um(8), liner_thickness=um(1))
+        rises = []
+        for t_si in (5.0, 20.0, 45.0, 80.0):
+            stack = paper_stack(t_si_upper=um(t_si), t_ild=um(7), t_bond=um(1))
+            rises.append(Model1D().solve(stack, via, block_power).max_rise)
+        assert rises == sorted(rises)
+
+    def test_overestimates_coefficient_models(self, block_stack, block_tsv, block_power):
+        one_d = Model1D().solve(block_stack, block_tsv, block_power).max_rise
+        model_a = ModelA().solve(block_stack, block_tsv, block_power).max_rise
+        assert one_d > model_a
+
+    def test_rise_falls_with_radius(self, block_stack, block_power):
+        rises = [
+            Model1D().solve(
+                block_stack, paper_tsv(radius=um(r), liner_thickness=um(1)), block_power
+            ).max_rise
+            for r in (2.0, 10.0, 20.0)
+        ]
+        assert rises == sorted(rises, reverse=True)
+
+    def test_links_structure(self, block_stack, block_tsv):
+        links, rs = build_1d_links(block_stack, as_cluster(block_tsv))
+        assert len(links) == 3
+        assert rs > 0.0
+        for link in links:
+            assert link.combined < link.bulk
+            assert link.combined < link.via
+
+    def test_plane_rises_monotone_upward(self, block_stack, block_tsv, block_power):
+        result = Model1D().solve(block_stack, block_tsv, block_power)
+        assert list(result.plane_rises) == sorted(result.plane_rises)
+
+    def test_liner_area_option_changes_little(self, block_stack, block_tsv, block_power):
+        with_liner = Model1D(include_liner_area=True).solve(
+            block_stack, block_tsv, block_power
+        ).max_rise
+        without = Model1D(include_liner_area=False).solve(
+            block_stack, block_tsv, block_power
+        ).max_rise
+        assert with_liner == pytest.approx(without, rel=0.05)
+        assert with_liner <= without  # the ring is an extra parallel path

@@ -1,0 +1,133 @@
+"""Model A: generic network vs literal Eqs. (1)–(6), behaviour checks."""
+
+import pytest
+
+from repro import (
+    ModelA,
+    PowerSpec,
+    TSVCluster,
+    paper_stack,
+    paper_tsv,
+    solve_three_plane_closed_form,
+)
+from repro.core.model_a import build_model_a_circuit, bulk_node, metal_node
+from repro.errors import GeometryError
+from repro.resistances import FittingCoefficients, compute_model_a_resistances
+from repro.units import um
+
+
+class TestClosedFormCrossCheck:
+    """The generic stamper must reproduce the paper's 6x6 system exactly."""
+
+    def test_temperatures_match(self, block_stack, block_tsv, block_power):
+        result = ModelA().solve(block_stack, block_tsv, block_power)
+        closed = solve_three_plane_closed_form(block_stack, block_tsv, block_power)
+        assert result.node_temperatures["t0"] == pytest.approx(closed["T0"])
+        assert result.node_temperatures["bulk1"] == pytest.approx(closed["T1"])
+        assert result.node_temperatures["tsv1"] == pytest.approx(closed["T2"])
+        assert result.node_temperatures["bulk2"] == pytest.approx(closed["T3"])
+        assert result.node_temperatures["tsv2"] == pytest.approx(closed["T4"])
+        assert result.node_temperatures["bulk3"] == pytest.approx(closed["T5"])
+
+    def test_match_across_radii(self, block_stack, block_power):
+        for r in (1.0, 5.0, 15.0):
+            via = paper_tsv(radius=um(r), liner_thickness=um(1))
+            result = ModelA().solve(block_stack, via, block_power)
+            closed = solve_three_plane_closed_form(block_stack, via, block_power)
+            assert result.max_rise == pytest.approx(closed["T5"])
+
+    def test_match_for_cluster(self, block_stack, block_tsv, block_power):
+        cluster = TSVCluster(block_tsv, 4)
+        result = ModelA().solve(block_stack, cluster, block_power)
+        closed = solve_three_plane_closed_form(block_stack, cluster, block_power)
+        assert result.max_rise == pytest.approx(closed["T5"])
+
+    def test_closed_form_needs_three_planes(self, block_tsv, block_power):
+        with pytest.raises(GeometryError):
+            solve_three_plane_closed_form(
+                paper_stack(n_planes=2), block_tsv, block_power
+            )
+
+
+class TestBehaviour:
+    def test_t0_equals_rs_times_total_heat(self, block_stack, block_tsv, block_power):
+        # Eq. (6) emerges from conservation in the network formulation
+        result = ModelA().solve(block_stack, block_tsv, block_power)
+        resistances = ModelA().resistances(block_stack, block_tsv)
+        expected = resistances.rs * block_power.total_heat(block_stack)
+        assert result.node_temperatures["t0"] == pytest.approx(expected)
+
+    def test_top_plane_is_hottest(self, block_stack, block_tsv, block_power):
+        result = ModelA().solve(block_stack, block_tsv, block_power)
+        assert result.max_rise == pytest.approx(result.plane_rises[-1])
+        assert result.plane_rises[0] < result.plane_rises[1] < result.plane_rises[2]
+
+    def test_rise_falls_with_radius(self, block_stack, block_power):
+        rises = [
+            ModelA().solve(
+                block_stack, paper_tsv(radius=um(r), liner_thickness=um(1)), block_power
+            ).max_rise
+            for r in (2.0, 5.0, 10.0, 20.0)
+        ]
+        assert rises == sorted(rises, reverse=True)
+
+    def test_rise_grows_with_liner(self, block_stack, block_power):
+        rises = [
+            ModelA().solve(
+                block_stack, paper_tsv(radius=um(5), liner_thickness=um(t)), block_power
+            ).max_rise
+            for t in (0.5, 1.0, 2.0, 3.0)
+        ]
+        assert rises == sorted(rises)
+
+    def test_cluster_reduces_rise_with_diminishing_returns(
+        self, thin_stack, block_power
+    ):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        rises = [
+            ModelA().solve(thin_stack, TSVCluster(via, n), block_power).max_rise
+            for n in (1, 2, 4, 9, 16)
+        ]
+        assert rises == sorted(rises, reverse=True)
+        gains = [a - b for a, b in zip(rises, rises[1:])]
+        assert gains[0] > gains[-1]
+
+    def test_two_plane_stack(self, block_power):
+        stack = paper_stack(n_planes=2, t_si_upper=um(45))
+        result = ModelA().solve(stack, paper_tsv(), block_power)
+        assert len(result.plane_rises) == 2
+        assert result.max_rise > 0.0
+
+    def test_five_plane_stack(self, block_power):
+        stack = paper_stack(n_planes=5, t_si_upper=um(45))
+        result = ModelA().solve(stack, paper_tsv(), block_power)
+        assert len(result.plane_rises) == 5
+        assert list(result.plane_rises) == sorted(result.plane_rises)
+
+    def test_default_fit_is_paper_block(self):
+        model = ModelA()
+        assert model.fit.k1 == pytest.approx(1.3)
+        assert model.fit.k2 == pytest.approx(0.55)
+
+    def test_metadata_records_fit(self, block_stack, block_tsv, block_power):
+        result = ModelA(FittingCoefficients(1.1, 0.9)).solve(
+            block_stack, block_tsv, block_power
+        )
+        assert result.metadata["k1"] == pytest.approx(1.1)
+        assert result.metadata["k2"] == pytest.approx(0.9)
+
+    def test_zero_power_zero_rise(self, block_stack, block_tsv):
+        spec = PowerSpec(device_power_density=0.0, ild_power_density=0.0)
+        result = ModelA().solve(block_stack, block_tsv, spec)
+        assert result.max_rise == pytest.approx(0.0, abs=1e-15)
+
+    def test_circuit_builder_rejects_mismatched_heats(
+        self, block_stack, block_tsv
+    ):
+        resistances = compute_model_a_resistances(block_stack, block_tsv)
+        with pytest.raises(GeometryError):
+            build_model_a_circuit(resistances, (1.0, 2.0))
+
+    def test_node_names(self):
+        assert bulk_node(0) == "bulk1"
+        assert metal_node(2) == "tsv3"

@@ -1,0 +1,140 @@
+"""Model B: segment schemes, ladder assembly, convergence, conservation."""
+
+import pytest
+
+from repro import ModelB, SegmentScheme, TSVCluster, paper_tsv
+from repro.errors import ValidationError
+from repro.network import GROUND
+from repro.units import um
+
+
+class TestSegmentScheme:
+    def test_paper_convention(self):
+        scheme = SegmentScheme.paper(100)
+        assert scheme.plane_segments == (10, 100, 100)
+
+    def test_paper_convention_minimum_one(self):
+        assert SegmentScheme.paper(1).plane_segments == (1, 1, 1)
+
+    def test_paper_table1_pairs(self):
+        # Table I: (1,1), (2,20), (10,100), (50,500)
+        assert SegmentScheme.paper(20, n_first=2).plane_segments == (2, 20, 20)
+        assert SegmentScheme.paper(500).plane_segments == (50, 500, 500)
+
+    def test_total(self):
+        assert SegmentScheme((2, 20, 20)).total == 42
+
+    def test_split_plane1_is_all_ild(self, block_stack):
+        scheme = SegmentScheme.paper(100)
+        n_si, n_ild = scheme.split(block_stack, 0)
+        assert n_si == 0
+        assert n_ild == 10
+
+    def test_split_proportional_to_thickness(self, block_stack):
+        # plane 2: tSi = 45, tD = 7 -> most segments in silicon
+        n_si, n_ild = SegmentScheme.paper(100).split(block_stack, 1)
+        assert n_si + n_ild == 100
+        assert n_si > n_ild
+        assert n_ild >= 1
+
+    def test_split_single_segment(self, block_stack):
+        assert SegmentScheme.paper(1).split(block_stack, 1) == (0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            SegmentScheme(())
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(Exception):
+            SegmentScheme((0, 10, 10))
+
+
+class TestModelB:
+    def test_n_unknowns_tracks_segments(self, block_stack, block_tsv, block_power):
+        result = ModelB(20).solve(block_stack, block_tsv, block_power)
+        scheme = SegmentScheme.paper(20)
+        # 2 nodes per segment + t0; top-plane metal column may be shorter
+        assert result.n_unknowns <= 2 * scheme.total + 1
+        assert result.n_unknowns > scheme.total
+
+    def test_refinement_converges(self, block_stack, block_tsv, block_power):
+        rises = [
+            ModelB(n).solve(block_stack, block_tsv, block_power).max_rise
+            for n in (1, 10, 50, 200, 400)
+        ]
+        gaps = [abs(a - b) for a, b in zip(rises, rises[1:])]
+        assert gaps[-1] < gaps[0] / 5.0  # Cauchy-ish convergence
+        assert abs(rises[-1] - rises[-2]) / rises[-1] < 0.01
+
+    def test_b1_close_to_model_a_unity_shape(self, block_stack, block_tsv, block_power):
+        # B(1) is a lumped network like Model A without coefficients;
+        # it should land in the same range (the paper: 23% max error)
+        from repro import ModelA
+        from repro.resistances import FittingCoefficients
+
+        b1 = ModelB(1).solve(block_stack, block_tsv, block_power).max_rise
+        a_unity = ModelA(FittingCoefficients.unity()).solve(
+            block_stack, block_tsv, block_power
+        ).max_rise
+        assert b1 == pytest.approx(a_unity, rel=0.15)
+
+    def test_energy_conservation(self, block_stack, block_tsv, block_power):
+        model = ModelB(50)
+        scheme = model.segment_scheme(block_stack)
+        from repro.core.model_b import _paper_segments, build_model_b_circuit
+        from repro.geometry import as_cluster
+        from repro.resistances import compute_model_b_resistances
+
+        segments = _paper_segments(
+            block_stack, as_cluster(block_tsv), scheme, block_power, 1.0, False
+        )
+        rs = compute_model_b_resistances(block_stack, block_tsv).rs
+        circuit, _tops = build_model_b_circuit(segments, rs)
+        solution = circuit.solve()
+        assert solution.sink_heat() == pytest.approx(
+            block_power.total_heat(block_stack), rel=1e-9
+        )
+
+    def test_top_plane_hottest(self, block_stack, block_tsv, block_power):
+        result = ModelB(100).solve(block_stack, block_tsv, block_power)
+        assert result.max_rise == pytest.approx(result.plane_rises[-1], rel=1e-6)
+
+    def test_uniform_scheme_close_to_paper_scheme(
+        self, block_stack, block_tsv, block_power
+    ):
+        paper = ModelB(100).solve(block_stack, block_tsv, block_power).max_rise
+        uniform = ModelB(100, scheme="uniform").solve(
+            block_stack, block_tsv, block_power
+        ).max_rise
+        assert uniform == pytest.approx(paper, rel=0.10)
+
+    def test_cluster_support(self, thin_stack, block_power):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        rises = [
+            ModelB(50).solve(thin_stack, TSVCluster(via, n), block_power).max_rise
+            for n in (1, 4, 16)
+        ]
+        assert rises == sorted(rises, reverse=True)
+
+    def test_explicit_scheme_plane_count_checked(
+        self, block_stack, block_tsv, block_power
+    ):
+        model = ModelB(SegmentScheme((5, 50)))
+        with pytest.raises(ValidationError):
+            model.solve(block_stack, block_tsv, block_power)
+
+    def test_invalid_scheme_name(self):
+        with pytest.raises(ValidationError):
+            ModelB(10, scheme="magic")
+
+    def test_name_includes_segments(self):
+        assert ModelB(250).name == "model_b(250)"
+
+    def test_metadata(self, block_stack, block_tsv, block_power):
+        result = ModelB(20).solve(block_stack, block_tsv, block_power)
+        assert result.metadata["plane_segments"] == (2, 20, 20)
+        assert result.metadata["scheme"] == "paper"
+
+    def test_ground_not_in_temperatures(self, block_stack, block_tsv, block_power):
+        result = ModelB(10).solve(block_stack, block_tsv, block_power)
+        assert GROUND not in result.node_temperatures

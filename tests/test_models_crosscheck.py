@@ -1,0 +1,121 @@
+"""Cross-model consistency: the paper's qualitative claims as assertions."""
+
+import pytest
+
+from repro import Model1D, ModelA, ModelB, TSVCluster, paper_stack, paper_tsv
+from repro.analysis import crossover_points, is_monotonic
+from repro.fem import FEMReference
+from repro.resistances import FittingCoefficients
+from repro.units import um
+
+
+class TestFig6NonMonotonicity:
+    """ΔT vs substrate thickness has a minimum for A, B and FEM — not 1-D."""
+
+    @pytest.fixture(scope="class")
+    def series(self, ):
+        thicknesses = [5.0, 10.0, 20.0, 45.0, 80.0]
+        via = paper_tsv(radius=um(8), liner_thickness=um(1))
+        from repro import PowerSpec
+
+        power = PowerSpec()
+        out = {"t": thicknesses, "a": [], "b": [], "1d": [], "fem": []}
+        for t_si in thicknesses:
+            stack = paper_stack(t_si_upper=um(t_si), t_ild=um(7), t_bond=um(1))
+            out["a"].append(ModelA().solve(stack, via, power).max_rise)
+            out["b"].append(ModelB(100).solve(stack, via, power).max_rise)
+            out["1d"].append(Model1D().solve(stack, via, power).max_rise)
+            out["fem"].append(FEMReference("coarse").solve(stack, via, power).max_rise)
+        return out
+
+    def test_model_a_has_minimum(self, series):
+        assert len(crossover_points(series["t"], series["a"])) >= 1
+
+    def test_model_b_has_minimum(self, series):
+        assert len(crossover_points(series["t"], series["b"])) >= 1
+
+    def test_fem_has_minimum(self, series):
+        assert len(crossover_points(series["t"], series["fem"])) >= 1
+
+    def test_1d_is_monotonic(self, series):
+        assert is_monotonic(series["1d"], increasing=True)
+
+    def test_minimum_location_plausible(self, series):
+        # the paper puts the FEM minimum around 20 um
+        points = crossover_points(series["t"], series["fem"])
+        assert any(5.0 < p < 60.0 for p in points)
+
+
+class TestModelOrderings:
+    def test_b1_worse_than_b100_vs_fem(self, block_stack, block_tsv, block_power):
+        fem = FEMReference("coarse").solve(block_stack, block_tsv, block_power).max_rise
+        b1 = ModelB(1).solve(block_stack, block_tsv, block_power).max_rise
+        b100 = ModelB(100).solve(block_stack, block_tsv, block_power).max_rise
+        assert abs(b100 - fem) < abs(b1 - fem)
+
+    def test_b_runtime_grows_with_segments(self, block_stack, block_tsv, block_power):
+        t20 = ModelB(20).solve(block_stack, block_tsv, block_power)
+        t500 = ModelB(500).solve(block_stack, block_tsv, block_power)
+        assert t500.solve_time > t20.solve_time
+        assert t500.n_unknowns > t20.n_unknowns
+
+    def test_unity_model_a_close_to_b1(self, block_stack, block_tsv, block_power):
+        a = ModelA(FittingCoefficients.unity()).solve(
+            block_stack, block_tsv, block_power
+        )
+        b1 = ModelB(1).solve(block_stack, block_tsv, block_power)
+        assert a.max_rise == pytest.approx(b1.max_rise, rel=0.15)
+
+    def test_all_models_agree_on_radius_trend(self, block_stack, block_power):
+        for model in (ModelA(), ModelB(50), Model1D(), FEMReference("coarse")):
+            rises = [
+                model.solve(
+                    block_stack,
+                    paper_tsv(radius=um(r), liner_thickness=um(1)),
+                    block_power,
+                ).max_rise
+                for r in (2.0, 8.0, 16.0)
+            ]
+            assert rises == sorted(rises, reverse=True), model.name
+
+
+class TestClusterAgreement:
+    def test_a_b_fem_all_fall_with_n(self, thin_stack, block_power):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        for model in (ModelA(), ModelB(50), FEMReference("coarse")):
+            rises = [
+                model.solve(thin_stack, TSVCluster(via, n), block_power).max_rise
+                for n in (1, 4, 16)
+            ]
+            assert rises == sorted(rises, reverse=True), model.name
+
+    def test_saturation(self, thin_stack, block_power):
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        rises = [
+            ModelA().solve(thin_stack, TSVCluster(via, n), block_power).max_rise
+            for n in (1, 2, 4, 9, 16)
+        ]
+        gains = [a - b for a, b in zip(rises, rises[1:])]
+        assert gains[-1] < gains[0] / 2.0
+
+
+class TestLinerAgreement:
+    def test_a_b_fem_grow_with_liner_1d_flat(self, block_stack, block_power):
+        liners = (0.5, 1.5, 3.0)
+        series = {}
+        for model in (ModelA(), ModelB(50), Model1D(), FEMReference("coarse")):
+            series[model.name] = [
+                model.solve(
+                    block_stack,
+                    paper_tsv(radius=um(5), liner_thickness=um(t)),
+                    block_power,
+                ).max_rise
+                for t in liners
+            ]
+        for name in ("model_a", "model_b(50)", "fem"):
+            assert series[name] == sorted(series[name]), name
+        spread_1d = (max(series["model_1d"]) - min(series["model_1d"])) / min(
+            series["model_1d"]
+        )
+        spread_fem = (max(series["fem"]) - min(series["fem"])) / min(series["fem"])
+        assert spread_1d < spread_fem / 3.0

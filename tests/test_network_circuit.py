@@ -1,0 +1,169 @@
+"""ThermalCircuit: stamping, validation, solving, conservation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import NetworkError
+from repro.network import GROUND, ThermalCircuit
+
+
+def ladder(n: int, r: float = 1.0, q: float = 1.0) -> ThermalCircuit:
+    """A simple n-node series ladder to ground with heat at the far end."""
+    circuit = ThermalCircuit()
+    prev = GROUND
+    for i in range(n):
+        circuit.add_resistor(prev, f"n{i}", r)
+        prev = f"n{i}"
+    circuit.add_source(prev, q)
+    return circuit
+
+
+class TestConstruction:
+    def test_nodes_created_implicitly(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", "b", 1.0)
+        assert set(c.nodes) == {"a", "b"}
+
+    def test_ground_not_a_node(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 1.0)
+        assert c.nodes == ["a"]
+
+    def test_self_loop_rejected(self):
+        c = ThermalCircuit()
+        with pytest.raises(NetworkError):
+            c.add_resistor("a", "a", 1.0)
+
+    def test_non_positive_resistance_rejected(self):
+        c = ThermalCircuit()
+        with pytest.raises(Exception):
+            c.add_resistor("a", "b", 0.0)
+
+    def test_source_into_ground_rejected(self):
+        c = ThermalCircuit()
+        with pytest.raises(NetworkError):
+            c.add_source(GROUND, 1.0)
+
+    def test_node_index_unknown(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 1.0)
+        with pytest.raises(NetworkError):
+            c.node_index("zzz")
+
+
+class TestValidation:
+    def test_floating_node_detected(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 1.0)
+        c.add_resistor("x", "y", 1.0)  # island
+        with pytest.raises(NetworkError, match="no path to ground"):
+            c.validate()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetworkError):
+            ThermalCircuit().validate()
+
+    def test_connected_circuit_passes(self):
+        ladder(5).validate()
+
+
+class TestSolve:
+    def test_single_resistor(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 2.0)
+        c.add_source("a", 3.0)
+        assert c.solve()["a"] == pytest.approx(6.0)
+
+    def test_series_ladder(self):
+        # q=1 W through 3 series 1-K/W resistors: T = 3, 2, 1 from the top
+        sol = ladder(3).solve()
+        assert sol["n0"] == pytest.approx(1.0)
+        assert sol["n1"] == pytest.approx(2.0)
+        assert sol["n2"] == pytest.approx(3.0)
+
+    def test_parallel_resistors(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 2.0)
+        c.add_resistor("a", GROUND, 2.0)
+        c.add_source("a", 1.0)
+        assert c.solve()["a"] == pytest.approx(1.0)
+
+    def test_ground_reads_zero(self):
+        sol = ladder(2).solve()
+        assert sol[GROUND] == 0.0
+
+    def test_unknown_node_in_solution(self):
+        sol = ladder(2).solve()
+        with pytest.raises(NetworkError):
+            sol["missing"]
+
+    def test_max_rise_and_hottest_node(self):
+        sol = ladder(4).solve()
+        assert sol.max_rise == pytest.approx(4.0)
+        assert sol.hottest_node == "n3"
+
+    def test_negative_source_cools(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 1.0)
+        c.add_source("a", -2.0)
+        assert c.solve()["a"] == pytest.approx(-2.0)
+
+    def test_energy_conservation(self):
+        c = ladder(6, r=0.7, q=2.5)
+        c.add_resistor("n5", GROUND, 3.0)  # extra parallel path
+        sol = c.solve()
+        assert sol.sink_heat() == pytest.approx(2.5, rel=1e-10)
+
+    def test_heat_flow_through_edge(self):
+        sol = ladder(3).solve()
+        assert sol.heat_flow("n2", "n1") == pytest.approx(1.0)
+        assert sol.heat_flow("n1", "n2") == pytest.approx(-1.0)
+
+    def test_heat_flow_requires_edge(self):
+        sol = ladder(3).solve()
+        with pytest.raises(NetworkError):
+            sol.heat_flow("n0", "n2")
+
+    def test_superposition(self):
+        c1 = ladder(4, q=1.0)
+        c2 = ladder(4, q=2.0)
+        c3 = ladder(4, q=3.0)
+        t1 = c1.solve()["n3"]
+        t2 = c2.solve()["n3"]
+        t3 = c3.solve()["n3"]
+        assert t1 + t2 == pytest.approx(t3)
+
+
+class TestMatrixAssembly:
+    def test_matrix_is_symmetric(self):
+        c = ladder(8)
+        c.add_resistor("n2", "n6", 0.5)
+        g = c.conductance_matrix(sparse=False)
+        assert np.allclose(g, g.T)
+
+    def test_sparse_dense_agree(self):
+        c = ladder(10)
+        dense = c.conductance_matrix(sparse=False)
+        sparse = c.conductance_matrix(sparse=True)
+        assert sp.issparse(sparse)
+        assert np.allclose(dense, sparse.toarray())
+
+    def test_diagonal_dominance(self):
+        c = ladder(5)
+        c.add_resistor("n1", "n3", 2.0)
+        g = c.conductance_matrix(sparse=False)
+        off = np.abs(g).sum(axis=1) - np.abs(np.diag(g))
+        assert np.all(np.diag(g) >= off - 1e-12)
+
+    def test_source_vector_accumulates(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 1.0)
+        c.add_source("a", 1.0)
+        c.add_source("a", 2.5)
+        assert c.source_vector()[c.node_index("a")] == pytest.approx(3.5)
+
+    def test_large_ladder_sparse_path(self):
+        # exceeds the dense cutoff; exercises the sparse solver
+        sol = ladder(500).solve()
+        assert sol["n499"] == pytest.approx(500.0)

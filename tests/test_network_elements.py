@@ -1,0 +1,54 @@
+"""Network element primitives."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import GROUND, Capacitor, HeatSource, Resistor
+
+
+class TestResistor:
+    def test_conductance(self):
+        assert Resistor("a", "b", 4.0).conductance == pytest.approx(0.25)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkError):
+            Resistor("a", "a", 1.0)
+
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(Exception):
+            Resistor("a", "b", 0.0)
+
+    def test_label_in_error(self):
+        with pytest.raises(Exception, match="R42"):
+            Resistor("a", "b", -1.0, "R42")
+
+    def test_frozen(self):
+        r = Resistor("a", "b", 1.0)
+        with pytest.raises(Exception):
+            r.resistance = 2.0
+
+
+class TestHeatSource:
+    def test_negative_power_allowed(self):
+        assert HeatSource("a", -1.0).power == -1.0
+
+    def test_ground_injection_rejected(self):
+        with pytest.raises(NetworkError):
+            HeatSource(GROUND, 1.0)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(NetworkError):
+            HeatSource("a", "hot")
+
+
+class TestCapacitor:
+    def test_zero_capacitance_allowed(self):
+        assert Capacitor("a", 0.0).capacitance == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            Capacitor("a", -1.0)
+
+    def test_ground_rejected(self):
+        with pytest.raises(NetworkError):
+            Capacitor(GROUND, 1.0)

@@ -1,0 +1,95 @@
+"""Graph analysis helpers: networkx export, effective resistance, paths."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    GROUND,
+    ThermalCircuit,
+    dominant_paths,
+    effective_resistance,
+    to_networkx,
+)
+
+
+def diamond() -> ThermalCircuit:
+    """Two parallel two-hop paths from 'top' to ground."""
+    c = ThermalCircuit()
+    c.add_resistor("top", "left", 1.0)
+    c.add_resistor("left", GROUND, 1.0)
+    c.add_resistor("top", "right", 2.0)
+    c.add_resistor("right", GROUND, 2.0)
+    return c
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges(self):
+        g = to_networkx(diamond())
+        assert g.number_of_edges() == 4
+        assert GROUND in g
+
+    def test_edge_attributes(self):
+        g = to_networkx(diamond())
+        datas = [d for *_e, d in g.edges(data=True)]
+        assert all("resistance" in d for d in datas)
+
+    def test_multigraph_keeps_parallel_edges(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 1.0)
+        c.add_resistor("a", GROUND, 2.0)
+        assert to_networkx(c).number_of_edges() == 2
+
+
+class TestEffectiveResistance:
+    def test_series(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", "b", 1.0)
+        c.add_resistor("b", GROUND, 2.0)
+        assert effective_resistance(c, "a") == pytest.approx(3.0)
+
+    def test_parallel_paths(self):
+        # 2 K/W parallel with 4 K/W = 4/3 K/W
+        assert effective_resistance(diamond(), "top") == pytest.approx(4.0 / 3.0)
+
+    def test_between_two_internal_nodes(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", "b", 5.0)
+        c.add_resistor("b", GROUND, 1.0)
+        assert effective_resistance(c, "a", "b") == pytest.approx(5.0)
+
+    def test_same_node_rejected(self):
+        with pytest.raises(NetworkError):
+            effective_resistance(diamond(), "top", "top")
+
+    def test_matches_networkx_resistance_distance(self):
+        c = diamond()
+        ours = effective_resistance(c, "top")
+        g = nx.Graph()
+        for r in c.resistors:
+            g.add_edge(r.node_a, r.node_b, weight=1.0 / r.resistance)
+        theirs = nx.resistance_distance(g, "top", GROUND, weight="weight", invert_weight=False)
+        assert ours == pytest.approx(theirs)
+
+
+class TestDominantPaths:
+    def test_orders_by_series_resistance(self):
+        paths = dominant_paths(diamond(), "top", limit=2)
+        assert len(paths) == 2
+        assert paths[0][1] == pytest.approx(2.0)  # left branch
+        assert paths[1][1] == pytest.approx(4.0)  # right branch
+        assert paths[0][0] == ["top", "left", GROUND]
+
+    def test_limit_respected(self):
+        assert len(dominant_paths(diamond(), "top", limit=1)) == 1
+
+    def test_unknown_source(self):
+        with pytest.raises(NetworkError):
+            dominant_paths(diamond(), "nope")
+
+    def test_parallel_edges_merged(self):
+        c = ThermalCircuit()
+        c.add_resistor("a", GROUND, 2.0)
+        c.add_resistor("a", GROUND, 2.0)
+        paths = dominant_paths(c, "a", limit=1)
+        assert paths[0][1] == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Linear-system back-ends: dispatch, singularity detection, agreement."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SingularNetworkError
+from repro.network.solve import (
+    DENSE_CUTOFF,
+    solve_dense,
+    solve_linear_system,
+    solve_sparse,
+)
+
+
+def laplacian_chain(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Grounded 1-D chain conductance matrix and a unit-source RHS."""
+    g = np.zeros((n, n))
+    for i in range(n):
+        g[i, i] = 2.0
+        if i > 0:
+            g[i, i - 1] = -1.0
+        if i < n - 1:
+            g[i, i + 1] = -1.0
+    g[n - 1, n - 1] = 1.0  # free top end; grounded at the bottom
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    return g, rhs
+
+
+class TestBackends:
+    def test_dense_solves_chain(self):
+        g, rhs = laplacian_chain(5)
+        t = solve_dense(g, rhs)
+        assert t[-1] == pytest.approx(5.0)
+
+    def test_sparse_matches_dense(self):
+        g, rhs = laplacian_chain(50)
+        dense = solve_dense(g, rhs)
+        sparse = solve_sparse(sp.csr_matrix(g), rhs)
+        assert np.allclose(dense, sparse)
+
+    def test_dispatch_small_dense_input(self):
+        g, rhs = laplacian_chain(10)
+        assert np.allclose(solve_linear_system(g, rhs), solve_dense(g, rhs))
+
+    def test_dispatch_small_sparse_input(self):
+        g, rhs = laplacian_chain(10)
+        out = solve_linear_system(sp.csr_matrix(g), rhs)
+        assert np.allclose(out, solve_dense(g, rhs))
+
+    def test_dispatch_large(self):
+        n = DENSE_CUTOFF + 50
+        g, rhs = laplacian_chain(n)
+        out = solve_linear_system(sp.csr_matrix(g), rhs)
+        assert out[-1] == pytest.approx(float(n))
+
+    def test_dense_singular_raises(self):
+        g = np.zeros((3, 3))
+        with pytest.raises(SingularNetworkError):
+            solve_dense(g, np.ones(3))
+
+    def test_sparse_nonfinite_detected(self):
+        # a floating block makes the system singular; SuperLU returns inf/nan
+        g = sp.csr_matrix(np.diag([1.0, 0.0, 1.0]))
+        with pytest.raises(Exception):
+            solve_sparse(g, np.array([1.0, 1.0, 1.0]))

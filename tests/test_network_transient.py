@@ -1,0 +1,87 @@
+"""Transient RC extension: step response and time constants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError, ValidationError
+from repro.network import GROUND, ThermalCircuit, step_response, time_constants
+
+
+def rc_cell(r: float = 2.0, c: float = 3.0, q: float = 1.5) -> ThermalCircuit:
+    circuit = ThermalCircuit()
+    circuit.add_resistor("a", GROUND, r)
+    circuit.add_capacitor("a", c)
+    circuit.add_source("a", q)
+    return circuit
+
+
+class TestStepResponse:
+    def test_final_value_matches_steady_state(self):
+        circuit = rc_cell()
+        tau = 2.0 * 3.0
+        result = step_response(circuit, t_end=10 * tau, n_steps=400)
+        assert result.final[0] == pytest.approx(1.5 * 2.0, rel=1e-3)
+
+    def test_exponential_rise(self):
+        r, c, q = 2.0, 3.0, 1.5
+        circuit = rc_cell(r, c, q)
+        tau = r * c
+        result = step_response(circuit, t_end=5 * tau, n_steps=2000)
+        trace = result.trace("a")
+        expected = q * r * (1.0 - np.exp(-result.times / tau))
+        assert np.allclose(trace, expected, atol=q * r * 0.01)
+
+    def test_monotone_rise(self):
+        result = step_response(rc_cell(), t_end=10.0, n_steps=100)
+        assert np.all(np.diff(result.trace("a")) >= -1e-12)
+
+    def test_massless_nodes_follow_algebraically(self):
+        circuit = ThermalCircuit()
+        circuit.add_resistor("hot", "mid", 1.0)
+        circuit.add_resistor("mid", GROUND, 1.0)
+        circuit.add_capacitor("hot", 2.0)
+        circuit.add_source("hot", 1.0)
+        result = step_response(circuit, t_end=40.0, n_steps=400)
+        # steady state: hot = 2, mid = 1
+        assert result.trace("hot")[-1] == pytest.approx(2.0, rel=1e-3)
+        assert result.trace("mid")[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_unknown_trace_rejected(self):
+        result = step_response(rc_cell(), t_end=1.0, n_steps=10)
+        with pytest.raises(ValidationError):
+            result.trace("zzz")
+
+    def test_bad_t_end_rejected(self):
+        with pytest.raises(Exception):
+            step_response(rc_cell(), t_end=0.0)
+
+
+class TestTimeConstants:
+    def test_single_rc(self):
+        taus = time_constants(rc_cell(2.0, 3.0), n=1)
+        assert taus[0] == pytest.approx(6.0)
+
+    def test_kron_reduction_preserves_tau(self):
+        # hot --1K/W-- mid --1K/W-- GND with C on hot only:
+        # seen from hot, R = 2, so tau = 2*C
+        circuit = ThermalCircuit()
+        circuit.add_resistor("hot", "mid", 1.0)
+        circuit.add_resistor("mid", GROUND, 1.0)
+        circuit.add_capacitor("hot", 5.0)
+        taus = time_constants(circuit, n=1)
+        assert taus[0] == pytest.approx(10.0)
+
+    def test_requires_capacitance(self):
+        circuit = ThermalCircuit()
+        circuit.add_resistor("a", GROUND, 1.0)
+        with pytest.raises(SolverError):
+            time_constants(circuit)
+
+    def test_sorted_descending(self):
+        circuit = ThermalCircuit()
+        circuit.add_resistor("a", GROUND, 1.0)
+        circuit.add_resistor("b", GROUND, 1.0)
+        circuit.add_capacitor("a", 1.0)
+        circuit.add_capacitor("b", 10.0)
+        taus = time_constants(circuit, n=2)
+        assert taus[0] >= taus[1]

@@ -1,0 +1,142 @@
+"""Planning extension: power maps and the greedy inserter."""
+
+import numpy as np
+import pytest
+
+from repro import Model1D, paper_stack, paper_tsv
+from repro.errors import ValidationError
+from repro.planning import (
+    GreedyPlanner,
+    hotspot_power_map,
+    uniform_power_map,
+)
+from repro.units import mm, um
+
+
+@pytest.fixture()
+def small_stack():
+    # a planning-scale stack: 1 mm x 1 mm, thin upper substrates
+    return paper_stack(
+        t_si_upper=um(45), t_ild=um(7), t_bond=um(1), footprint_area=mm(1) * mm(1)
+    )
+
+
+@pytest.fixture()
+def planner(small_stack):
+    return GreedyPlanner(
+        stack=small_stack, via=paper_tsv(radius=um(10), liner_thickness=um(1))
+    )
+
+
+class TestPowerMap:
+    def test_uniform_map_totals(self):
+        pm = uniform_power_map((2.0, 1.0, 1.0), mm(1), 4)
+        assert pm.total_power == pytest.approx(4.0)
+        assert pm.cell_area == pytest.approx((mm(1) / 4) ** 2)
+
+    def test_cell_center(self):
+        pm = uniform_power_map((1.0,), 1.0, 2)
+        assert pm.cell_center(0, 0) == (pytest.approx(0.25), pytest.approx(0.25))
+        assert pm.cell_center(1, 1) == (pytest.approx(0.75), pytest.approx(0.75))
+
+    def test_cell_center_bounds(self):
+        pm = uniform_power_map((1.0,), 1.0, 2)
+        with pytest.raises(ValidationError):
+            pm.cell_center(2, 0)
+
+    def test_hotspot_adds_power_on_top_plane(self):
+        base = uniform_power_map((1.0, 1.0, 1.0), 1.0, 8)
+        hot = hotspot_power_map(
+            (1.0, 1.0, 1.0), 1.0, 8, hotspots=[(0.5, 0.5, 5.0, 0.1)]
+        )
+        assert hot.total_power == pytest.approx(base.total_power + 5.0)
+        r, c, _p = hot.densest_cells(1)[0]
+        assert (r, c) == (4, 4) or (r, c) == (3, 3) or r in (3, 4) and c in (3, 4)
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValidationError):
+            hotspot_power_map((1.0,), 1.0, 4, hotspots=[(0.5, 0.5, -1.0, 0.1)])
+
+    def test_densest_cells_sorted(self):
+        hot = hotspot_power_map((1.0,), 1.0, 6, hotspots=[(0.2, 0.2, 3.0, 0.05)])
+        cells = hot.densest_cells(3)
+        powers = [p for *_rc, p in cells]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValidationError):
+            uniform_power_map((-1.0,), 1.0, 2)
+
+
+class TestGreedyPlanner:
+    def test_reduces_max_rise(self, planner, small_stack):
+        pm = uniform_power_map((0.5, 0.25, 0.25), small_stack.footprint_side, 3)
+        result = planner.plan(pm, target_rise=1.0, max_total_vias=50)
+        assert result.max_rise < result.initial_rises.max()
+        assert result.total_vias > 0
+
+    def test_converges_to_loose_target(self, planner, small_stack):
+        pm = uniform_power_map((0.2, 0.1, 0.1), small_stack.footprint_side, 2)
+        loose = 0.99 * float(
+            np.max(
+                [
+                    planner.bare_cell_rise(pm.cell_area, pm.plane_cell_power(r, c))
+                    for r in range(2)
+                    for c in range(2)
+                ]
+            )
+        )
+        result = planner.plan(pm, target_rise=loose, max_total_vias=100)
+        assert result.converged
+        assert result.max_rise <= loose
+
+    def test_targets_hotspot_first(self, planner, small_stack):
+        pm = hotspot_power_map(
+            (0.4, 0.2, 0.2),
+            small_stack.footprint_side,
+            3,
+            hotspots=[(0.85, 0.85, 1.0, 0.05)],
+        )
+        result = planner.plan(pm, target_rise=1.0, max_total_vias=3)
+        hot_row, hot_col, _ = pm.densest_cells(1)[0]
+        assert result.history[0][:2] == (hot_row, hot_col)
+
+    def test_budget_respected(self, planner, small_stack):
+        pm = uniform_power_map((5.0, 1.0, 1.0), small_stack.footprint_side, 2)
+        result = planner.plan(pm, target_rise=0.01, max_total_vias=7)
+        assert result.total_vias <= 7
+        assert not result.converged
+
+    def test_via_count_ceiling_per_cell(self, small_stack):
+        planner = GreedyPlanner(
+            stack=small_stack,
+            via=paper_tsv(radius=um(10), liner_thickness=um(1)),
+            max_vias_per_cell=2,
+        )
+        pm = uniform_power_map((5.0, 1.0, 1.0), small_stack.footprint_side, 1)
+        result = planner.plan(pm, target_rise=0.01, max_total_vias=100)
+        assert result.via_counts.max() <= 2
+
+    def test_plane_count_mismatch(self, planner):
+        pm = uniform_power_map((1.0, 1.0), 1.0, 2)  # 2 planes vs 3-plane stack
+        with pytest.raises(ValidationError):
+            planner.plan(pm, target_rise=1.0)
+
+    def test_1d_estimator_overshoots_via_count(self, small_stack):
+        """The paper's cost argument: planning with the 1-D model uses
+        more vias than planning with Model A for the same target."""
+        via = paper_tsv(radius=um(10), liner_thickness=um(1))
+        pm = uniform_power_map((0.5, 0.25, 0.25), small_stack.footprint_side, 2)
+        target = 4.5
+        with_a = GreedyPlanner(stack=small_stack, via=via).plan(
+            pm, target_rise=target, max_total_vias=200
+        )
+        with_1d = GreedyPlanner(
+            stack=small_stack, via=via, estimator=Model1D()
+        ).plan(pm, target_rise=target, max_total_vias=200)
+        assert with_1d.total_vias >= with_a.total_vias
+
+    def test_summary_mentions_counts(self, planner, small_stack):
+        pm = uniform_power_map((0.5, 0.25, 0.25), small_stack.footprint_side, 2)
+        result = planner.plan(pm, target_rise=2.0, max_total_vias=20)
+        assert "TTSV" in result.summary()

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ModelA, ModelB, PowerSpec, TSVCluster, paper_stack, paper_tsv
+from repro.network import GROUND, ThermalCircuit
+from repro.resistances import (
+    FittingCoefficients,
+    compute_model_a_resistances,
+    cylindrical_shell_resistance,
+    parallel,
+    series,
+)
+from repro.units import um
+
+# bounded, physically sane strategies
+radii = st.floats(min_value=1.0, max_value=20.0)
+liners = st.floats(min_value=0.1, max_value=3.0)
+counts = st.integers(min_value=1, max_value=25)
+resistances = st.floats(min_value=1e-3, max_value=1e3)
+
+
+@st.composite
+def random_grounded_circuit(draw):
+    """A random connected circuit: a grounded chain plus random chords."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    rs = draw(
+        st.lists(resistances, min_size=n, max_size=n)
+    )
+    circuit = ThermalCircuit()
+    prev = GROUND
+    for i, r in enumerate(rs):
+        circuit.add_resistor(prev, f"n{i}", r)
+        prev = f"n{i}"
+    n_chords = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(n_chords):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            circuit.add_resistor(f"n{a}", f"n{b}", draw(resistances))
+    sources = draw(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=n, max_size=n))
+    for i, q in enumerate(sources):
+        circuit.add_source(f"n{i}", q)
+    return circuit, sum(sources)
+
+
+class TestNetworkProperties:
+    @given(random_grounded_circuit())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_conservation_and_nonnegativity(self, case):
+        circuit, total = case
+        solution = circuit.solve()
+        assert solution.sink_heat() == pytest.approx(total, rel=1e-8, abs=1e-10)
+        # with only non-negative sources, temperatures are non-negative
+        assert all(t >= -1e-9 for t in solution.temperatures.values())
+
+    @given(random_grounded_circuit(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_power(self, case, scale):
+        circuit, _ = case
+        base = circuit.solve()
+        scaled = ThermalCircuit()
+        for r in circuit.resistors:
+            scaled.add_resistor(r.node_a, r.node_b, r.resistance)
+        for s in circuit.sources:
+            scaled.add_source(s.node, s.power * scale)
+        bumped = scaled.solve()
+        for node, t in base.temperatures.items():
+            assert bumped[node] == pytest.approx(t * scale, rel=1e-8, abs=1e-9)
+
+
+class TestResistanceProperties:
+    @given(radii, liners)
+    @settings(max_examples=50, deadline=None)
+    def test_shell_resistance_positive_and_monotone(self, r_um, tl_um):
+        r, tl = um(r_um), um(tl_um)
+        base = cylindrical_shell_resistance(r, r + tl, 1.4, um(10))
+        thicker = cylindrical_shell_resistance(r, r + 2 * tl, 1.4, um(10))
+        assert 0.0 < base < thicker
+
+    @given(st.lists(resistances, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_below_min_series_above_max(self, values):
+        assert parallel(values) <= min(values) + 1e-12
+        assert series(values) >= max(values) - 1e-12
+
+    @given(radii, liners, counts)
+    @settings(max_examples=40, deadline=None)
+    def test_model_a_resistances_all_positive(self, r_um, tl_um, n):
+        stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+        via = paper_tsv(radius=um(r_um), liner_thickness=um(tl_um))
+        cluster = TSVCluster(via, n)
+        if cluster.total_occupied_area >= stack.footprint_area:
+            return  # geometrically impossible; constructor-level concern
+        rs = compute_model_a_resistances(stack, cluster)
+        assert rs.rs > 0
+        for plane in rs.planes:
+            assert plane.bulk > 0 and plane.metal > 0 and plane.liner > 0
+
+    @given(counts)
+    @settings(max_examples=25, deadline=None)
+    def test_cluster_liner_scaling_law(self, n):
+        # R'3(n) * n must equal the single-member shell over the same span:
+        # per Eq. (22) the n liners are identical shells in parallel
+        stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+        via = paper_tsv(radius=um(5), liner_thickness=um(1))
+        clustered = compute_model_a_resistances(stack, TSVCluster(via, n))
+        member_r = um(5) / math.sqrt(n)
+        span = um(7) + um(1)
+        member_shell = cylindrical_shell_resistance(
+            member_r, member_r + um(1), 1.4, span
+        )
+        assert clustered.planes[0].liner * n == pytest.approx(member_shell)
+
+
+class TestModelProperties:
+    @given(radii)
+    @settings(max_examples=15, deadline=None)
+    def test_model_a_rise_positive_and_top_hottest(self, r_um):
+        stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+        via = paper_tsv(radius=um(r_um), liner_thickness=um(0.5))
+        result = ModelA().solve(stack, via, PowerSpec())
+        assert result.max_rise > 0
+        assert result.max_rise == pytest.approx(max(result.plane_rises))
+
+    @given(st.floats(min_value=0.3, max_value=3.0), st.floats(min_value=0.2, max_value=1.5))
+    @settings(max_examples=15, deadline=None)
+    def test_model_a_monotone_in_coefficients(self, k1, k2):
+        # larger k1 (better vertical conduction) can only cool the stack
+        stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+        via = paper_tsv(radius=um(5), liner_thickness=um(1))
+        power = PowerSpec()
+        base = ModelA(FittingCoefficients(k1, k2)).solve(stack, via, power).max_rise
+        cooler = ModelA(FittingCoefficients(k1 * 1.5, k2)).solve(stack, via, power).max_rise
+        assert cooler < base
+
+    @given(st.integers(min_value=2, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_model_b_rise_positive_any_segments(self, n):
+        stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+        via = paper_tsv(radius=um(5), liner_thickness=um(1))
+        result = ModelB(n).solve(stack, via, PowerSpec())
+        assert result.max_rise > 0

@@ -1,0 +1,110 @@
+"""Randomised-geometry cross-validation.
+
+Hypothesis draws random (but physical) stack/via geometries and checks
+that the independent implementations keep agreeing: the FVM conserves
+energy exactly, and the coefficient-free Model B stays within a bounded
+envelope of the FVM reference — the paper's central accuracy claim,
+stressed far beyond the specific geometries of Figs. 4–7.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Model1D, ModelA, ModelB, PowerSpec, paper_stack, paper_tsv
+from repro.fem import build_axisym_grids, solve_axisymmetric
+from repro.resistances import FittingCoefficients
+from repro.units import um
+
+
+@st.composite
+def block_geometry(draw):
+    """A random Section-IV-style block within fabrication-plausible ranges."""
+    t_si = draw(st.floats(min_value=10.0, max_value=80.0))
+    t_ild = draw(st.floats(min_value=2.0, max_value=10.0))
+    t_bond = draw(st.floats(min_value=0.5, max_value=3.0))
+    radius = draw(st.floats(min_value=2.0, max_value=15.0))
+    liner = draw(st.floats(min_value=0.2, max_value=2.0))
+    stack = paper_stack(
+        t_si_upper=um(t_si), t_ild=um(t_ild), t_bond=um(t_bond)
+    )
+    via = paper_tsv(radius=um(radius), liner_thickness=um(liner))
+    return stack, via
+
+
+class TestRandomGeometries:
+    @given(block_geometry())
+    @settings(max_examples=10, deadline=None)
+    def test_fvm_conserves_energy(self, geometry):
+        stack, via = geometry
+        power = PowerSpec()
+        grids = build_axisym_grids(stack, via, power, nr=20, nz=50)
+        field = solve_axisymmetric(
+            grids.r_edges, grids.z_edges, grids.conductivity, grids.source_density
+        )
+        flux_out = float(field.vertical_flux(grids.z_edges[1] * 0.5).sum())
+        # flux through the first interior face ~ everything above it; use
+        # the bottom boundary balance instead for exactness
+        ring = math.pi * (grids.r_edges[1:] ** 2 - grids.r_edges[:-1] ** 2)
+        dz0 = grids.z_edges[1] - grids.z_edges[0]
+        bottom = float(
+            np.sum(
+                ring
+                * grids.conductivity[:, 0]
+                * field.temperatures[:, 0]
+                / (dz0 / 2.0)
+            )
+        )
+        assert bottom == pytest.approx(power.total_heat(stack), rel=1e-8)
+        assert flux_out <= power.total_heat(stack) * 1.001
+
+    @given(block_geometry())
+    @settings(max_examples=8, deadline=None)
+    def test_model_b_tracks_fem_within_envelope(self, geometry):
+        """The coefficient-free distributed model stays within ~25 % of the
+        detailed solve across random geometry (the paper's own worst case
+        over its sweeps is 18 % for B(100) in Fig. 6)."""
+        stack, via = geometry
+        power = PowerSpec()
+        grids = build_axisym_grids(stack, via, power, nr=24, nz=60)
+        field = solve_axisymmetric(
+            grids.r_edges, grids.z_edges, grids.conductivity, grids.source_density
+        )
+        b = ModelB(100).solve(stack, via, power)
+        assert b.max_rise == pytest.approx(field.max_rise, rel=0.25)
+
+    @given(block_geometry())
+    @settings(max_examples=8, deadline=None)
+    def test_all_models_sane_on_any_block(self, geometry):
+        """Every model produces positive, top-plane-dominated rises within
+        a factor of two of each other on any physical block."""
+        stack, via = geometry
+        power = PowerSpec()
+        rises = []
+        for model in (ModelA(), ModelB(100), Model1D()):
+            result = model.solve(stack, via, power)
+            assert result.max_rise > 0.0
+            assert result.max_rise == pytest.approx(
+                max(result.plane_rises), rel=1e-9
+            )
+            rises.append(result.max_rise)
+        assert max(rises) < 2.0 * min(rises)
+
+    @given(
+        block_geometry(),
+        st.floats(min_value=0.8, max_value=2.0),
+        st.floats(min_value=0.3, max_value=1.2),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_closed_form_matches_network_for_any_fit(self, geometry, k1, k2):
+        from repro import solve_three_plane_closed_form
+
+        stack, via = geometry
+        power = PowerSpec()
+        fit = FittingCoefficients(k1, k2)
+        network = ModelA(fit).solve(stack, via, power)
+        closed = solve_three_plane_closed_form(stack, via, power, fit)
+        assert network.max_rise == pytest.approx(closed["T5"], rel=1e-9)

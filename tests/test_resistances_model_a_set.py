@@ -1,0 +1,170 @@
+"""Eqs. (7)–(16) and the Eq. (22) cluster transform."""
+
+import math
+
+import pytest
+
+from repro import constants, paper_stack, paper_tsv
+from repro.errors import GeometryError
+from repro.geometry import TSVCluster
+from repro.resistances import (
+    FittingCoefficients,
+    compute_model_a_resistances,
+)
+from repro.units import um
+
+
+@pytest.fixture()
+def setup():
+    stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+    via = paper_tsv(radius=um(5), liner_thickness=um(1))
+    return stack, via
+
+
+class TestPaperEquations:
+    """Each resistance against its literal formula with k1 = k2 = 1."""
+
+    def test_r1(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        area = stack.footprint_area - math.pi * via.outer_radius**2
+        expected = (um(7) / 1.4 + um(1) / constants.K_SILICON) / area
+        assert rs.planes[0].bulk == pytest.approx(expected)
+
+    def test_r2(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        expected = (um(7) + um(1)) / (400.0 * math.pi * um(5) ** 2)
+        assert rs.planes[0].metal == pytest.approx(expected)
+
+    def test_r3_eq9(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        span = um(7) + um(1)
+        expected = math.log(um(6) / um(5)) / (2 * math.pi * 1.4 * span)
+        assert rs.planes[0].liner == pytest.approx(expected)
+
+    def test_r4_middle_plane(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        area = stack.footprint_area - math.pi * via.outer_radius**2
+        expected = (um(7) / 1.4 + um(45) / constants.K_SILICON + um(1) / 0.15) / area
+        assert rs.planes[1].bulk == pytest.approx(expected)
+
+    def test_r5_middle_metal_span(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        span = um(7) + um(45) + um(1)
+        assert rs.planes[1].metal == pytest.approx(
+            span / (400.0 * math.pi * um(5) ** 2)
+        )
+
+    def test_r8_last_plane_has_no_ild_term(self, setup):
+        # Eq. (14): the via stops at the last substrate top
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        span = um(45) + um(1)  # tSi3 + tb only
+        assert rs.planes[2].metal == pytest.approx(
+            span / (400.0 * math.pi * um(5) ** 2)
+        )
+
+    def test_rs_eq16(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        expected = (constants.PAPER_T_SI1 - um(1)) / (
+            constants.K_SILICON * stack.footprint_area
+        )
+        assert rs.rs == pytest.approx(expected)
+
+    def test_k1_divides_vertical(self, setup):
+        stack, via = setup
+        unity = compute_model_a_resistances(stack, via)
+        fitted = compute_model_a_resistances(stack, via, FittingCoefficients(k1=1.3))
+        for u, f in zip(unity.planes, fitted.planes):
+            assert f.bulk == pytest.approx(u.bulk / 1.3)
+            assert f.metal == pytest.approx(u.metal / 1.3)
+            assert f.liner == pytest.approx(u.liner)  # k2 untouched
+        assert fitted.rs == pytest.approx(unity.rs / 1.3)
+
+    def test_k2_divides_lateral(self, setup):
+        stack, via = setup
+        unity = compute_model_a_resistances(stack, via)
+        fitted = compute_model_a_resistances(stack, via, FittingCoefficients(k2=0.55))
+        for u, f in zip(unity.planes, fitted.planes):
+            assert f.liner == pytest.approx(u.liner / 0.55)
+            assert f.bulk == pytest.approx(u.bulk)
+
+    def test_c_bond_reduces_bulk_only(self, setup):
+        stack, via = setup
+        unity = compute_model_a_resistances(stack, via)
+        fitted = compute_model_a_resistances(
+            stack, via, FittingCoefficients(c_bond=3.5)
+        )
+        assert fitted.planes[1].bulk < unity.planes[1].bulk
+        assert fitted.planes[0].bulk == pytest.approx(unity.planes[0].bulk)
+        assert fitted.planes[1].metal == pytest.approx(unity.planes[1].metal)
+
+    def test_as_paper_tuple_order(self, setup):
+        stack, via = setup
+        rs = compute_model_a_resistances(stack, via)
+        t = rs.as_paper_tuple()
+        assert len(t) == 10
+        assert t[0] == rs.planes[0].bulk
+        assert t[7] == rs.planes[2].metal
+        assert t[9] == rs.rs
+
+    def test_as_paper_tuple_requires_three_planes(self):
+        stack = paper_stack(n_planes=2)
+        rs = compute_model_a_resistances(stack, paper_tsv())
+        with pytest.raises(GeometryError):
+            rs.as_paper_tuple()
+
+
+class TestClusterTransform:
+    """Eq. (22): R'3 = ln(1 + tL*sqrt(n)/r0) / (2 n pi k2 kL L)."""
+
+    def test_eq22_literal(self, setup):
+        stack, via = setup
+        n = 4
+        rs = compute_model_a_resistances(stack, TSVCluster(via, n))
+        span = um(7) + um(1)
+        expected = math.log((um(5) + um(1) * math.sqrt(n)) / um(5)) / (
+            2 * n * math.pi * 1.4 * span
+        )
+        assert rs.planes[0].liner == pytest.approx(expected)
+
+    def test_vertical_resistances_invariant(self, setup):
+        stack, via = setup
+        single = compute_model_a_resistances(stack, via)
+        clustered = compute_model_a_resistances(stack, TSVCluster(via, 9))
+        for s, c in zip(single.planes, clustered.planes):
+            assert c.metal == pytest.approx(s.metal)
+            assert c.bulk == pytest.approx(s.bulk)
+
+    def test_liner_resistance_falls_with_n(self, setup):
+        stack, via = setup
+        liners = [
+            compute_model_a_resistances(stack, TSVCluster(via, n)).planes[0].liner
+            for n in (1, 2, 4, 9, 16)
+        ]
+        assert liners == sorted(liners, reverse=True)
+
+    def test_exact_area_shrinks_bulk_area(self, setup):
+        stack, via = setup
+        default = compute_model_a_resistances(stack, TSVCluster(via, 16))
+        exact = compute_model_a_resistances(
+            stack, TSVCluster(via, 16), exact_area=True
+        )
+        assert exact.planes[0].bulk > default.planes[0].bulk
+
+    def test_cluster_must_fit(self, setup):
+        stack, _ = setup
+        huge = paper_tsv(radius=um(56), liner_thickness=um(1))
+        with pytest.raises(GeometryError):
+            compute_model_a_resistances(stack, huge)
+
+    def test_extension_must_fit_substrate(self):
+        stack = paper_stack()
+        via = paper_tsv(extension=um(600))
+        with pytest.raises(GeometryError):
+            compute_model_a_resistances(stack, via)

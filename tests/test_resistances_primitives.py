@@ -1,0 +1,99 @@
+"""Conduction primitives: slabs, cylinders, shells, combinators."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resistances import (
+    annulus_axial_resistance,
+    cylinder_axial_resistance,
+    cylindrical_shell_resistance,
+    parallel,
+    series,
+    slab_resistance,
+)
+from repro.units import um
+
+
+class TestSlab:
+    def test_value(self):
+        assert slab_resistance(um(7), 1.4, 1e-8) == pytest.approx(um(7) / (1.4 * 1e-8))
+
+    def test_scales_linearly_with_thickness(self):
+        r1 = slab_resistance(um(1), 148.0, 1e-8)
+        r2 = slab_resistance(um(2), 148.0, 1e-8)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(Exception):
+            slab_resistance(0.0, 1.0, 1.0)
+
+
+class TestCylinder:
+    def test_value(self):
+        r = cylinder_axial_resistance(um(50), 400.0, um(5))
+        assert r == pytest.approx(um(50) / (400.0 * math.pi * um(5) ** 2))
+
+    def test_quarters_when_radius_doubles(self):
+        r1 = cylinder_axial_resistance(um(50), 400.0, um(5))
+        r2 = cylinder_axial_resistance(um(50), 400.0, um(10))
+        assert r1 == pytest.approx(4 * r2)
+
+
+class TestShell:
+    def test_matches_eq9_closed_form(self):
+        # Eq. (9): ln((r+tL)/r) / (2 pi kL L)
+        r, tl, h = um(5), um(0.5), um(8)
+        expected = math.log((r + tl) / r) / (2 * math.pi * 1.4 * h)
+        assert cylindrical_shell_resistance(r, r + tl, 1.4, h) == pytest.approx(expected)
+
+    def test_thin_shell_limit(self):
+        # for tL << r, R -> tL/(2 pi r k h), the flat-wall limit
+        r, tl, h = um(50), um(0.005), um(10)
+        shell = cylindrical_shell_resistance(r, r + tl, 1.4, h)
+        flat = tl / (2 * math.pi * r * 1.4 * h)
+        assert shell == pytest.approx(flat, rel=1e-3)
+
+    def test_outer_must_exceed_inner(self):
+        with pytest.raises(ValidationError):
+            cylindrical_shell_resistance(um(5), um(5), 1.4, um(1))
+
+    def test_grows_with_liner_thickness(self):
+        rs = [
+            cylindrical_shell_resistance(um(5), um(5) + um(t), 1.4, um(8))
+            for t in (0.5, 1.0, 2.0, 3.0)
+        ]
+        assert rs == sorted(rs)
+
+
+class TestAnnulus:
+    def test_value(self):
+        r = annulus_axial_resistance(um(10), 1.4, um(5), um(6))
+        area = math.pi * (um(6) ** 2 - um(5) ** 2)
+        assert r == pytest.approx(um(10) / (1.4 * area))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValidationError):
+            annulus_axial_resistance(um(10), 1.4, um(6), um(5))
+
+
+class TestCombinators:
+    def test_series(self):
+        assert series([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_parallel(self):
+        assert parallel([2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_parallel_dominated_by_smallest(self):
+        assert parallel([1e-3, 1e6]) == pytest.approx(1e-3, rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            series([])
+        with pytest.raises(ValidationError):
+            parallel([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            series([1.0, -1.0])

@@ -1,0 +1,70 @@
+"""Spreading-resistance primitives (planning extension)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resistances import (
+    finite_slab_spreading,
+    semi_infinite_spreading,
+    truncated_cone_resistance,
+    via_cell_spreading,
+)
+from repro.units import um
+
+
+class TestSemiInfinite:
+    def test_value(self):
+        assert semi_infinite_spreading(um(10), 148.0) == pytest.approx(
+            1.0 / (4 * 148.0 * um(10))
+        )
+
+    def test_falls_with_radius(self):
+        assert semi_infinite_spreading(um(20), 148.0) < semi_infinite_spreading(
+            um(10), 148.0
+        )
+
+
+class TestFiniteSlab:
+    def test_small_source_approaches_semi_infinite(self):
+        # deep slab, tiny source: should be close to 1/(4ka)
+        a = um(1)
+        spread = finite_slab_spreading(a, um(500), um(2000), 148.0)
+        semi = semi_infinite_spreading(a, 148.0)
+        assert spread == pytest.approx(semi, rel=0.15)
+
+    def test_source_must_be_smaller(self):
+        with pytest.raises(ValidationError):
+            finite_slab_spreading(um(10), um(10), um(5), 148.0)
+
+    def test_positive(self):
+        assert finite_slab_spreading(um(5), um(50), um(20), 148.0) > 0.0
+
+    def test_grows_as_source_shrinks(self):
+        big = finite_slab_spreading(um(20), um(50), um(100), 148.0)
+        small = finite_slab_spreading(um(2), um(50), um(100), 148.0)
+        assert small > big
+
+
+class TestCone:
+    def test_reduces_to_cylinder(self):
+        import math
+        cone = truncated_cone_resistance(um(5), um(5), um(50), 400.0)
+        cylinder = um(50) / (400.0 * math.pi * um(5) ** 2)
+        assert cone == pytest.approx(cylinder)
+
+    def test_wider_base_lowers_resistance(self):
+        narrow = truncated_cone_resistance(um(5), um(5), um(50), 400.0)
+        wide = truncated_cone_resistance(um(5), um(20), um(50), 400.0)
+        assert wide < narrow
+
+
+class TestViaCell:
+    def test_wraps_finite_slab(self):
+        import math
+        cell_area = 1e-8
+        direct = finite_slab_spreading(
+            um(5), math.sqrt(cell_area / math.pi), um(45), 148.0
+        )
+        assert via_cell_spreading(um(5), cell_area, um(45), 148.0) == pytest.approx(
+            direct
+        )

@@ -1,0 +1,86 @@
+"""ModelResult accessors and the exception hierarchy."""
+
+import pytest
+
+from repro.core.result import ModelResult
+from repro.errors import (
+    CalibrationError,
+    ConvergenceError,
+    GeometryError,
+    MaterialError,
+    NetworkError,
+    ReproError,
+    SingularNetworkError,
+    SolverError,
+    ValidationError,
+)
+
+
+def make_result(**overrides) -> ModelResult:
+    base = dict(
+        model_name="model_a",
+        max_rise=36.3,
+        plane_rises=(18.3, 30.2, 36.3),
+        sink_temperature=27.0,
+        solve_time=0.001,
+        n_unknowns=7,
+    )
+    base.update(overrides)
+    return ModelResult(**base)
+
+
+class TestModelResult:
+    def test_max_temperature_adds_sink(self):
+        assert make_result().max_temperature == pytest.approx(63.3)
+
+    def test_plane_rise_lookup(self):
+        assert make_result().plane_rise(1) == pytest.approx(30.2)
+
+    def test_plane_rise_out_of_range(self):
+        with pytest.raises(ValidationError):
+            make_result().plane_rise(5)
+
+    def test_summary_contains_key_numbers(self):
+        text = make_result().summary()
+        assert "36.30" in text and "model_a" in text and "7" in text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result(model_name="")
+
+    def test_negative_unknowns_rejected(self):
+        with pytest.raises(ValidationError):
+            make_result(n_unknowns=-1)
+
+    def test_metadata_defaults_empty(self):
+        assert make_result().metadata == {}
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc in (
+            ValidationError,
+            GeometryError,
+            MaterialError,
+            NetworkError,
+            SingularNetworkError,
+            SolverError,
+            ConvergenceError,
+            CalibrationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        # so generic callers can catch ValueError
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(GeometryError, ValueError)
+
+    def test_singular_is_network_error(self):
+        assert issubclass(SingularNetworkError, NetworkError)
+
+    def test_convergence_is_solver_error(self):
+        assert issubclass(ConvergenceError, SolverError)
+
+    def test_catchable_by_base(self):
+        with pytest.raises(ReproError):
+            raise GeometryError("nope")

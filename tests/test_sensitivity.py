@@ -1,0 +1,67 @@
+"""Sensitivity analysis: signs must match the paper's Section IV findings."""
+
+import pytest
+
+from repro import PowerSpec, paper_stack, paper_tsv
+from repro.analysis import sensitivity, sensitivity_table
+from repro.errors import ValidationError
+from repro.units import um
+
+
+@pytest.fixture()
+def operating_point():
+    stack = paper_stack(t_si_upper=um(45), t_ild=um(7), t_bond=um(1))
+    return stack, paper_tsv(radius=um(5), liner_thickness=um(1)), PowerSpec()
+
+
+class TestSigns:
+    def test_radius_cools(self, operating_point):
+        s = sensitivity(*operating_point, "radius")
+        assert s.direction == "cools"
+        assert s.derivative < 0.0
+
+    def test_liner_heats(self, operating_point):
+        s = sensitivity(*operating_point, "liner_thickness")
+        assert s.direction == "heats"
+
+    def test_substrate_sign_flips_across_the_fig6_minimum(self):
+        via = paper_tsv(radius=um(8), liner_thickness=um(1))
+        power = PowerSpec()
+        thin = paper_stack(t_si_upper=um(8), t_ild=um(7), t_bond=um(1))
+        thick = paper_stack(t_si_upper=um(70), t_ild=um(7), t_bond=um(1))
+        s_thin = sensitivity(thin, via, power, "substrate_thickness")
+        s_thick = sensitivity(thick, via, power, "substrate_thickness")
+        assert s_thin.direction == "cools"   # thinning past the optimum heats
+        assert s_thick.direction == "heats"  # thickening past it also heats
+
+
+class TestMechanics:
+    def test_normalised_is_elasticity(self, operating_point):
+        stack, via, power = operating_point
+        s = sensitivity(stack, via, power, "radius")
+        assert s.normalised == pytest.approx(
+            s.derivative * via.radius
+            / __import__("repro").ModelA().solve(stack, via, power).max_rise,
+            rel=1e-9,
+        )
+
+    def test_unknown_parameter(self, operating_point):
+        with pytest.raises(ValidationError):
+            sensitivity(*operating_point, "bond_flavour")
+
+    def test_table_covers_all_parameters(self, operating_point):
+        table = sensitivity_table(*operating_point)
+        names = {s.parameter for s in table}
+        assert names == {"radius", "liner_thickness", "substrate_thickness"}
+
+    def test_step_affects_nothing_to_first_order(self, operating_point):
+        s_small = sensitivity(*operating_point, "radius", step=0.01)
+        s_large = sensitivity(*operating_point, "radius", step=0.05)
+        assert s_small.derivative == pytest.approx(s_large.derivative, rel=0.05)
+
+    def test_custom_model(self, operating_point):
+        from repro import Model1D
+
+        s = sensitivity(*operating_point, "liner_thickness", model=Model1D())
+        # the 1-D model barely sees the liner
+        assert abs(s.normalised) < 0.02

@@ -1,0 +1,95 @@
+"""Sweep engine and model factory."""
+
+import pytest
+
+from repro import Model1D, ModelA, ModelB, make_model, paper_tsv, sweep
+from repro.errors import ValidationError
+from repro.units import um
+
+
+class TestSweep:
+    def test_radius_sweep(self, block_stack, block_power):
+        def configure(r_um):
+            return block_stack, paper_tsv(radius=um(r_um), liner_thickness=um(1)), block_power
+
+        result = sweep("radius", [2.0, 5.0, 10.0], [ModelA(), Model1D()], configure)
+        assert result.values == [2.0, 5.0, 10.0]
+        assert set(result.model_names) == {"model_a", "model_1d"}
+        assert len(result.series("model_a")) == 3
+
+    def test_rows_layout(self, block_stack, block_power):
+        def configure(r_um):
+            return block_stack, paper_tsv(radius=um(r_um), liner_thickness=um(1)), block_power
+
+        rows = sweep("radius", [2.0, 5.0], [ModelA()], configure).rows()
+        assert rows[0] == ["value", "model_a"]
+        assert len(rows) == 3
+
+    def test_duplicate_model_names_rejected(self, block_stack, block_power):
+        def configure(v):
+            return block_stack, paper_tsv(), block_power
+
+        with pytest.raises(ValidationError):
+            sweep("x", [1], [ModelA(), ModelA()], configure)
+
+    def test_empty_values_rejected(self, block_stack, block_power):
+        def configure(v):
+            return block_stack, paper_tsv(), block_power
+
+        with pytest.raises(ValidationError):
+            sweep("x", [], [ModelA()], configure)
+
+    def test_unknown_model_in_point(self, block_stack, block_power):
+        def configure(v):
+            return block_stack, paper_tsv(), block_power
+
+        result = sweep("x", [1], [ModelA()], configure)
+        with pytest.raises(ValidationError):
+            result.points[0].rise("nope")
+
+    def test_result_series_returns_full_results(self, block_stack, block_power):
+        def configure(v):
+            return block_stack, paper_tsv(), block_power
+
+        result = sweep("x", [1, 2], [ModelA()], configure)
+        assert all(r.model_name == "model_a" for r in result.result_series("model_a"))
+
+
+class TestFactory:
+    def test_model_a(self):
+        assert isinstance(make_model("a"), ModelA)
+        assert isinstance(make_model("model_a"), ModelA)
+
+    def test_model_b_default(self):
+        model = make_model("b")
+        assert isinstance(model, ModelB)
+        assert model.name == "model_b(100)"
+
+    def test_model_b_with_segments(self):
+        assert make_model("b:500").name == "model_b(500)"
+        assert make_model("model_b:20").name == "model_b(20)"
+
+    def test_model_1d(self):
+        assert isinstance(make_model("1d"), Model1D)
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValidationError):
+            make_model("fem")
+
+    def test_bad_segment_arg(self):
+        with pytest.raises(ValidationError):
+            make_model("b:many")
+
+    def test_a_rejects_argument(self):
+        with pytest.raises(ValidationError):
+            make_model("a:3")
+
+    def test_kwargs_forwarded(self):
+        from repro.resistances import FittingCoefficients
+
+        model = make_model("a", fit=FittingCoefficients.unity())
+        assert model.fit.k1 == 1.0
+
+    def test_empty_spec(self):
+        with pytest.raises(ValidationError):
+            make_model("")

@@ -1,0 +1,126 @@
+"""Unit-conversion and validator tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.units import (
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    mm,
+    nm,
+    require_fraction,
+    require_monotonic,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    to_mm,
+    to_um,
+    um,
+    w_per_mm3,
+)
+
+
+class TestConversions:
+    def test_um_to_metres(self):
+        assert um(5) == pytest.approx(5e-6)
+
+    def test_mm_to_metres(self):
+        assert mm(10) == pytest.approx(0.01)
+
+    def test_nm_to_metres(self):
+        assert nm(500) == pytest.approx(5e-7)
+
+    def test_um_roundtrip(self):
+        assert to_um(um(37.5)) == pytest.approx(37.5)
+
+    def test_mm_roundtrip(self):
+        assert to_mm(mm(2.5)) == pytest.approx(2.5)
+
+    def test_celsius_kelvin_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(27.0)) == pytest.approx(27.0)
+
+    def test_celsius_to_kelvin_value(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_w_per_mm3(self):
+        # the paper's 700 W/mm^3 device density
+        assert w_per_mm3(700.0) == pytest.approx(7e11)
+
+    def test_w_per_mm3_ild(self):
+        assert w_per_mm3(70.0) == pytest.approx(7e10)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert require_positive("x", 2) == 2.0
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", 0.0)
+
+    def test_require_positive_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", -1.0)
+
+    def test_require_positive_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", math.nan)
+
+    def test_require_positive_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", math.inf)
+
+    def test_require_positive_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", True)
+
+    def test_require_positive_rejects_string(self):
+        with pytest.raises(ValidationError):
+            require_positive("x", "5")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="liner"):
+            require_positive("liner", -3.0)
+
+    def test_require_non_negative_accepts_zero(self):
+        assert require_non_negative("x", 0.0) == 0.0
+
+    def test_require_non_negative_rejects(self):
+        with pytest.raises(ValidationError):
+            require_non_negative("x", -1e-12)
+
+    def test_require_fraction_bounds(self):
+        assert require_fraction("f", 0.0) == 0.0
+        assert require_fraction("f", 1.0) == 1.0
+
+    def test_require_fraction_rejects(self):
+        with pytest.raises(ValidationError):
+            require_fraction("f", 1.0001)
+
+    def test_require_positive_int(self):
+        assert require_positive_int("n", 3) == 3
+
+    def test_require_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            require_positive_int("n", 3.0)
+
+    def test_require_positive_int_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive_int("n", 0)
+
+    def test_require_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            require_positive_int("n", True)
+
+    def test_require_monotonic_accepts(self):
+        assert require_monotonic("xs", [1.0, 2.0, 3.0]) == [1.0, 2.0, 3.0]
+
+    def test_require_monotonic_rejects_flat(self):
+        with pytest.raises(ValidationError):
+            require_monotonic("xs", [1.0, 1.0])
+
+    def test_require_monotonic_rejects_decreasing(self):
+        with pytest.raises(ValidationError):
+            require_monotonic("xs", [2.0, 1.0])
