@@ -1,0 +1,17 @@
+"""Benchmark-regression harness entry point.
+
+Thin wrapper so the harness can be launched either way:
+
+    python -m repro bench [options]          # preferred
+    PYTHONPATH=src python benchmarks/regression.py [options]
+
+The implementation lives in :mod:`repro.perf.bench`; see
+``benchmarks/run_bench.sh`` for the CI quick-mode gate.
+"""
+
+import sys
+
+from repro.perf.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

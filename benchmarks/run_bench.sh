@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI benchmark-regression gate: run the harness in quick mode and fail on
+# >25% best-of-N regression against the most recent committed BENCH_*.json.
+#
+# Usage:  benchmarks/run_bench.sh [extra `python -m repro bench` flags]
+#   JOBS=N   worker count for the parallel measurement (default 4)
+#
+# Quick mode reuses the full-mode scenario sizes with fewer repeats, so the
+# comparison against a full-mode baseline stays apples-to-apples.  The new
+# report is not written in CI mode (--no-write): the committed baseline only
+# moves when a PR regenerates it deliberately via `python -m repro bench`.
+set -eu
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro bench --quick --no-write \
+    --jobs "${JOBS:-4}" --tolerance 0.25 "$@"

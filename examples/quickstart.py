@@ -8,7 +8,7 @@ dominant heat paths and the per-model error against the detailed solve.
 Run:  python examples/quickstart.py
 """
 
-from repro import Model1D, ModelA, ModelB, PowerSpec, paper_stack, paper_tsv
+from repro import Model1D, ModelA, ModelB, PowerSpec, paper_stack, paper_tsv, perf
 from repro.analysis import format_kv_block, format_table
 from repro.core.model_a import build_model_a_circuit
 from repro.fem import FEMReference
@@ -60,6 +60,19 @@ def main() -> None:
     for path, series_r in dominant_paths(circuit, "bulk3", limit=3):
         chain = " -> ".join(str(node) for node in path)
         print(f"  {chain}   (series resistance {series_r:.0f} K/W)")
+    print()
+
+    # 5. performance: repeated solves hit the assembly/factor/result caches
+    #    (sweeps add process-parallelism via `python -m repro fig7 --jobs 4`,
+    #    and `python -m repro bench` writes the BENCH_<date>.json regression
+    #    report — see the ROADMAP's Performance section)
+    results["fem"]  # the solve above primed the caches; solve once more:
+    FEMReference("medium").solve(stack, via, power)
+    cache_stats = perf.stats()["caches"]
+    print("cache hit rates after a repeated FEM solve:")
+    for cache_name in ("assembly_cache", "factor_cache"):
+        c = cache_stats[cache_name]
+        print(f"  {cache_name}: {c['hits']} hits / {c['misses']} misses")
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from .geometry import (
 )
 from .materials import Material
 from .resistances import FittingCoefficients, compute_model_a_resistances
+from . import perf
 
 __version__ = "1.0.0"
 
@@ -67,4 +68,6 @@ __all__ = [
     "Material",
     "FittingCoefficients",
     "compute_model_a_resistances",
+    # performance subsystem (executors, caches, bench harness)
+    "perf",
 ]

@@ -15,18 +15,39 @@ from .experiments import REGISTRY, case_study, render_markdown, run_all, table1_
 from .experiments.harness import ExperimentResult
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the DATE 2011 TTSV paper's tables and figures.",
+        description=(
+            "Regenerate the DATE 2011 TTSV paper's tables and figures, or run "
+            "the benchmark-regression harness ('bench')."
+        ),
     )
     parser.add_argument(
         "experiment",
-        choices=[*REGISTRY.keys(), "all"],
-        help="which paper artefact to regenerate",
+        choices=[*REGISTRY.keys(), "all", "bench"],
+        help=(
+            "which paper artefact to regenerate; 'bench' runs the performance "
+            "regression harness (see 'python -m repro bench --help')"
+        ),
     )
     parser.add_argument(
         "--fast", action="store_true", help="reduced sweeps (CI-speed)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (default 1 = serial; results are "
+        "identical either way)",
     )
     parser.add_argument(
         "--fem-resolution",
@@ -67,8 +88,26 @@ def _print_result(result) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["bench"]:
+        # the bench harness owns its own flags; delegate before parsing
+        from .perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "bench":
+        # reachable when flags precede the positional; bench flags differ,
+        # so require the documented `python -m repro bench [options]` form
+        parser.error("place 'bench' first: python -m repro bench [options]")
     kwargs = {"fem_resolution": args.fem_resolution, "fast": args.fast}
+    if args.experiment in ("all", "fig4", "fig5", "fig6", "fig7", "table1"):
+        kwargs["jobs"] = args.jobs
+    elif args.jobs != 1:
+        print(
+            f"note: {args.experiment} has no parameter sweep; --jobs ignored",
+            file=sys.stderr,
+        )
     if args.experiment == "all":
         results = run_all(**kwargs)
         for result in results.values():

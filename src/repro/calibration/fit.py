@@ -19,6 +19,7 @@ from ..core.base import ThermalTSVModel
 from ..core.model_a import ModelA
 from ..errors import CalibrationError
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
+from ..perf import cached_solve
 from ..resistances import FittingCoefficients
 
 #: one calibration sample: the geometry/power triple Model A must match
@@ -74,8 +75,13 @@ def fit_coefficients(
             f"need at least {'3' if fit_c_bond else '2'} samples to constrain "
             "the coefficients"
         )
+    # reference solves go through the global result cache: calibration
+    # samples usually overlap the sweep grid, so either side primes the other
     targets = np.array(
-        [reference.solve(stack, via, power).max_rise for stack, via, power in samples]
+        [
+            cached_solve(reference, stack, via, power).max_rise
+            for stack, via, power in samples
+        ]
     )
     if np.any(targets <= 0.0):
         raise CalibrationError("reference produced non-positive temperature rises")

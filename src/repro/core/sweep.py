@@ -5,6 +5,19 @@ thickness, substrate thickness, cluster size), run several models on each
 point, and compare the resulting max-ΔT series.  :func:`sweep` captures that
 pattern once; the experiment modules supply the per-point configuration
 callback.
+
+Execution is pluggable: the default :class:`~repro.perf.SerialExecutor`
+runs the historical in-process loop, while
+:class:`~repro.perf.ParallelExecutor` fans sweep points out over a process
+pool (the CLI's ``--jobs N``).  Either way the configure callback runs in
+the parent, results come back in sweep order, and — because every solve is
+deterministic — serial and parallel sweeps are numerically identical.
+
+Solved points are also memoized in the global result cache keyed on
+(model, stack, via, power) content: calibration samples that overlap the
+sweep grid and repeated sweeps under multi-scenario traffic skip the
+solves entirely.  Cache lookups happen in the parent before dispatch, so
+caching never changes which results a sweep returns.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from typing import Any
 
 from ..errors import ValidationError
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
+from ..perf import PointTask, SerialExecutor, SweepExecutor, result_cache, solve_key
 from .base import ThermalTSVModel
 from .result import ModelResult
 
@@ -82,6 +96,8 @@ def sweep(
     configure: Configurator,
     *,
     metadata: dict[str, Any] | None = None,
+    executor: SweepExecutor | None = None,
+    cache: bool = True,
 ) -> SweepResult:
     """Run every model at every swept value.
 
@@ -97,18 +113,65 @@ def sweep(
     configure:
         Callback mapping a swept value to the (stack, via, power) triple
         the models should solve.
+    executor:
+        Execution strategy for the point solves; defaults to the serial
+        in-process loop.  Pass a :class:`~repro.perf.ParallelExecutor` to
+        fan points out over worker processes.
+    cache:
+        Consult/populate the global result cache for each (model, point)
+        pair (default on; identical results either way).
     """
     models = list(models)
     names = [m.name for m in models]
     if len(set(names)) != len(names):
         raise ValidationError(f"model names must be unique, got {names}")
-    points: list[SweepPoint] = []
-    for value in values:
-        stack, via, power = configure(value)
-        results = {m.name: m.solve(stack, via, power) for m in models}
-        points.append(SweepPoint(value=value, results=results))
-    if not points:
+    values = list(values)
+    if not values:
         raise ValidationError("sweep needs at least one value")
+    executor = executor or SerialExecutor()
+    specs = [configure(value) for value in values]
+
+    # parent-side cache partition: dispatch only the missing solves
+    point_results: list[dict[str, ModelResult]] = [{} for _ in values]
+    point_keys: list[dict[str, str]] = [{} for _ in values]
+    tasks: list[PointTask] = []
+    for i, (stack, via, power) in enumerate(specs):
+        missing: list[ThermalTSVModel] = []
+        for m in models:
+            key = solve_key(m, stack, via, power) if cache else None
+            cached = result_cache.get(key) if key is not None else None
+            if cached is not None:
+                point_results[i][m.name] = cached
+            else:
+                if key is not None:
+                    point_keys[i][m.name] = key
+                missing.append(m)
+        if missing:
+            tasks.append(
+                PointTask(
+                    index=i,
+                    value=values[i],
+                    stack=stack,
+                    via=via,
+                    power=power,
+                    models=tuple(missing),
+                )
+            )
+
+    for task, solved in zip(tasks, executor.run_tasks(tasks)):
+        point_results[task.index].update(solved)
+        for name, result in solved.items():
+            key = point_keys[task.index].get(name)
+            if key is not None:
+                result_cache.put(key, result)
+
+    points = [
+        SweepPoint(
+            value=value,
+            results={m.name: point_results[i][m.name] for m in models},
+        )
+        for i, value in enumerate(values)
+    ]
     return SweepResult(
         parameter=parameter, points=tuple(points), metadata=metadata or {}
     )

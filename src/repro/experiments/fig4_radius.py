@@ -12,6 +12,7 @@ from ..core.model_1d import Model1D
 from ..core.model_a import ModelA
 from ..core.model_b import ModelB
 from ..fem import FEMReference
+from ..perf import get_executor
 from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
 from .params import FIG4_RADII_UM, FIG4_RADII_UM_FAST, fig4_config
 
@@ -25,6 +26,7 @@ def run(
     fast: bool = False,
     model_b_segments: int = 100,
     calibrate: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Fig. 4.
 
@@ -39,6 +41,8 @@ def run(
     calibrate:
         Also run Model A with k1/k2 freshly fitted against our FEM
         (``model_a_cal``) — the paper's own coefficient workflow.
+    jobs:
+        Worker processes for the sweep (1 = serial).
     """
     radii = FIG4_RADII_UM_FAST if fast else FIG4_RADII_UM
 
@@ -62,6 +66,7 @@ def run(
         configure=configure,
         models=models,
         reference=reference,
+        executor=get_executor(jobs),
         metadata={
             "caption": "tL=0.5um, tD=4um, tb=1um; tSi2,3 = 5um (r<=5) / 45um (r>5)",
             "fast": fast,

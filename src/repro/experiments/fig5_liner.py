@@ -12,6 +12,7 @@ from ..core.model_1d import Model1D
 from ..core.model_a import ModelA
 from ..core.model_b import ModelB, SegmentScheme
 from ..fem import FEMReference
+from ..perf import get_executor
 from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
 from .params import FIG5_LINERS_UM, FIG5_LINERS_UM_FAST, TABLE1_SEGMENTS, fig5_config
 
@@ -35,8 +36,12 @@ def run(
     fast: bool = False,
     segment_counts=TABLE1_SEGMENTS,
     calibrate: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Reproduce Fig. 5 (and the sweep behind Table I)."""
+    """Reproduce Fig. 5 (and the sweep behind Table I).
+
+    ``jobs`` sets the sweep's worker-process count (1 = serial).
+    """
     liners = FIG5_LINERS_UM_FAST if fast else FIG5_LINERS_UM
 
     def configure(liner_um: float):
@@ -59,6 +64,7 @@ def run(
         configure=configure,
         models=models,
         reference=reference,
+        executor=get_executor(jobs),
         metadata={
             "caption": "r=5um, tD=7um, tb=1um, tSi2,3=45um",
             "fast": fast,

@@ -12,6 +12,7 @@ from ..core.model_1d import Model1D
 from ..core.model_a import ModelA
 from ..core.model_b import ModelB
 from ..fem import FEMReference
+from ..perf import get_executor
 from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
 from .params import FIG6_SUBSTRATES_UM, FIG6_SUBSTRATES_UM_FAST, fig6_config
 
@@ -25,8 +26,9 @@ def run(
     fast: bool = False,
     model_b_segments: int = 100,
     calibrate: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Reproduce Fig. 6."""
+    """Reproduce Fig. 6 (``jobs`` workers for the sweep; 1 = serial)."""
     thicknesses = FIG6_SUBSTRATES_UM_FAST if fast else FIG6_SUBSTRATES_UM
 
     def configure(t_si_um: float):
@@ -49,6 +51,7 @@ def run(
         configure=configure,
         models=models,
         reference=reference,
+        executor=get_executor(jobs),
         metadata={
             "caption": "tL=1um, tD=7um, tb=1um, r=8um",
             "fast": fast,

@@ -15,6 +15,7 @@ from ..core.model_1d import Model1D
 from ..core.model_a import ModelA
 from ..core.model_b import ModelB
 from ..fem import FEMReference
+from ..perf import get_executor
 from ..geometry import TSVCluster
 from .harness import ExperimentResult, calibrated_model_a, run_sweep_experiment
 from .params import FIG7_COUNTS, fig7_config
@@ -30,11 +31,13 @@ def run(
     model_b_segments: int = 100,
     cartesian_cross_check: bool = False,
     calibrate: bool = True,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Fig. 7.
 
     ``cartesian_cross_check`` additionally solves each point with the 3-D
-    Cartesian solver on the full block (slow; off by default).
+    Cartesian solver on the full block (slow; off by default).  ``jobs``
+    sets the sweep's worker-process count (1 = serial).
     """
     counts = FIG7_COUNTS[:3] if fast else FIG7_COUNTS
     cfg = fig7_config()
@@ -56,6 +59,7 @@ def run(
         configure=configure,
         models=models,
         reference=reference,
+        executor=get_executor(jobs),
         metadata={
             "caption": "tL=1um, tD=4um, tb=1um, tSi2,3=20um, r0=10um",
             "fast": fast,

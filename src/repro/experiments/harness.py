@@ -25,6 +25,7 @@ from ..core.base import ThermalTSVModel
 from ..core.model_a import ModelA
 from ..core.sweep import Configurator, SweepResult, sweep
 from ..errors import ExperimentError
+from ..perf import SweepExecutor
 
 
 @dataclass(frozen=True)
@@ -120,13 +121,21 @@ def run_sweep_experiment(
     models: Sequence[ThermalTSVModel],
     reference: ThermalTSVModel,
     metadata: dict[str, Any] | None = None,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
-    """Sweep all models plus the reference and compute errors against it."""
+    """Sweep all models plus the reference and compute errors against it.
+
+    ``executor`` selects the sweep execution strategy (serial by default;
+    see :class:`repro.perf.ParallelExecutor` for ``--jobs N`` fan-out).
+    """
     all_models = list(models) + [reference]
     names = [m.name for m in all_models]
     if len(set(names)) != len(names):
         raise ExperimentError(f"duplicate model names in experiment: {names}")
-    result = sweep(x_label, values, all_models, configure, metadata=metadata)
+    result = sweep(
+        x_label, values, all_models, configure, metadata=metadata,
+        executor=executor,
+    )
     reference_series = result.series(reference.name)
     series = {m.name: result.series(m.name) for m in all_models}
     errors = {

@@ -39,13 +39,19 @@ def run_all(
     fem_resolution: str | tuple[int, int] = "medium",
     fast: bool = False,
     verbose: bool = True,
+    jobs: int = 1,
 ) -> dict[str, Any]:
-    """Run every experiment; Table I reuses the Fig. 5 sweep."""
+    """Run every experiment; Table I reuses the Fig. 5 sweep.
+
+    ``jobs`` sets the per-sweep worker-process count (1 = serial).
+    """
     results: dict[str, Any] = {}
     for exp_id in ("fig4", "fig5", "fig6", "fig7"):
         if verbose:
             print(f"[{exp_id}] running ...")
-        results[exp_id] = REGISTRY[exp_id](fem_resolution=fem_resolution, fast=fast)
+        results[exp_id] = REGISTRY[exp_id](
+            fem_resolution=fem_resolution, fast=fast, jobs=jobs
+        )
     if verbose:
         print("[table1] deriving from fig5 ...")
     results["table1"] = table1_segments.run(

@@ -39,9 +39,12 @@ def run(
     fem_resolution: str | tuple[int, int] = "medium",
     fast: bool = False,
     fig5_result: ExperimentResult | None = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Table I (reusing a Fig. 5 run when provided)."""
-    result = fig5_result or fig5_liner.run(fem_resolution=fem_resolution, fast=fast)
+    result = fig5_result or fig5_liner.run(
+        fem_resolution=fem_resolution, fast=fast, jobs=jobs
+    )
     metadata = dict(result.metadata)
     metadata["table_rows"] = rows_from_fig5(result)
     return ExperimentResult(

@@ -11,6 +11,12 @@ arrays.  This module builds them for
 Heat totals are preserved exactly: source densities are normalised to the
 actual discretised source volume, so the FVM consumes the same watts as
 the network models it is compared against.
+
+Both builders are memoized on the *content* of (stack, via, power) plus
+their keyword arguments through :data:`repro.perf.assembly_cache`: sweep
+points that share a sub-configuration (and repeated sweeps under
+multi-scenario traffic) skip the voxelisation entirely.  Grid building is
+deterministic, so a cache hit returns arrays identical to a fresh build.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 from ..errors import GeometryError
 from ..geometry import PowerSpec, Stack3D, TSV
 from ..geometry.stack import LayerInterval
+from ..perf import assembly_cache, content_key
 from .mesh import centers, layered_mesh
 
 
@@ -136,6 +143,32 @@ def build_axisym_grids(
     nr, nz:
         Target radial/axial cell counts.
     """
+    key = content_key(
+        "axisym", stack, via, power, cell_area, power_scale, nr, nz
+    )
+    if key is not None:
+        cached = assembly_cache.get(key)
+        if cached is not None:
+            return cached
+    grids = _build_axisym_grids(
+        stack, via, power,
+        cell_area=cell_area, power_scale=power_scale, nr=nr, nz=nz,
+    )
+    if key is not None:
+        assembly_cache.put(key, grids)
+    return grids
+
+
+def _build_axisym_grids(
+    stack: Stack3D,
+    via: TSV,
+    power: PowerSpec,
+    *,
+    cell_area: float | None,
+    power_scale: float,
+    nr: int,
+    nz: int,
+) -> AxisymGrids:
     area = cell_area if cell_area is not None else stack.footprint_area
     if via.occupied_area >= area:
         raise GeometryError("via (incl. liner) does not fit the unit cell")
@@ -294,6 +327,35 @@ def build_cartesian_grids(
       *arithmetically*, which overestimates lateral conductance through
       the liner; kept as an ablation of that discretisation error.
     """
+    key = content_key(
+        "cartesian", stack, via, power,
+        tuple(via_positions) if via_positions is not None else None,
+        nx, ny, nz, via_style,
+    )
+    if key is not None:
+        cached = assembly_cache.get(key)
+        if cached is not None:
+            return cached
+    grids = _build_cartesian_grids(
+        stack, via, power,
+        via_positions=via_positions, nx=nx, ny=ny, nz=nz, via_style=via_style,
+    )
+    if key is not None:
+        assembly_cache.put(key, grids)
+    return grids
+
+
+def _build_cartesian_grids(
+    stack: Stack3D,
+    via: TSV,
+    power: PowerSpec,
+    *,
+    via_positions: list[tuple[float, float]] | None,
+    nx: int,
+    ny: int,
+    nz: int,
+    via_style: str,
+) -> CartesianGrids:
     if via_style not in ("squared", "round"):
         raise GeometryError(f"via_style must be 'squared' or 'round', got {via_style!r}")
     side = stack.footprint_side

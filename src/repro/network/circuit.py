@@ -52,10 +52,11 @@ class NetworkSolution:
     def heat_flow(self, node_a: NodeId, node_b: NodeId) -> float:
         """Net heat (W) flowing from ``node_a`` to ``node_b`` through all
         resistors that directly connect them."""
+        pair = {node_a, node_b}
         g_total = sum(
             r.conductance
-            for r in self.circuit.resistors
-            if {r.node_a, r.node_b} == {node_a, node_b}
+            for r in self.circuit.resistor_adjacency().get(node_a, ())
+            if {r.node_a, r.node_b} == pair
         )
         if g_total == 0.0:
             raise NetworkError(f"no resistor connects {node_a!r} and {node_b!r}")
@@ -65,11 +66,9 @@ class NetworkSolution:
         """Total heat (W) flowing into the ground node; equals Σ sources
         at steady state (energy conservation)."""
         total = 0.0
-        for r in self.circuit.resistors:
-            if r.node_a == GROUND:
-                total += (self[r.node_b] - 0.0) * r.conductance
-            elif r.node_b == GROUND:
-                total += (self[r.node_a] - 0.0) * r.conductance
+        for r in self.circuit.resistor_adjacency().get(GROUND, ()):
+            other = r.node_b if r.node_a == GROUND else r.node_a
+            total += (self[other] - 0.0) * r.conductance
         return total
 
 
@@ -81,6 +80,9 @@ class ThermalCircuit:
         self.sources: list[HeatSource] = []
         self.capacitors: list[Capacitor] = []
         self._nodes: dict[NodeId, int] = {}
+        # node -> incident resistors, rebuilt lazily when resistors change
+        self._adjacency: dict[NodeId, tuple[Resistor, ...]] | None = None
+        self._adjacency_marker: int | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -134,6 +136,28 @@ class ThermalCircuit:
         except KeyError:
             raise NetworkError(f"no node {node!r} in the circuit") from None
 
+    def resistor_adjacency(self) -> dict[NodeId, tuple[Resistor, ...]]:
+        """Node → incident resistors index (built once, reused until the
+        resistor list changes).
+
+        Replaces the O(n_resistors) set-building linear scans that
+        :meth:`NetworkSolution.heat_flow` / :meth:`NetworkSolution.sink_heat`
+        used to run per query.  Validity is tracked by a hash of the
+        resistor *identities* (Resistor itself is frozen), so any mutation
+        of the public ``resistors`` list — append, removal, or in-place
+        replacement — triggers a rebuild.
+        """
+        marker = hash(tuple(map(id, self.resistors)))
+        if self._adjacency is None or self._adjacency_marker != marker:
+            index: dict[NodeId, list[Resistor]] = {}
+            for r in self.resistors:
+                index.setdefault(r.node_a, []).append(r)
+                if r.node_b != r.node_a:
+                    index.setdefault(r.node_b, []).append(r)
+            self._adjacency = {n: tuple(rs) for n, rs in index.items()}
+            self._adjacency_marker = marker
+        return self._adjacency
+
     def validate(self) -> None:
         """Check the network is solvable: non-empty and fully grounded.
 
@@ -143,15 +167,13 @@ class ThermalCircuit:
         if not self._nodes:
             raise NetworkError("circuit has no nodes")
         # BFS from ground over the resistor adjacency
-        adjacency: dict[NodeId, list[NodeId]] = {}
-        for r in self.resistors:
-            adjacency.setdefault(r.node_a, []).append(r.node_b)
-            adjacency.setdefault(r.node_b, []).append(r.node_a)
+        adjacency = self.resistor_adjacency()
         seen = {GROUND}
         frontier = [GROUND]
         while frontier:
             current = frontier.pop()
-            for nb in adjacency.get(current, ()):
+            for r in adjacency.get(current, ()):
+                nb = r.node_b if r.node_a == current else r.node_a
                 if nb not in seen:
                     seen.add(nb)
                     frontier.append(nb)
@@ -209,7 +231,7 @@ class ThermalCircuit:
 
     def solve(self) -> NetworkSolution:
         """Solve G·ΔT = q and return node temperature rises."""
-        self.validate()
+        self.validate()  # also primes the node→resistor adjacency index
         matrix = self.conductance_matrix()
         temps = solve_linear_system(matrix, self.source_vector())
         return NetworkSolution(

@@ -3,15 +3,27 @@
 Small systems (Model A: a handful of nodes) use a dense LAPACK solve;
 large systems (Model B with hundreds of π-segments, FVM grids) use
 scipy.sparse.  :func:`solve_linear_system` picks automatically.
+
+The sparse direct path factorises with SuperLU through the global
+:data:`repro.perf.factor_cache`: solving the same matrix again (transient
+stepping, duplicated sweep points) reuses the factor and pays only the
+triangular solves.  Factorisation is deterministic, so cached and fresh
+solves produce identical results.  :func:`factorized_solver` exposes the
+same machinery for callers that solve one matrix against many right-hand
+sides.
 """
 
 from __future__ import annotations
+
+import warnings
+from collections.abc import Callable
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import SingularNetworkError, SolverError
+from ..perf import factor_cache, increment
 
 #: below this many unknowns a dense solve is faster than sparse setup
 DENSE_CUTOFF = 200
@@ -33,23 +45,31 @@ def solve_dense(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
 ITERATIVE_CUTOFF = 150_000
 
 
+def _as_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """CSR view of a sparse matrix without copying when already CSR."""
+    if isinstance(matrix, sp.csr_matrix):
+        return matrix
+    return matrix.tocsr()
+
+
 def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
     """Solve a sparse SPD system.
 
-    Direct factorisation (SuperLU) up to :data:`ITERATIVE_CUTOFF` unknowns;
-    beyond that, conjugate gradients with an incomplete-LU preconditioner —
-    the conductance matrices here are symmetric positive definite, for
-    which CG is the method of choice and avoids 3-D fill-in blow-up.
+    Direct factorisation (SuperLU, cached) up to :data:`ITERATIVE_CUTOFF`
+    unknowns; beyond that, conjugate gradients with an incomplete-LU
+    preconditioner — the conductance matrices here are symmetric positive
+    definite, for which CG is the method of choice and avoids 3-D fill-in
+    blow-up.
     """
-    csr = sp.csr_matrix(matrix)
+    csr = _as_csr(matrix)
     n = rhs.shape[0]
     if n > ITERATIVE_CUTOFF:
         solution = _solve_cg(csr, rhs)
         if solution is not None:
             return solution
     try:
-        solution = spla.spsolve(csr, rhs)
-    except RuntimeError as exc:  # umfpack/superlu signal singularity this way
+        solution = factor_cache.solver(csr)(rhs)
+    except RuntimeError as exc:  # superlu signals singularity this way
         raise SingularNetworkError(
             "sparse conductance matrix is singular — some node has no path to ground"
         ) from exc
@@ -63,15 +83,51 @@ def _solve_cg(csr: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray | None:
     """Preconditioned CG; returns None to fall back to the direct solver."""
     try:
         ilu = spla.spilu(csr.tocsc(), drop_tol=1e-5, fill_factor=8.0)
-    except RuntimeError:
+    except RuntimeError as exc:
+        increment("cg_ilu_fallbacks")
+        warnings.warn(
+            f"ILU preconditioner failed ({exc}); falling back to the direct "
+            "sparse solver",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     preconditioner = spla.LinearOperator(csr.shape, ilu.solve)
     solution, info = spla.cg(
         csr, rhs, rtol=1e-10, atol=0.0, maxiter=2000, M=preconditioner
     )
     if info != 0 or not np.all(np.isfinite(solution)):
+        increment("cg_convergence_fallbacks")
+        warnings.warn(
+            f"preconditioned CG did not converge (info={info}); falling back "
+            "to the direct sparse solver",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     return np.asarray(solution, dtype=float)
+
+
+def factorized_solver(matrix) -> Callable[[np.ndarray], np.ndarray]:
+    """A reusable ``solve(rhs)`` for repeated solves against one matrix.
+
+    Dispatches like :func:`solve_linear_system` (dense LAPACK LU below
+    :data:`DENSE_CUTOFF` unknowns, SuperLU above) but factorises exactly
+    once, through the global factor cache.  Transient stepping uses this
+    to turn n_steps full solves into one factorisation plus n_steps
+    back-substitutions.
+    """
+    n = matrix.shape[0]
+    try:
+        if sp.issparse(matrix):
+            if n <= DENSE_CUTOFF:
+                return factor_cache.solver(matrix.toarray())
+            return factor_cache.solver(_as_csr(matrix))
+        return factor_cache.solver(np.asarray(matrix, dtype=float))
+    except RuntimeError as exc:
+        raise SingularNetworkError(
+            "matrix is singular — some node has no path to ground"
+        ) from exc
 
 
 def solve_linear_system(matrix, rhs: np.ndarray) -> np.ndarray:

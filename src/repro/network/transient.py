@@ -23,7 +23,7 @@ from ..errors import SolverError, ValidationError
 from ..units import require_positive, require_positive_int
 from .circuit import ThermalCircuit
 from .elements import NodeId
-from .solve import solve_linear_system
+from .solve import factorized_solver
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,10 @@ def step_response(
     Backward Euler: (C/dt + G)·T_{k+1} = q + (C/dt)·T_k.  With any massless
     nodes the scheme degenerates to their algebraic KCL rows, which is the
     correct differential-algebraic limit.
+
+    The left-hand matrix is constant across steps, so it is factorised
+    exactly once (through the global factor cache); every step then costs
+    only the triangular back-substitutions.
     """
     require_positive("t_end", t_end)
     require_positive_int("n_steps", n_steps)
@@ -80,14 +84,17 @@ def step_response(
     dt = t_end / n_steps
     c_over_dt = sp.diags(c / dt)
     lhs = (g + c_over_dt).tocsr()
+    step_solve = factorized_solver(lhs)
 
     times = np.linspace(0.0, t_end, n_steps + 1)
     temps = np.zeros((n_steps + 1, circuit.n_nodes))
     current = np.zeros(circuit.n_nodes)
     for k in range(1, n_steps + 1):
         rhs = q + (c / dt) * current
-        current = solve_linear_system(lhs, rhs)
+        current = step_solve(rhs)
         temps[k] = current
+    if not np.all(np.isfinite(temps)):
+        raise SolverError("transient solve produced non-finite temperatures")
     return TransientResult(times=times, temperatures=temps, nodes=circuit.nodes)
 
 

@@ -1,0 +1,62 @@
+"""Performance subsystem: executors, caches, counters and benchmarks.
+
+Public surface:
+
+* :func:`stats` / :func:`reset` — hit/miss counters for every cache plus
+  free-standing counters (e.g. CG→direct fallbacks), and the cold-start
+  reset the benchmark harness uses between measurements;
+* :func:`configure` — resize or disable the assembly/result/factor caches;
+* :class:`SerialExecutor` / :class:`ParallelExecutor` /
+  :func:`get_executor` — the sweep execution strategies behind ``--jobs``;
+* :func:`cached_solve` — a model solve through the global result cache;
+* :class:`FactorizationCache` — reusable matrix factorizations.
+
+The benchmark-regression harness lives in :mod:`repro.perf.bench` and is
+reachable as ``python -m repro bench``.
+"""
+
+from .cache import (
+    FactorizationCache,
+    LRUCache,
+    assembly_cache,
+    configure,
+    content_key,
+    factor_cache,
+    matrix_fingerprint,
+    reset,
+    result_cache,
+)
+from .executors import (
+    ParallelExecutor,
+    PointTask,
+    SerialExecutor,
+    SweepExecutor,
+    get_executor,
+    solve_task,
+)
+from .memo import cached_solve, model_key, solve_key
+from .stats import counter, increment, stats
+
+__all__ = [
+    "FactorizationCache",
+    "LRUCache",
+    "ParallelExecutor",
+    "PointTask",
+    "SerialExecutor",
+    "SweepExecutor",
+    "assembly_cache",
+    "cached_solve",
+    "configure",
+    "content_key",
+    "counter",
+    "factor_cache",
+    "get_executor",
+    "increment",
+    "matrix_fingerprint",
+    "model_key",
+    "reset",
+    "result_cache",
+    "solve_key",
+    "solve_task",
+    "stats",
+]

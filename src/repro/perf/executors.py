@@ -1,0 +1,118 @@
+"""Pluggable sweep execution: serial today, process-parallel when asked.
+
+The sweep engine hands an executor a list of :class:`PointTask` work specs
+(one per sweep point that missed the result cache) and expects the solved
+results back *in task order*.  :class:`SerialExecutor` is the default and
+reproduces the historical strictly-serial loop bit-for-bit;
+:class:`ParallelExecutor` fans tasks out over a ``ProcessPoolExecutor``
+with chunked dispatch.  Work specs carry plain dataclass geometry and the
+model instances themselves, all of which pickle cleanly; the configure
+callback (often a closure) is evaluated in the parent before dispatch, so
+it never crosses the process boundary.
+
+Determinism: ``ProcessPoolExecutor.map`` preserves input order and every
+model solve is deterministic, so serial and parallel sweeps produce
+numerically identical results regardless of how tasks land on workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One sweep point's worth of solves, picklable for dispatch.
+
+    ``index`` is the point's position in the sweep (used by the caller to
+    merge results back); ``models`` holds only the models whose results
+    were not already cached.
+    """
+
+    index: int
+    value: Any
+    stack: Any
+    via: Any
+    power: Any
+    models: tuple[Any, ...]
+
+
+def solve_task(task: PointTask) -> dict[str, Any]:
+    """Solve every model of one task; runs in the parent or a worker."""
+    return {
+        m.name: m.solve(task.stack, task.via, task.power) for m in task.models
+    }
+
+
+class SweepExecutor(abc.ABC):
+    """Strategy interface: run tasks, return results aligned with input."""
+
+    @abc.abstractmethod
+    def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
+        """Solve every task, returning one result dict per task, in order."""
+
+
+class SerialExecutor(SweepExecutor):
+    """The default in-process loop — identical to the historical sweep."""
+
+    def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
+        return [solve_task(t) for t in tasks]
+
+
+class ParallelExecutor(SweepExecutor):
+    """Process-pool execution with chunked dispatch and ordered results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; defaults to the machine's CPU count.
+    chunksize:
+        Tasks per dispatch message; default splits the task list into
+        roughly two chunks per worker to amortise pickling overhead.
+
+    Worker exceptions (bad geometry, singular systems) propagate to the
+    caller exactly as in serial mode.  A broken pool or unpicklable work
+    degrades to the serial path with a warning instead of failing the
+    sweep.
+    """
+
+    def __init__(self, jobs: int | None = None, *, chunksize: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValidationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+        if chunksize is not None and chunksize < 1:
+            raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
+        self.chunksize = chunksize
+
+    def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
+        if self.jobs == 1 or len(tasks) <= 1:
+            return SerialExecutor().run_tasks(tasks)
+        workers = min(self.jobs, len(tasks))
+        chunk = self.chunksize or max(1, math.ceil(len(tasks) / (workers * 2)))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(solve_task, tasks, chunksize=chunk))
+        except (pickle.PicklingError, BrokenProcessPool, OSError) as exc:
+            warnings.warn(
+                f"parallel sweep degraded to serial execution: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialExecutor().run_tasks(tasks)
+
+
+def get_executor(jobs: int | None) -> SweepExecutor:
+    """Executor for a ``--jobs N`` request: serial for N in (None, 0, 1)."""
+    if not jobs or jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)

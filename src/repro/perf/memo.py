@@ -1,0 +1,46 @@
+"""Content-keyed memoization of model solves.
+
+A sweep point is fully described by (model configuration, stack, via,
+power), all of which are plain frozen dataclasses — so a solved
+:class:`~repro.core.result.ModelResult` can be reused whenever the same
+configuration reappears: calibration samples that overlap the sweep grid,
+repeated sweeps under multi-scenario traffic, Table I re-deriving the
+Fig. 5 sweep.  Results are deterministic, so a cache hit is numerically
+identical to a fresh solve (the recorded ``solve_time`` is the original
+solve's).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .cache import content_key, result_cache
+
+
+def model_key(model: Any) -> str | None:
+    """Content digest of a model's type and configuration, or None."""
+    try:
+        state = vars(model)
+    except TypeError:
+        state = getattr(model, "name", repr(model))
+    return content_key(type(model).__module__, type(model).__qualname__, state)
+
+
+def solve_key(model: Any, stack: Any, via: Any, power: Any) -> str | None:
+    """Cache key for one (model, geometry, power) solve, or None."""
+    mkey = model_key(model)
+    if mkey is None:
+        return None
+    return content_key(mkey, stack, via, power)
+
+
+def cached_solve(model: Any, stack: Any, via: Any, power: Any) -> Any:
+    """``model.solve(...)`` through the global result cache."""
+    key = solve_key(model, stack, via, power)
+    if key is None:
+        return model.solve(stack, via, power)
+    result = result_cache.get(key)
+    if result is None:
+        result = model.solve(stack, via, power)
+        result_cache.put(key, result)
+    return result

@@ -167,3 +167,38 @@ class TestMatrixAssembly:
         # exceeds the dense cutoff; exercises the sparse solver
         sol = ladder(500).solve()
         assert sol["n499"] == pytest.approx(500.0)
+
+
+class TestResistorAdjacency:
+    def test_in_place_replacement_invalidates_index(self):
+        """Replacing a resistor in the public list (same length) must not
+        serve stale conductances from the adjacency index."""
+        from repro.network import GROUND, ThermalCircuit
+
+        circuit = ThermalCircuit()
+        circuit.add_resistor(GROUND, "a", 2.0)
+        circuit.add_source("a", 1.0)
+        first = circuit.solve()
+        flow_before = first.heat_flow("a", GROUND)
+
+        from repro.network.elements import Resistor
+
+        circuit.resistors[0] = Resistor(GROUND, "a", 4.0, "")
+        second = circuit.solve()
+        flow_after = second.heat_flow("a", GROUND)
+        # both flows equal the injected 1 W, but via different conductances,
+        # which only works if the index was rebuilt after the replacement
+        assert flow_before == pytest.approx(1.0)
+        assert flow_after == pytest.approx(1.0)
+        assert second["a"] == pytest.approx(first["a"] * 2.0)
+
+    def test_validate_uses_fresh_index_after_append(self):
+        from repro.errors import NetworkError
+        from repro.network import GROUND, ThermalCircuit
+
+        circuit = ThermalCircuit()
+        circuit.add_resistor(GROUND, "a", 1.0)
+        circuit.validate()
+        circuit.add_resistor("b", "c", 1.0)  # floating pair
+        with pytest.raises(NetworkError):
+            circuit.validate()

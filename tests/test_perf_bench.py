@@ -1,0 +1,151 @@
+"""The benchmark-regression harness: comparison gate and report plumbing."""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+def _payload(medians: dict[str, float]) -> dict:
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "machine": {"platform": "test", "cpu_count": 1},
+        "config": {"jobs": 4, "quick": True, "repeats": 1},
+        "benchmarks": {
+            name: {"median_s": value, "times_s": [value]}
+            for name, value in medians.items()
+        },
+        "speedups": {},
+        "checks": {},
+        "cache_stats": {"caches": {}, "counters": {}},
+    }
+
+
+class TestCompare:
+    def test_no_regression_within_tolerance(self):
+        current = _payload({"a": 0.11, "b": 0.2})
+        previous = _payload({"a": 0.10, "b": 0.2})
+        regressions, comparisons = bench.compare(current, previous, tolerance=0.25)
+        assert regressions == []
+        assert len(comparisons) == 2
+
+    def test_regression_beyond_tolerance_flagged(self):
+        current = _payload({"a": 0.2})
+        previous = _payload({"a": 0.1})
+        regressions, _ = bench.compare(current, previous, tolerance=0.25)
+        assert len(regressions) == 1
+        assert regressions[0]["benchmark"] == "a"
+        assert regressions[0]["ratio"] == pytest.approx(2.0)
+
+    def test_improvements_never_flagged(self):
+        current = _payload({"a": 0.01})
+        previous = _payload({"a": 1.0})
+        regressions, _ = bench.compare(current, previous, tolerance=0.25)
+        assert regressions == []
+
+    def test_tiny_absolute_deltas_ignored(self):
+        """A big ratio on a sub-millisecond scenario is jitter, not a regression."""
+        current = _payload({"a": 0.0016})
+        previous = _payload({"a": 0.0010})
+        regressions, _ = bench.compare(
+            current, previous, tolerance=0.25, min_delta_s=0.002
+        )
+        assert regressions == []
+
+    def test_min_s_preferred_over_median(self):
+        current = _payload({"a": 0.5})
+        current["benchmarks"]["a"]["min_s"] = 0.1
+        previous = _payload({"a": 0.1})
+        previous["benchmarks"]["a"]["min_s"] = 0.1
+        regressions, comparisons = bench.compare(current, previous)
+        assert regressions == []
+        assert comparisons[0]["current_s"] == 0.1
+
+    def test_unmatched_benchmarks_skipped(self):
+        current = _payload({"new_one": 5.0})
+        previous = _payload({"old_one": 0.1})
+        regressions, comparisons = bench.compare(current, previous)
+        assert regressions == [] and comparisons == []
+
+
+class TestReportFiles:
+    def test_find_previous_picks_latest(self, tmp_path):
+        for day in ("2026-07-01", "2026-07-15", "2026-07-30"):
+            (tmp_path / f"BENCH_{day}.json").write_text("{}")
+        previous = bench.find_previous(tmp_path, "BENCH_2026-07-30.json")
+        assert previous is not None
+        assert previous.name == "BENCH_2026-07-15.json"
+
+    def test_find_previous_empty_dir(self, tmp_path):
+        assert bench.find_previous(tmp_path, "BENCH_x.json") is None
+
+    def test_bench_filename_shape(self):
+        name = bench.bench_filename()
+        assert name.startswith("BENCH_") and name.endswith(".json")
+
+    def test_render_report_mentions_everything(self):
+        payload = _payload({"fig7_cluster_sweep_serial_cold": 0.1})
+        payload["speedups"] = {"fig7_warm_vs_serial": 5.0}
+        payload["checks"] = {"fig7_parallel_identical": True}
+        text = bench.render_report(payload)
+        assert "fig7_cluster_sweep_serial_cold" in text
+        assert "5.00x" in text
+        assert "PASS" in text
+
+
+class TestScenarios:
+    def test_transient_scenario_smoke(self):
+        """Tiny transient benchmark: both paths run, speedup recorded."""
+        section = bench.bench_transient(1, n_nodes=250, n_steps=10)
+        medians = {
+            name: entry["median_s"]
+            for name, entry in section["benchmarks"].items()
+        }
+        assert all(value > 0 for value in medians.values())
+        assert section["speedups"]["transient_factor_reuse"] > 0
+
+    def test_machine_info_fields(self):
+        info = bench.machine_info()
+        assert {"platform", "python", "cpu_count", "numpy", "scipy"} <= set(info)
+
+    def test_cli_writes_report(self, tmp_path, monkeypatch, capsys):
+        """End-to-end `bench` CLI on the smallest possible workload."""
+
+        def tiny_run(**kwargs):
+            return _payload({"a": 0.1})
+
+        monkeypatch.setattr(bench, "run_benchmarks", tiny_run)
+        code = bench.main(["--output-dir", str(tmp_path), "--quick"])
+        assert code == 0
+        reports = list(tmp_path.glob("BENCH_*.json"))
+        assert len(reports) == 1
+        payload = json.loads(reports[0].read_text())
+        assert payload["benchmarks"]["a"]["median_s"] == 0.1
+
+    def test_cli_missing_explicit_baseline_fails_fast(self, tmp_path, monkeypatch):
+        called = []
+        monkeypatch.setattr(
+            bench, "run_benchmarks",
+            lambda **kwargs: called.append(1) or _payload({"a": 0.1}),
+        )
+        code = bench.main(
+            ["--baseline", str(tmp_path / "missing.json"), "--no-write"]
+        )
+        assert code == 1
+        assert called == []  # failed before spending time measuring
+
+    def test_repro_cli_rejects_bench_after_flags(self):
+        from repro.__main__ import main as repro_main
+
+        with pytest.raises(SystemExit):
+            repro_main(["--fast", "bench"])
+
+    def test_cli_fails_on_regression(self, tmp_path, monkeypatch):
+        previous = _payload({"a": 0.1})
+        (tmp_path / "BENCH_2000-01-01.json").write_text(json.dumps(previous))
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda **kwargs: _payload({"a": 10.0})
+        )
+        code = bench.main(["--output-dir", str(tmp_path), "--no-write"])
+        assert code == 1

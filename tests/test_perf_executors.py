@@ -1,0 +1,146 @@
+"""Sweep executors: parallel results must match serial bit-for-bit."""
+
+import pytest
+
+from repro import Model1D, ModelA, perf, paper_tsv, sweep
+from repro.errors import ValidationError
+from repro.experiments import fig5_liner, fig7_cluster
+from repro.perf import (
+    ParallelExecutor,
+    PointTask,
+    SerialExecutor,
+    get_executor,
+    solve_task,
+)
+from repro.units import um
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    """Serial/parallel comparisons must not short-circuit through caches."""
+    perf.reset()
+    yield
+    perf.reset()
+
+
+def _exact_equal(a, b):
+    """Bitwise equality of two experiment results (series + planes)."""
+    assert a.x_values == b.x_values
+    assert a.series == b.series  # float lists compared exactly, not approx
+    for pa, pb in zip(a.sweep_result.points, b.sweep_result.points):
+        for name in pa.results:
+            assert pa.results[name].plane_rises == pb.results[name].plane_rises
+            assert pa.results[name].max_rise == pb.results[name].max_rise
+
+
+class TestExecutors:
+    def test_get_executor_dispatch(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(3), ParallelExecutor)
+        assert get_executor(3).jobs == 3
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            ParallelExecutor(0)
+        with pytest.raises(ValidationError):
+            ParallelExecutor(2, chunksize=0)
+
+    def test_solve_task_runs_all_models(self, block_stack, block_power):
+        task = PointTask(
+            index=0,
+            value=5.0,
+            stack=block_stack,
+            via=paper_tsv(radius=um(5), liner_thickness=um(1)),
+            power=block_power,
+            models=(ModelA(), Model1D()),
+        )
+        out = solve_task(task)
+        assert set(out) == {"model_a", "model_1d"}
+        assert all(r.max_rise > 0 for r in out.values())
+
+    def test_parallel_single_task_stays_serial(self, block_stack, block_power):
+        # one task never pays pool startup; exercised via the sweep API
+        def configure(r_um):
+            return block_stack, paper_tsv(radius=um(r_um), liner_thickness=um(1)), block_power
+
+        result = sweep(
+            "radius", [5.0], [Model1D()], configure,
+            executor=ParallelExecutor(4), cache=False,
+        )
+        assert result.series("model_1d")[0] > 0
+
+
+class TestParallelEqualsSerial:
+    def test_sweep_equality_network_models(self, block_stack, block_power):
+        """Exact array equality, serial vs 2 worker processes."""
+
+        def configure(r_um):
+            return block_stack, paper_tsv(radius=um(r_um), liner_thickness=um(1)), block_power
+
+        models = [ModelA(), Model1D()]
+        values = [2.0, 5.0, 10.0, 15.0]
+        serial = sweep("radius", values, models, configure, cache=False)
+        parallel = sweep(
+            "radius", values, models, configure,
+            executor=ParallelExecutor(2), cache=False,
+        )
+        assert serial.values == parallel.values
+        for name in ("model_a", "model_1d"):
+            assert serial.series(name) == parallel.series(name)
+
+    def test_fig5_sweep_equality(self):
+        """Fig. 5 liner sweep: parallel run is byte-identical to serial."""
+        perf.reset()
+        serial = fig5_liner.run(
+            fem_resolution="coarse", fast=True, calibrate=False,
+            segment_counts=(20,),
+        )
+        perf.reset()
+        parallel = fig5_liner.run(
+            fem_resolution="coarse", fast=True, calibrate=False,
+            segment_counts=(20,), jobs=2,
+        )
+        _exact_equal(serial, parallel)
+
+    def test_fig7_sweep_equality(self):
+        """Fig. 7 cluster sweep: parallel run is byte-identical to serial."""
+        perf.reset()
+        serial = fig7_cluster.run(
+            fem_resolution="coarse", fast=True, calibrate=False
+        )
+        perf.reset()
+        parallel = fig7_cluster.run(
+            fem_resolution="coarse", fast=True, calibrate=False, jobs=3
+        )
+        _exact_equal(serial, parallel)
+
+    def test_warm_cache_rerun_identical(self):
+        """A cache-warm rerun returns the same numbers as the cold run."""
+        perf.reset()
+        cold = fig7_cluster.run(fem_resolution="coarse", fast=True, calibrate=False)
+        warm = fig7_cluster.run(fem_resolution="coarse", fast=True, calibrate=False)
+        _exact_equal(cold, warm)
+        assert perf.result_cache.stats()["hits"] > 0
+
+
+class TestSweepEngineContract:
+    def test_model_order_preserved_with_partial_cache_hits(
+        self, block_stack, block_power
+    ):
+        """Cached and fresh results merge back in model declaration order."""
+
+        def configure(r_um):
+            return block_stack, paper_tsv(radius=um(r_um), liner_thickness=um(1)), block_power
+
+        # prime only model_1d's entries
+        sweep("radius", [2.0, 5.0], [Model1D()], configure)
+        result = sweep("radius", [2.0, 5.0], [ModelA(), Model1D()], configure)
+        assert result.model_names == ["model_a", "model_1d"]
+
+    def test_empty_values_still_rejected(self, block_stack, block_power):
+        def configure(v):
+            return block_stack, paper_tsv(), block_power
+
+        with pytest.raises(ValidationError):
+            sweep("x", [], [ModelA()], configure)
