@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# One-command local PR gate: lint + tier-1 tests + benchmark quick mode.
+#
+# Usage:  scripts/check.sh
+#   JOBS=N   worker count for the parallel bench measurement (default 4)
+#
+# Lint runs only when ruff is installed (the base image does not ship it);
+# the tier-1 suite and the benchmark-regression quick gate always run.
+set -eu
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== lint (ruff check)"
+    ruff check src tests benchmarks
+else
+    echo "== lint skipped: ruff not installed (pip install ruff)" >&2
+fi
+
+echo "== tier-1 tests"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+echo "== benchmark quick gate"
+benchmarks/run_bench.sh
+
+echo "== all checks passed"

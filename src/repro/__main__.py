@@ -1,7 +1,18 @@
-"""Command-line entry point: ``python -m repro <experiment>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
-Runs one (or all) of the paper's experiments and prints the regenerated
-tables/figures; optionally writes the markdown report and raw CSV/JSON.
+Scenario subcommands (the declarative path — :mod:`repro.scenarios`):
+
+* ``run <id|file.json>`` — run a registered scenario or a scenario JSON
+  file; with ``--store DIR`` finished runs become content-addressed
+  artifacts and re-running an unchanged spec is a store hit, not a solve;
+* ``list`` — show the registered scenarios;
+* ``batch <dir>`` — run every scenario file in a directory (sweep points
+  fan out over ``--jobs`` workers), skipping runs already in the store.
+
+Legacy aliases keep working: ``python -m repro fig4 …`` (also ``fig5``,
+``fig6``, ``fig7``, ``table1``, ``case_study``, ``all``) runs the paper
+experiments directly, and ``python -m repro bench`` delegates to the
+benchmark-regression harness.
 """
 
 from __future__ import annotations
@@ -11,8 +22,14 @@ import sys
 from pathlib import Path
 
 from .analysis import export_json, format_table
-from .experiments import REGISTRY, case_study, render_markdown, run_all, table1_segments
+from .experiments import REGISTRY, case_study, render_markdown, run_all
 from .experiments.harness import ExperimentResult
+from .perf import get_executor
+from .scenarios import SCENARIOS, RunStore, ScenarioSpec, run_scenario
+from .scenarios.store import MANIFEST_NAME
+
+#: legacy experiment names that accept --jobs (they run parameter sweeps)
+_SWEEP_EXPERIMENTS = ("all", "fig4", "fig5", "fig6", "fig7", "table1")
 
 
 def _positive_int(text: str) -> int:
@@ -22,22 +39,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description=(
-            "Regenerate the DATE 2011 TTSV paper's tables and figures, or run "
-            "the benchmark-regression harness ('bench')."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=[*REGISTRY.keys(), "all", "bench"],
-        help=(
-            "which paper artefact to regenerate; 'bench' runs the performance "
-            "regression harness (see 'python -m repro bench --help')"
-        ),
-    )
+def _add_run_flags(parser: argparse.ArgumentParser, *, legacy: bool) -> None:
+    """The flag set shared by the scenario and legacy subcommands.
+
+    Legacy commands keep their historical ``--fem-resolution`` default
+    (``medium``); scenario commands default to None so the spec's own
+    reference wins unless the user overrides it.
+    """
     parser.add_argument(
         "--fast", action="store_true", help="reduced sweeps (CI-speed)"
     )
@@ -51,9 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--fem-resolution",
-        default="medium",
+        default="medium" if legacy else None,
         choices=["coarse", "medium", "fine"],
-        help="mesh preset for the FEM reference (default: medium)",
+        help="mesh preset for the FEM reference"
+        + (" (default: medium)" if legacy else " (default: the spec's own)"),
     )
     parser.add_argument(
         "--no-calibrate",
@@ -64,8 +73,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir",
         type=Path,
         default=None,
-        help="also write JSON payloads (and EXPERIMENTS.md for 'all') here",
+        help="also write JSON payloads here"
+        + (" (and EXPERIMENTS.md for 'all')" if legacy else " (payload + spec)"),
     )
+    if not legacy:
+        parser.add_argument(
+            "--store",
+            type=Path,
+            default=None,
+            metavar="DIR",
+            help="content-addressed run store: artifacts land here and "
+            "re-running an unchanged scenario is a store hit, not a solve",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Run declarative scenarios ('run', 'list', 'batch'), regenerate "
+            "the DATE 2011 TTSV paper's tables and figures (legacy "
+            "fig4..case_study/all aliases), or run the benchmark-regression "
+            "harness ('bench')."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    run_p = sub.add_parser(
+        "run",
+        help="run a registered scenario id or a scenario JSON file",
+        description="Run one scenario through the registry/run-store path.",
+    )
+    run_p.add_argument(
+        "target", help="a registered scenario id (see 'list') or a JSON spec file"
+    )
+    _add_run_flags(run_p, legacy=False)
+
+    sub.add_parser(
+        "list",
+        help="list the registered scenarios",
+        description="Show every scenario in the registry.",
+    )
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="run every scenario JSON file in a directory, store-deduplicated",
+        description=(
+            "Run every *.json scenario in a directory; runs already present "
+            "in the store are skipped (served from their stored artifact)."
+        ),
+    )
+    batch_p.add_argument(
+        "directory", type=Path, help="directory containing scenario *.json files"
+    )
+    _add_run_flags(batch_p, legacy=False)
+
+    for exp_id in (*REGISTRY, "all"):
+        legacy_p = sub.add_parser(
+            exp_id, help=f"(legacy alias) regenerate {exp_id}"
+        )
+        _add_run_flags(legacy_p, legacy=True)
+        legacy_p.set_defaults(experiment=exp_id)
     return parser
 
 
@@ -81,27 +149,124 @@ def _print_result(result) -> None:
         if "table_rows" in result.metadata:
             print()
             print(format_table(result.metadata["table_rows"]))
-    else:  # the case study has its own shape
-        print(case_study.TITLE)
+    else:  # the case study (live or store-loaded) has its own shape
+        print(getattr(result, "title", None) or case_study.TITLE)
         print()
         print(format_table(result.rows(), float_format="{:.2f}"))
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else list(argv)
-    if argv[:1] == ["bench"]:
-        # the bench harness owns its own flags; delegate before parsing
-        from .perf.bench import main as bench_main
+# ---------------------------------------------------------------------------
+# scenario subcommands
+# ---------------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.target in SCENARIOS:
+        spec = SCENARIOS.get(args.target)
+    else:
+        path = Path(args.target)
+        if not path.exists():
+            print(
+                f"error: {args.target!r} is neither a registered scenario id "
+                f"nor an existing file; see 'python -m repro list'",
+                file=sys.stderr,
+            )
+            return 2
+        spec = ScenarioSpec.load(path)
+    store = RunStore(args.store) if args.store else None
+    run = run_scenario(
+        spec,
+        executor=get_executor(args.jobs),
+        store=store,
+        fast=args.fast,
+        fem_resolution=args.fem_resolution,
+        calibrate=False if args.no_calibrate else None,
+    )
+    source = "served from run store" if run.from_store else "solved"
+    print(f"[{run.spec.scenario_id}] {source} (key {run.key})")
+    print()
+    _print_result(run.result)
+    if args.output_dir:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        export_json(
+            args.output_dir / f"{run.spec.scenario_id}.json",
+            run.result.to_payload(),
+        )
+        run.spec.dump(args.output_dir / f"{run.spec.scenario_id}.spec.json")
+        print(f"\npayload and spec written to {args.output_dir}")
+    return 0
 
-        return bench_main(argv[1:])
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.experiment == "bench":
-        # reachable when flags precede the positional; bench flags differ,
-        # so require the documented `python -m repro bench [options]` form
-        parser.error("place 'bench' first: python -m repro bench [options]")
+
+def _cmd_list() -> int:
+    rows: list[list[object]] = [["id", "kind", "axis", "points", "reference", "title"]]
+    for spec in SCENARIOS.specs():
+        rows.append(
+            [
+                spec.scenario_id,
+                spec.kind,
+                spec.axis.parameter if spec.axis else "-",
+                len(spec.axis.values) if spec.axis else "-",
+                spec.reference,
+                spec.title,
+            ]
+        )
+    print(format_table(rows))
+    print(
+        "\nrun one with: python -m repro run <id>   "
+        "(or point 'run'/'batch' at scenario JSON files)"
+    )
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    directory: Path = args.directory
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    files = [
+        f for f in sorted(directory.glob("*.json")) if f.name != MANIFEST_NAME
+    ]
+    if not files:
+        print(f"error: no scenario *.json files in {directory}", file=sys.stderr)
+        return 2
+    store = RunStore(args.store if args.store else directory / "runs")
+    executor = get_executor(args.jobs)
+    solved = hits = 0
+    for path in files:
+        run = run_scenario(
+            ScenarioSpec.load(path),
+            executor=executor,
+            store=store,
+            fast=args.fast,
+            fem_resolution=args.fem_resolution,
+            calibrate=False if args.no_calibrate else None,
+        )
+        if run.from_store:
+            hits += 1
+            tag = "store hit"
+        else:
+            solved += 1
+            tag = "solved"
+        print(f"[{run.spec.scenario_id}] {tag:9s} {path.name} -> {run.key}")
+        if args.output_dir:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            export_json(
+                args.output_dir / f"{run.spec.scenario_id}.json",
+                run.result.to_payload(),
+            )
+            run.spec.dump(args.output_dir / f"{run.spec.scenario_id}.spec.json")
+    print(
+        f"\n{len(files)} scenario(s): {solved} solved, {hits} served from "
+        f"store; artifacts in {store.root}"
+        + (f"; payloads in {args.output_dir}" if args.output_dir else "")
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# legacy experiment aliases
+# ---------------------------------------------------------------------------
+def _cmd_legacy(args: argparse.Namespace) -> int:
     kwargs = {"fem_resolution": args.fem_resolution, "fast": args.fast}
-    if args.experiment in ("all", "fig4", "fig5", "fig6", "fig7", "table1"):
+    if args.experiment in _SWEEP_EXPERIMENTS:
         kwargs["jobs"] = args.jobs
     elif args.jobs != 1:
         print(
@@ -109,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     if args.experiment == "all":
-        results = run_all(**kwargs)
+        results = run_all(**kwargs, calibrate=not args.no_calibrate)
         for result in results.values():
             print()
             _print_result(result)
@@ -123,14 +288,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\nreports written to {args.output_dir}")
         return 0
     run = REGISTRY[args.experiment]
-    if args.experiment in ("fig4", "fig5", "fig6", "fig7"):
+    if args.experiment in ("fig4", "fig5", "fig6", "fig7", "table1"):
         kwargs["calibrate"] = not args.no_calibrate
     if args.experiment == "case_study":
         kwargs["recalibrate"] = not args.no_calibrate
     result = run(**kwargs)
-    if args.experiment == "table1" and isinstance(result, ExperimentResult):
-        print(table1_segments.table_text(result))
-        print()
     _print_result(result)
     if args.output_dir:
         args.output_dir.mkdir(parents=True, exist_ok=True)
@@ -139,6 +301,23 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"\npayload written to {args.output_dir}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["bench"]:
+        # the bench harness owns its own flags; delegate before parsing
+        from .perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "batch":
+        return _cmd_batch(args)
+    return _cmd_legacy(args)
 
 
 if __name__ == "__main__":

@@ -68,7 +68,12 @@ class ExperimentResult:
         return rows
 
     def to_payload(self) -> dict[str, Any]:
-        """JSON-serialisable dump for the export helpers."""
+        """JSON-serialisable dump for the export helpers and the run store.
+
+        ``errors`` holds the raw fractions (exact float round-trip via
+        :meth:`from_payload`); ``errors_pct`` keeps the human-readable
+        percentages the reports use.
+        """
         return {
             "experiment_id": self.experiment_id,
             "title": self.title,
@@ -76,12 +81,61 @@ class ExperimentResult:
             "x_values": self.x_values,
             "series": self.series,
             "reference": self.reference_name,
+            "errors": {
+                name: {
+                    "max_error": err.max_error,
+                    "avg_error": err.avg_error,
+                    "rms_error": err.rms_error,
+                    "signed_mean": err.signed_mean,
+                }
+                for name, err in self.errors.items()
+            },
             "errors_pct": {
                 name: err.as_percentages() for name, err in self.errors.items()
             },
             "runtimes_ms": self.runtimes_ms,
             "metadata": self.metadata,
         }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_payload` output (store/JSON).
+
+        The numeric content round-trips exactly (JSON preserves doubles);
+        only ``sweep_result`` — the raw per-point solver output — is not
+        serialised and comes back as ``None``.
+        """
+        try:
+            raw_errors = payload.get("errors")
+            if raw_errors is not None:
+                errors = {
+                    name: ErrorMetrics(**values) for name, values in raw_errors.items()
+                }
+            else:  # pre-store payloads carried percentages only
+                errors = {
+                    name: ErrorMetrics(
+                        max_error=pct["max_%"] / 100.0,
+                        avg_error=pct["avg_%"] / 100.0,
+                        rms_error=pct["rms_%"] / 100.0,
+                        signed_mean=pct["signed_mean_%"] / 100.0,
+                    )
+                    for name, pct in payload["errors_pct"].items()
+                }
+            return cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                x_label=payload["x_label"],
+                x_values=list(payload["x_values"]),
+                series={name: list(ys) for name, ys in payload["series"].items()},
+                reference_name=payload["reference"],
+                errors=errors,
+                runtimes_ms=dict(payload["runtimes_ms"]),
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(
+                f"malformed experiment payload: {exc!r}"
+            ) from exc
 
 
 def calibrated_model_a(

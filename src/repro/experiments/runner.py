@@ -40,26 +40,35 @@ def run_all(
     fast: bool = False,
     verbose: bool = True,
     jobs: int = 1,
+    calibrate: bool = True,
 ) -> dict[str, Any]:
     """Run every experiment; Table I reuses the Fig. 5 sweep.
 
-    ``jobs`` sets the per-sweep worker-process count (1 = serial).
+    ``jobs`` sets the per-sweep worker-process count (1 = serial) and
+    ``calibrate`` toggles the recalibrated Model A variant everywhere —
+    the same knobs the single-experiment entry points take (the CLI's
+    ``--jobs`` / ``--no-calibrate`` for ``all`` land here).
     """
     results: dict[str, Any] = {}
     for exp_id in ("fig4", "fig5", "fig6", "fig7"):
         if verbose:
             print(f"[{exp_id}] running ...")
         results[exp_id] = REGISTRY[exp_id](
-            fem_resolution=fem_resolution, fast=fast, jobs=jobs
+            fem_resolution=fem_resolution, fast=fast, jobs=jobs, calibrate=calibrate
         )
     if verbose:
         print("[table1] deriving from fig5 ...")
     results["table1"] = table1_segments.run(
-        fem_resolution=fem_resolution, fast=fast, fig5_result=results["fig5"]
+        fem_resolution=fem_resolution,
+        fast=fast,
+        fig5_result=results["fig5"],
+        jobs=jobs,
     )
     if verbose:
         print("[case_study] running ...")
-    results["case_study"] = case_study.run(fem_resolution=fem_resolution, fast=fast)
+    results["case_study"] = case_study.run(
+        fem_resolution=fem_resolution, fast=fast, recalibrate=calibrate, jobs=jobs
+    )
     return results
 
 

@@ -40,10 +40,15 @@ def run(
     fast: bool = False,
     fig5_result: ExperimentResult | None = None,
     jobs: int = 1,
+    calibrate: bool = True,
 ) -> ExperimentResult:
-    """Reproduce Table I (reusing a Fig. 5 run when provided)."""
+    """Reproduce Table I (reusing a Fig. 5 run when provided).
+
+    ``jobs`` and ``calibrate`` only matter when the Fig. 5 sweep is run
+    here rather than passed in.
+    """
     result = fig5_result or fig5_liner.run(
-        fem_resolution=fem_resolution, fast=fast, jobs=jobs
+        fem_resolution=fem_resolution, fast=fast, jobs=jobs, calibrate=calibrate
     )
     metadata = dict(result.metadata)
     metadata["table_rows"] = rows_from_fig5(result)

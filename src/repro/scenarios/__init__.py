@@ -1,0 +1,47 @@
+"""Declarative scenarios: spec-driven experiments, registry and run store.
+
+This package turns experiments into data.  A
+:class:`~repro.scenarios.spec.ScenarioSpec` describes a sweep (axis,
+geometry, power, models, reference, calibration policy) or the case study
+as a frozen, JSON-round-trippable value with a stable content hash; the
+:data:`~repro.scenarios.registry.SCENARIOS` registry maps ids to specs
+(the paper's six experiments are builtin entries); the
+:class:`~repro.scenarios.store.RunStore` keeps finished runs as
+content-addressed JSON artifacts so unchanged specs are store hits; and
+:func:`~repro.scenarios.runner.run_scenario` executes any spec on the
+:mod:`repro.perf` sweep engine.
+
+CLI: ``python -m repro run <id|file.json>``, ``python -m repro list``,
+``python -m repro batch <dir>``.
+"""
+
+from .registry import SCENARIOS, ScenarioRegistry
+from .runner import ScenarioRun, StoredCaseStudy, run_scenario
+from .spec import (
+    AXIS_LABELS,
+    AXIS_PARAMETERS,
+    AxisSpec,
+    GeometryParams,
+    GeometryRule,
+    ScenarioSpec,
+)
+from .store import RunStore
+
+# registering the builtin scenarios is an import side effect by design:
+# any importer of repro.scenarios sees the paper's six entries
+from . import builtin as _builtin  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "AXIS_LABELS",
+    "AXIS_PARAMETERS",
+    "AxisSpec",
+    "GeometryParams",
+    "GeometryRule",
+    "RunStore",
+    "SCENARIOS",
+    "ScenarioRegistry",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "StoredCaseStudy",
+    "run_scenario",
+]

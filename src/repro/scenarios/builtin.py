@@ -1,0 +1,130 @@
+"""The paper's experiments as registry entries.
+
+Figures 4–7, Table I and the case study are nothing but six
+:class:`~repro.scenarios.spec.ScenarioSpec` instances — the geometry and
+sweep values come straight from the captions (mirroring
+:mod:`repro.experiments.params`), and
+:func:`~repro.scenarios.runner.run_scenario` reproduces the legacy
+``repro.experiments.figN.run()`` results exactly (asserted by
+``tests/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+from .registry import SCENARIOS
+from .spec import AxisSpec, GeometryParams, GeometryRule, ScenarioSpec
+
+
+@SCENARIOS.register
+def fig4() -> ScenarioSpec:
+    """Fig. 4: the radius sweep with the aspect-ratio substrate switch."""
+    return ScenarioSpec(
+        scenario_id="fig4",
+        title="Fig. 4: max ΔT vs TTSV radius",
+        description="max ΔT vs TTSV radius (1–20 µm), thin/thick substrate regimes",
+        axis=AxisSpec(
+            parameter="radius_um",
+            values=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0),
+            fast_values=(1.0, 3.0, 5.0, 8.0, 12.0, 20.0),
+        ),
+        geometry=GeometryParams(t_ild_um=4.0, t_bond_um=1.0, liner_um=0.5),
+        rules=(
+            GeometryRule(set={"t_si_upper_um": 5.0}, upto=5.0),
+            GeometryRule(set={"t_si_upper_um": 45.0}, above=5.0),
+        ),
+        models=("a:paper", "b:100", "1d"),
+        metadata={
+            "caption": "tL=0.5um, tD=4um, tb=1um; tSi2,3 = 5um (r<=5) / 45um (r>5)"
+        },
+    )
+
+
+def _fig5_spec(scenario_id: str, title: str, postprocess: str | None) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario_id=scenario_id,
+        title=title,
+        description="max ΔT vs liner thickness; Model B at the Table I segment counts",
+        axis=AxisSpec(
+            parameter="liner_um",
+            values=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+            fast_values=(0.5, 1.5, 3.0),
+        ),
+        geometry=GeometryParams(
+            t_si_upper_um=45.0, t_ild_um=7.0, t_bond_um=1.0, radius_um=5.0
+        ),
+        models=("a:paper", "b:1,1,1", "b:2,20,20", "b:10,100,100", "b:50,500,500", "1d"),
+        postprocess=postprocess,
+        metadata={
+            "caption": "r=5um, tD=7um, tb=1um, tSi2,3=45um",
+            "segment_counts": [1, 20, 100, 500],
+        },
+    )
+
+
+@SCENARIOS.register
+def fig5() -> ScenarioSpec:
+    """Fig. 5: the liner sweep (doubles as the Table I study)."""
+    return _fig5_spec("fig5", "Fig. 5: max ΔT vs liner thickness", None)
+
+
+@SCENARIOS.register
+def table1() -> ScenarioSpec:
+    """Table I: the Fig. 5 sweep post-processed into the accuracy table."""
+    return _fig5_spec(
+        "table1",
+        "Table I: error and run time vs # of segments in Model B",
+        "table1",
+    )
+
+
+@SCENARIOS.register
+def fig6() -> ScenarioSpec:
+    """Fig. 6: the non-monotonic substrate-thickness sweep."""
+    return ScenarioSpec(
+        scenario_id="fig6",
+        title="Fig. 6: max ΔT vs substrate thickness (non-monotonic)",
+        description="max ΔT vs upper-substrate thickness (5–80 µm)",
+        axis=AxisSpec(
+            parameter="t_si_upper_um",
+            values=(5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 80.0),
+            fast_values=(5.0, 20.0, 45.0, 80.0),
+        ),
+        geometry=GeometryParams(
+            t_ild_um=7.0, t_bond_um=1.0, radius_um=8.0, liner_um=1.0
+        ),
+        models=("a:paper", "b:100", "1d"),
+        metadata={"caption": "tL=1um, tD=7um, tb=1um, r=8um"},
+    )
+
+
+@SCENARIOS.register
+def fig7() -> ScenarioSpec:
+    """Fig. 7: the constant-metal-area cluster sweep."""
+    return ScenarioSpec(
+        scenario_id="fig7",
+        title="Fig. 7: max ΔT vs number of TTSVs (constant metal area)",
+        description="max ΔT vs cluster size n (Eq. 22 transform, constant metal area)",
+        axis=AxisSpec(
+            parameter="cluster_count",
+            values=(1, 2, 4, 9, 16),
+            fast_values=(1, 2, 4),
+        ),
+        geometry=GeometryParams(
+            t_si_upper_um=20.0, t_ild_um=4.0, t_bond_um=1.0, radius_um=10.0, liner_um=1.0
+        ),
+        models=("a:paper", "b:100", "1d"),
+        metadata={"caption": "tL=1um, tD=4um, tb=1um, tSi2,3=20um, r0=10um"},
+    )
+
+
+@SCENARIOS.register
+def case_study() -> ScenarioSpec:
+    """Section IV-E: the 3-D DRAM-µP system (with recalibration)."""
+    return ScenarioSpec(
+        scenario_id="case_study",
+        title="Section IV-E: 3-D DRAM-uP case study",
+        description="the 3-D DRAM-µP system; calibrate=True re-fits Model A vs our FEM",
+        kind="case_study",
+        models=(),
+        model_b_segments=1000,
+    )

@@ -1,0 +1,80 @@
+"""The scenario registry.
+
+:data:`SCENARIOS` is the process-wide registry the CLI consults:
+``python -m repro run fig4`` looks the id up here, ``python -m repro
+list`` prints its contents.  The paper's six experiments are registered in
+:mod:`repro.scenarios.builtin`; downstream code adds its own scenarios
+with the decorator::
+
+    from repro.scenarios import SCENARIOS, ScenarioSpec
+
+    @SCENARIOS.register
+    def my_sweep() -> ScenarioSpec:
+        return ScenarioSpec(scenario_id="my_sweep", ...)
+
+or by handing a ready spec to :meth:`ScenarioRegistry.add`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from ..errors import ValidationError
+from .spec import ScenarioSpec
+
+
+class ScenarioRegistry:
+    """A name → :class:`ScenarioSpec` mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+
+    def add(self, spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
+        """Register a spec under its ``scenario_id``."""
+        if not isinstance(spec, ScenarioSpec):
+            raise ValidationError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+        if spec.scenario_id in self._specs and not replace:
+            raise ValidationError(
+                f"scenario {spec.scenario_id!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._specs[spec.scenario_id] = spec
+        return spec
+
+    def register(
+        self, builder: Callable[[], ScenarioSpec]
+    ) -> Callable[[], ScenarioSpec]:
+        """Decorator: call ``builder`` once and register the spec it returns."""
+        self.add(builder())
+        return builder
+
+    def get(self, scenario_id: str) -> ScenarioSpec:
+        """The spec registered under ``scenario_id``."""
+        try:
+            return self._specs[scenario_id]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "(none)"
+            raise ValidationError(
+                f"unknown scenario {scenario_id!r}; registered: {known}"
+            ) from None
+
+    def ids(self) -> list[str]:
+        """Registered scenario ids, in registration order."""
+        return list(self._specs)
+
+    def specs(self) -> list[ScenarioSpec]:
+        """Registered specs, in registration order."""
+        return list(self._specs.values())
+
+    def __contains__(self, scenario_id: object) -> bool:
+        return scenario_id in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: the process-wide registry (builtin scenarios register themselves here)
+SCENARIOS = ScenarioRegistry()

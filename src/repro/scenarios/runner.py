@@ -1,0 +1,216 @@
+"""Run a scenario spec through the experiment engine.
+
+:func:`run_scenario` is the generic entry point the CLI's ``run`` and
+``batch`` subcommands sit on: resolve the spec (fast values, mesh
+override, calibration policy), consult the :class:`RunStore` keyed on the
+spec's content hash, and only if the store misses build the models via
+:func:`repro.core.factory.make_model`, expand the axis into geometry
+points and hand the sweep to
+:func:`repro.experiments.harness.run_sweep_experiment` (which in turn
+runs on the pluggable :class:`repro.perf.SweepExecutor` engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..core.factory import make_model, parse_model_spec
+from ..core.sweep import Configurator
+from ..errors import ValidationError
+from ..experiments import case_study as case_study_module
+from ..experiments.harness import (
+    ExperimentResult,
+    calibrated_model_a,
+    run_sweep_experiment,
+)
+from ..experiments.table1_segments import rows_from_fig5
+from ..geometry import PowerSpec, TSVCluster, paper_stack, paper_tsv
+from ..perf import SweepExecutor
+from ..units import um
+from .registry import SCENARIOS
+from .spec import ScenarioSpec
+from .store import RunStore
+
+
+@dataclass(frozen=True)
+class StoredCaseStudy:
+    """A case-study run reloaded from the store (payload-backed view)."""
+
+    payload: dict[str, Any]
+
+    @property
+    def title(self) -> str:
+        return self.payload.get("title", case_study_module.TITLE)
+
+    def rises(self) -> dict[str, float]:
+        return dict(self.payload["rises"])
+
+    def rows(self) -> list[list[Any]]:
+        out: list[list[Any]] = [["model", "max ΔT [°C]", "solve time [ms]"]]
+        runtimes = self.payload.get("runtimes_ms", {})
+        for name, rise in self.payload["rises"].items():
+            out.append([name, rise, runtimes.get(name, float("nan"))])
+        recal = self.payload.get("recalibrated")
+        if recal is not None:
+            out.append(
+                [
+                    f"model_a (recal. k1={recal['k1']:.2f}, k2={recal['k2']:.2f})",
+                    recal["max_rise"],
+                    float("nan"),
+                ]
+            )
+        return out
+
+    def to_payload(self) -> dict[str, Any]:
+        return self.payload
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One completed :func:`run_scenario` call.
+
+    ``result`` is an :class:`~repro.experiments.harness.ExperimentResult`
+    for sweeps (reconstructed from the payload on a store hit) or a
+    :class:`~repro.experiments.case_study.CaseStudyExperiment` /
+    :class:`StoredCaseStudy` for the case study; ``from_store`` says
+    whether anything was actually solved.
+    """
+
+    spec: ScenarioSpec  # the resolved spec that keyed the run
+    key: str  # spec.content_hash(); the RunStore address
+    result: Any
+    from_store: bool
+
+
+def _power_spec(spec: ScenarioSpec) -> PowerSpec:
+    kwargs = dict(spec.power)
+    if kwargs.get("plane_powers") is not None:
+        kwargs["plane_powers"] = tuple(kwargs["plane_powers"])
+    return PowerSpec(**kwargs)
+
+
+def _configurator(spec: ScenarioSpec) -> Configurator:
+    """The (stack, via, power) callback a sweep spec expands into."""
+    axis = spec.axis
+    assert axis is not None  # guaranteed by ScenarioSpec validation
+    base = spec.geometry.to_dict()
+    power = _power_spec(spec)
+
+    def configure(value):
+        geo = dict(base)
+        for rule in spec.rules:
+            if rule.applies(value):
+                geo.update(rule.set)
+        if axis.parameter != "cluster_count":
+            geo[axis.parameter] = float(value)
+        stack = paper_stack(
+            n_planes=geo["n_planes"],
+            t_si_upper=um(geo["t_si_upper_um"]),
+            t_ild=um(geo["t_ild_um"]),
+            t_bond=um(geo["t_bond_um"]),
+        )
+        via_kwargs: dict[str, float] = {
+            "radius": um(geo["radius_um"]),
+            "liner_thickness": um(geo["liner_um"]),
+        }
+        if geo["extension_um"] is not None:
+            via_kwargs["extension"] = um(geo["extension_um"])
+        via = paper_tsv(**via_kwargs)
+        if axis.parameter == "cluster_count":
+            return stack, TSVCluster(via, int(value)), power
+        return stack, via, power
+
+    return configure
+
+
+def _run_sweep(
+    spec: ScenarioSpec, *, executor: SweepExecutor | None, fast: bool, key: str
+) -> ExperimentResult:
+    axis = spec.axis
+    configure = _configurator(spec)
+    reference = make_model(spec.reference)
+    models = [make_model(m) for m in spec.models]
+    if spec.calibrate:
+        # same slot the legacy experiments used: right after the first model
+        models.insert(
+            min(1, len(models)),
+            calibrated_model_a(
+                axis.values, configure, reference, n_samples=spec.calibration_samples
+            ),
+        )
+    result = run_sweep_experiment(
+        experiment_id=spec.scenario_id,
+        title=spec.title,
+        x_label=axis.x_label,
+        values=list(axis.values),
+        configure=configure,
+        models=models,
+        reference=reference,
+        executor=executor,
+        metadata={**dict(spec.metadata), "fast": fast, "spec_hash": key},
+    )
+    if spec.postprocess == "table1":
+        metadata = dict(result.metadata)
+        metadata["table_rows"] = rows_from_fig5(result)
+        result = replace(result, metadata=metadata)
+    return result
+
+
+def _run_case_study(spec: ScenarioSpec):
+    parsed = parse_model_spec(spec.reference)
+    if parsed.kind != "fem":
+        raise ValidationError(
+            f"the case study needs an axisymmetric 'fem[:...]' reference, "
+            f"got {spec.reference!r}"
+        )
+    # the spec is already resolved: ``fast`` has been folded into
+    # model_b_segments, so never pass fast=True here — case_study.run would
+    # re-trim the segments behind the content hash's back and the store
+    # would file the trimmed result under the full-accuracy key
+    return case_study_module.run(
+        fem_resolution=parsed.arg,
+        fast=False,
+        recalibrate=spec.calibrate,
+        model_b_segments=spec.model_b_segments,
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec | str,
+    *,
+    executor: SweepExecutor | None = None,
+    store: RunStore | None = None,
+    fast: bool = False,
+    fem_resolution: str | None = None,
+    calibrate: bool | None = None,
+) -> ScenarioRun:
+    """Run one scenario (a spec, or a registered scenario id).
+
+    The spec is first :meth:`~ScenarioSpec.resolved` against the run-time
+    choices so the content hash covers exactly what runs.  With a
+    ``store``, a hash hit returns the stored payload — reconstructed into
+    an :class:`ExperimentResult` for sweeps — without solving anything;
+    a miss runs the scenario and stores its payload.  ``executor`` picks
+    the sweep execution strategy (serial default; the CLI's ``--jobs N``
+    passes a :class:`~repro.perf.ParallelExecutor`).
+    """
+    if isinstance(spec, str):
+        spec = SCENARIOS.get(spec)
+    spec = spec.resolved(fast=fast, fem_resolution=fem_resolution, calibrate=calibrate)
+    key = spec.content_hash()
+    if store is not None:
+        payload = store.get(key)
+        if payload is not None:
+            if spec.kind == "case_study":
+                result: Any = StoredCaseStudy(payload)
+            else:
+                result = ExperimentResult.from_payload(payload)
+            return ScenarioRun(spec=spec, key=key, result=result, from_store=True)
+    if spec.kind == "case_study":
+        result = _run_case_study(spec)
+    else:
+        result = _run_sweep(spec, executor=executor, fast=fast, key=key)
+    if store is not None:
+        store.put(key, result.to_payload(), spec)
+    return ScenarioRun(spec=spec, key=key, result=result, from_store=False)

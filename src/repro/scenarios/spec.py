@@ -1,0 +1,383 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, JSON-serialisable description of one
+experiment: which parameter is swept over which values, the block geometry
+the sweep perturbs, the power specification, which models run, which
+reference they are judged against, and the calibration policy.  The
+paper's figures are just six such specs (:mod:`repro.scenarios.builtin`);
+arbitrary new workloads are JSON files with the same schema, runnable via
+``python -m repro run path/to/scenario.json`` with no Python changes.
+
+Every spec has a stable :meth:`~ScenarioSpec.content_hash` over its
+canonical JSON form.  The hash keys the content-addressed
+:class:`~repro.scenarios.store.RunStore` (re-running an unchanged spec is
+a store hit, not a solve) and composes with the :mod:`repro.perf` cache
+keys, which already content-hash the per-point geometry the spec expands
+into.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any
+
+from ..core.factory import parse_model_spec
+from ..errors import ValidationError
+
+#: sweepable parameters: geometry fields (µm) plus the Eq.-(22) cluster size
+AXIS_PARAMETERS = (
+    "radius_um",
+    "liner_um",
+    "t_si_upper_um",
+    "t_ild_um",
+    "t_bond_um",
+    "cluster_count",
+)
+
+#: default x-axis label per sweepable parameter (matches the paper figures)
+AXIS_LABELS = {
+    "radius_um": "radius [um]",
+    "liner_um": "liner [um]",
+    "t_si_upper_um": "tSi2,3 [um]",
+    "t_ild_um": "tD [um]",
+    "t_bond_um": "tb [um]",
+    "cluster_count": "n TTSVs",
+}
+
+#: allowed keys of the ``power`` mapping (kwargs of PowerSpec)
+POWER_KEYS = (
+    "device_power_density",
+    "ild_power_density",
+    "plane_powers",
+    "ild_fraction",
+)
+
+KINDS = ("sweep", "case_study")
+POSTPROCESSES = (None, "table1")
+
+
+def _require_number(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _reject_unknown(kind: str, data: Mapping[str, Any], known: Sequence[str]) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValidationError(
+            f"unknown {kind} field(s) {unknown}; known: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class GeometryParams:
+    """The Section-IV block geometry a scenario perturbs (lengths in µm).
+
+    Defaults are the paper's common parameters; each scenario overrides the
+    dimensions its caption fixes, the sweep axis overrides one per point,
+    and :class:`GeometryRule` entries override piecewise along the axis
+    (e.g. Fig. 4's aspect-ratio substrate switch).  ``extension_um`` of
+    ``None`` keeps the paper's default via extension.
+    """
+
+    n_planes: int = 3
+    t_si_upper_um: float = 45.0
+    t_ild_um: float = 4.0
+    t_bond_um: float = 1.0
+    radius_um: float = 5.0
+    liner_um: float = 0.5
+    extension_um: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_planes, int) or self.n_planes < 1:
+            raise ValidationError(f"n_planes must be a positive int, got {self.n_planes!r}")
+        for name in ("t_si_upper_um", "t_ild_um", "t_bond_um", "radius_um", "liner_um"):
+            if _require_number(name, getattr(self, name)) <= 0.0:
+                raise ValidationError(f"{name} must be positive, got {getattr(self, name)!r}")
+        if self.extension_um is not None and _require_number(
+            "extension_um", self.extension_um
+        ) < 0.0:
+            raise ValidationError(f"extension_um must be >= 0, got {self.extension_um!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GeometryParams":
+        _reject_unknown("geometry", data, [f.name for f in fields(cls)])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class GeometryRule:
+    """A piecewise geometry override along the sweep axis.
+
+    The rule applies at axis value ``v`` when ``above < v <= upto`` (either
+    bound may be omitted); matching rules apply in order, later ones win.
+    ``set`` maps :class:`GeometryParams` field names to replacement values.
+    """
+
+    set: Mapping[str, Any]
+    above: float | None = None
+    upto: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.set:
+            raise ValidationError("a geometry rule must set at least one field")
+        known = [f.name for f in fields(GeometryParams)]
+        _reject_unknown("geometry rule", self.set, known)
+        if self.above is None and self.upto is None:
+            raise ValidationError(
+                "a geometry rule needs an 'above' and/or 'upto' bound "
+                "(otherwise set the value in 'geometry' directly)"
+            )
+
+    def applies(self, value: float) -> bool:
+        if self.above is not None and not value > self.above:
+            return False
+        if self.upto is not None and not value <= self.upto:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"set": dict(self.set), "above": self.above, "upto": self.upto}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GeometryRule":
+        _reject_unknown("rule", data, ("set", "above", "upto"))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """The swept parameter and its values (plus an optional fast subset)."""
+
+    parameter: str
+    values: tuple[Any, ...]
+    label: str | None = None
+    fast_values: tuple[Any, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.parameter not in AXIS_PARAMETERS:
+            raise ValidationError(
+                f"unknown axis parameter {self.parameter!r}; "
+                f"known: {list(AXIS_PARAMETERS)}"
+            )
+        object.__setattr__(self, "values", tuple(self.values))
+        if self.fast_values is not None:
+            object.__setattr__(self, "fast_values", tuple(self.fast_values))
+        for seq_name in ("values", "fast_values"):
+            seq = getattr(self, seq_name)
+            if seq is None:
+                continue
+            if not seq:
+                raise ValidationError(f"axis {seq_name} must be non-empty")
+            for v in seq:
+                if self.parameter == "cluster_count":
+                    if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                        raise ValidationError(
+                            f"cluster_count values must be positive ints, got {v!r}"
+                        )
+                else:
+                    if _require_number("axis value", v) <= 0.0:
+                        raise ValidationError(f"axis values must be positive, got {v!r}")
+
+    @property
+    def x_label(self) -> str:
+        return self.label or AXIS_LABELS[self.parameter]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "label": self.label,
+            "fast_values": None if self.fast_values is None else list(self.fast_values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AxisSpec":
+        _reject_unknown("axis", data, ("parameter", "values", "label", "fast_values"))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, data-defined experiment.
+
+    ``kind == "sweep"`` runs every model of ``models`` (spec strings for
+    :func:`repro.core.factory.make_model`) plus the ``reference`` over the
+    ``axis``; ``calibrate`` additionally fits a ``model_a_cal`` against the
+    reference on up to ``calibration_samples`` axis points (the paper's
+    own coefficient workflow).  ``postprocess="table1"`` derives the
+    accuracy/runtime table from the finished sweep.  ``kind ==
+    "case_study"`` runs the Section IV-E DRAM-µP system instead
+    (``model_b_segments`` sets its Model B size; ``calibrate`` maps to the
+    recalibration step).
+    """
+
+    scenario_id: str
+    title: str
+    kind: str = "sweep"
+    description: str = ""
+    axis: AxisSpec | None = None
+    geometry: GeometryParams = field(default_factory=GeometryParams)
+    power: Mapping[str, Any] = field(default_factory=dict)
+    rules: tuple[GeometryRule, ...] = ()
+    models: tuple[str, ...] = ("a:paper", "b:100", "1d")
+    reference: str = "fem:medium"
+    calibrate: bool = True
+    calibration_samples: int = 4
+    postprocess: str | None = None
+    model_b_segments: int = 1000
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scenario_id or not isinstance(self.scenario_id, str):
+            raise ValidationError("scenario_id must be a non-empty string")
+        if not self.title or not isinstance(self.title, str):
+            raise ValidationError("title must be a non-empty string")
+        if self.kind not in KINDS:
+            raise ValidationError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "models", tuple(self.models))
+        if self.kind == "sweep":
+            if self.axis is None:
+                raise ValidationError("a sweep scenario needs an 'axis'")
+            if not self.models:
+                raise ValidationError("a sweep scenario needs at least one model")
+        for spec in self.models:
+            parse_model_spec(spec)  # raises ValidationError on bad grammar
+        parse_model_spec(self.reference)
+        _reject_unknown("power", self.power, POWER_KEYS)
+        if self.postprocess not in POSTPROCESSES:
+            raise ValidationError(
+                f"postprocess must be one of {POSTPROCESSES}, got {self.postprocess!r}"
+            )
+        if not isinstance(self.calibration_samples, int) or self.calibration_samples < 2:
+            raise ValidationError(
+                f"calibration_samples must be an int >= 2, got {self.calibration_samples!r}"
+            )
+        if not isinstance(self.model_b_segments, int) or self.model_b_segments < 1:
+            raise ValidationError(
+                f"model_b_segments must be a positive int, got {self.model_b_segments!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (the JSON schema; see README 'Scenario files')."""
+        return {
+            "scenario_id": self.scenario_id,
+            "title": self.title,
+            "kind": self.kind,
+            "description": self.description,
+            "axis": None if self.axis is None else self.axis.to_dict(),
+            "geometry": self.geometry.to_dict(),
+            "power": dict(self.power),
+            "rules": [r.to_dict() for r in self.rules],
+            "models": list(self.models),
+            "reference": self.reference,
+            "calibrate": self.calibrate,
+            "calibration_samples": self.calibration_samples,
+            "postprocess": self.postprocess,
+            "model_b_segments": self.model_b_segments,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Validate and build a spec from its plain-dict form."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"scenario must be a JSON object, got {type(data).__name__}")
+        _reject_unknown("scenario", data, [f.name for f in fields(cls)])
+        kwargs = dict(data)
+        if kwargs.get("axis") is not None:
+            kwargs["axis"] = AxisSpec.from_dict(kwargs["axis"])
+        if "geometry" in kwargs:
+            kwargs["geometry"] = GeometryParams.from_dict(kwargs["geometry"])
+        if "rules" in kwargs:
+            kwargs["rules"] = tuple(GeometryRule.from_dict(r) for r in kwargs["rules"])
+        if "power" in kwargs:
+            power = dict(kwargs["power"])
+            if power.get("plane_powers") is not None:
+                power["plane_powers"] = tuple(power["plane_powers"])
+            kwargs["power"] = power
+        if "models" in kwargs:
+            kwargs["models"] = tuple(kwargs["models"])
+        return cls(**kwargs)
+
+    def dumps(self) -> str:
+        """The spec as pretty-printed JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the spec as JSON and return the path."""
+        path = Path(path)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec from a JSON file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{path} is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable digest of the spec's canonical JSON form.
+
+        Two specs hash equal iff they describe the same experiment; the
+        hash keys the :class:`~repro.scenarios.store.RunStore` and is safe
+        to combine with :func:`repro.perf.content_key` cache keys.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+    # ------------------------------------------------------------------
+    # derived specs
+    # ------------------------------------------------------------------
+    def resolved(
+        self,
+        *,
+        fast: bool = False,
+        fem_resolution: str | None = None,
+        calibrate: bool | None = None,
+    ) -> "ScenarioSpec":
+        """The spec with run-time choices folded in.
+
+        ``fast`` substitutes the axis' ``fast_values`` (and trims the case
+        study's Model B); ``fem_resolution`` rewrites an ``fem[:...]`` /
+        ``fem3d[:...]`` reference to the given preset; ``calibrate``
+        overrides the spec's calibration policy.  The result is a plain
+        spec, so its :meth:`content_hash` reflects exactly what runs.
+        """
+        spec = self
+        if fast:
+            if spec.axis is not None and spec.axis.fast_values is not None:
+                spec = replace(
+                    spec,
+                    axis=replace(spec.axis, values=spec.axis.fast_values, fast_values=None),
+                )
+            if spec.kind == "case_study" and spec.model_b_segments > 100:
+                spec = replace(spec, model_b_segments=100)
+        if fem_resolution is not None:
+            name, _, _ = spec.reference.partition(":")
+            if name in ("fem", "fem3d"):
+                spec = replace(spec, reference=f"{name}:{fem_resolution}")
+        if calibrate is not None and calibrate != spec.calibrate:
+            spec = replace(spec, calibrate=calibrate)
+        return spec

@@ -1,0 +1,115 @@
+"""Content-addressed storage of finished scenario runs.
+
+A :class:`RunStore` is a directory holding one JSON artifact per completed
+run, addressed by the :meth:`~repro.scenarios.spec.ScenarioSpec.content_hash`
+of the (resolved) spec that produced it, plus a ``manifest.json`` index
+mapping each key to its scenario id, artifact path, spec and creation
+time.  Because the key is pure content, re-running an unchanged spec is a
+store hit — the experiment layer returns the stored payload without
+solving anything — while any change to the spec (values, models, mesh,
+calibration policy) changes the key and forces a fresh run.
+
+Hits and misses are counted into :func:`repro.perf.stats` under the
+``run_store_hits`` / ``run_store_misses`` counters.
+
+Layout::
+
+    <root>/manifest.json
+    <root>/objects/<key>.json
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from ..errors import ValidationError
+from ..perf import increment
+from .spec import ScenarioSpec
+
+MANIFEST_NAME = "manifest.json"
+OBJECTS_DIR = "objects"
+MANIFEST_VERSION = 1
+
+
+class RunStore:
+    """A content-addressed artifact store for scenario results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / OBJECTS_DIR
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / MANIFEST_NAME
+        self._manifest = self._load_manifest()
+
+    def _load_manifest(self) -> dict[str, Any]:
+        if not self._manifest_path.exists():
+            return {"version": MANIFEST_VERSION, "runs": {}}
+        try:
+            manifest = json.loads(self._manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"corrupt run-store manifest {self._manifest_path}: {exc}"
+            ) from None
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ValidationError(
+                f"run-store manifest {self._manifest_path} has version "
+                f"{manifest.get('version')!r}; this build understands {MANIFEST_VERSION}"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        tmp = self._manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=2) + "\n")
+        tmp.replace(self._manifest_path)
+
+    # ------------------------------------------------------------------
+    # content-addressed access
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or None (counts a hit/miss)."""
+        entry = self._manifest["runs"].get(key)
+        path = self.objects / f"{key}.json"
+        if entry is None or not path.exists():
+            increment("run_store_misses")
+            return None
+        increment("run_store_hits")
+        return json.loads(path.read_text())
+
+    def put(
+        self, key: str, payload: dict[str, Any], spec: ScenarioSpec
+    ) -> Path:
+        """Store ``payload`` under ``key`` and index it in the manifest."""
+        path = self.objects / f"{key}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        self._manifest["runs"][key] = {
+            "scenario_id": spec.scenario_id,
+            "path": str(path.relative_to(self.root)),
+            "spec": spec.to_dict(),
+            "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+        self._write_manifest()
+        return path
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> dict[str, Any]:
+        """The manifest index (a copy; mutate via :meth:`put` only)."""
+        return json.loads(json.dumps(self._manifest))
+
+    def keys(self) -> list[str]:
+        """Stored run keys, in insertion order."""
+        return list(self._manifest["runs"])
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._manifest["runs"]
+
+    def __len__(self) -> int:
+        return len(self._manifest["runs"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RunStore {self.root} ({len(self)} runs)>"

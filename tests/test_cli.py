@@ -4,7 +4,10 @@ import json
 
 import pytest
 
+from repro import perf
 from repro.__main__ import build_parser, main
+from repro.experiments.harness import ExperimentResult
+from repro.scenarios import RunStore, ScenarioSpec
 
 
 class TestParser:
@@ -63,3 +66,133 @@ class TestMain:
         out = capsys.readouterr().out
         assert "DRAM" in out
         assert "model_1d" in out
+
+    def test_table1_segments_table_printed_once(self, capsys):
+        code = main(["table1", "--fast", "--fem-resolution", "coarse", "--no-calibrate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # the segments table appears exactly once (it used to be printed
+        # twice: table_text() up front plus metadata["table_rows"] again);
+        # the other "max err %" header belongs to the error table
+        assert out.count("max err %") == 2
+        # --no-calibrate reaches the fig5 sweep behind table1
+        assert "model_a_cal" not in out
+
+
+FAST_FLAGS = ["--fast", "--fem-resolution", "coarse", "--no-calibrate"]
+
+
+class TestRunSubcommand:
+    def test_run_registry_id(self, capsys):
+        code = main(["run", "fig7", *FAST_FLAGS])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[fig7] solved" in out
+        assert "Fig. 7" in out and "model_a" in out and "fem" in out
+
+    def test_run_unknown_target(self, capsys):
+        code = main(["run", "fig99"])
+        assert code == 2
+        assert "python -m repro list" in capsys.readouterr().err
+
+    def test_run_output_dir_round_trips(self, capsys, tmp_path):
+        code = main(
+            ["run", "fig7", *FAST_FLAGS, "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "fig7.json").read_text())
+        loaded = ExperimentResult.from_payload(payload)
+        assert loaded.experiment_id == "fig7"
+        assert set(loaded.series) == {"model_a", "model_b(100)", "model_1d", "fem"}
+        spec = ScenarioSpec.load(tmp_path / "fig7.spec.json")
+        assert spec.scenario_id == "fig7"
+        assert spec.reference == "fem:coarse"  # the CLI override, folded in
+        assert not spec.calibrate
+
+    def test_run_store_hit_on_second_invocation(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(["run", "fig7", *FAST_FLAGS, "--store", store_dir]) == 0
+        first = capsys.readouterr().out
+        assert "[fig7] solved" in first
+        assert main(["run", "fig7", *FAST_FLAGS, "--store", store_dir]) == 0
+        second = capsys.readouterr().out
+        assert "[fig7] served from run store" in second
+        # identical tables either way
+        assert first.split("\n", 1)[1] == second.split("\n", 1)[1]
+
+    def test_run_scenario_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "custom.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "scenario_id": "custom_tiny",
+                    "title": "Custom tiny sweep",
+                    "axis": {"parameter": "radius_um", "values": [3.0, 5.0]},
+                    "models": ["1d"],
+                    "reference": "fem:coarse",
+                    "calibrate": False,
+                }
+            )
+        )
+        code = main(["run", str(spec_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[custom_tiny] solved" in out
+        assert "model_1d" in out
+
+
+class TestListSubcommand:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for scenario_id in ("fig4", "fig5", "fig6", "fig7", "table1", "case_study"):
+            assert scenario_id in out
+
+
+class TestBatchSubcommand:
+    @pytest.fixture()
+    def scenario_dir(self, tmp_path):
+        base = {
+            "title": "Batch sweep",
+            "axis": {"parameter": "radius_um", "values": [3.0, 5.0]},
+            "models": ["1d"],
+            "reference": "fem:coarse",
+            "calibrate": False,
+        }
+        for i in (1, 2):
+            spec = dict(base)
+            spec["scenario_id"] = f"batch{i}"
+            spec["axis"] = {"parameter": "radius_um", "values": [3.0, 5.0 + i]}
+            (tmp_path / f"batch{i}.json").write_text(json.dumps(spec))
+        return tmp_path
+
+    def test_batch_solves_then_skips(self, capsys, scenario_dir):
+        assert main(["batch", str(scenario_dir)]) == 0
+        first = capsys.readouterr().out
+        assert first.count("solved") >= 2 and "store hit" not in first
+
+        store = RunStore(scenario_dir / "runs")
+        assert len(store) == 2
+        hits_before = perf.stats()["counters"].get("run_store_hits", 0)
+        assert main(["batch", str(scenario_dir)]) == 0
+        second = capsys.readouterr().out
+        assert second.count("store hit") == 2
+        assert "2 served from store" in second
+        assert perf.stats()["counters"]["run_store_hits"] == hits_before + 2
+        assert len(RunStore(scenario_dir / "runs")) == 2  # nothing re-stored
+
+    def test_batch_output_dir(self, capsys, scenario_dir, tmp_path):
+        out_dir = tmp_path / "payloads"
+        assert main(["batch", str(scenario_dir), "--output-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        for scenario_id in ("batch1", "batch2"):
+            payload = json.loads((out_dir / f"{scenario_id}.json").read_text())
+            assert ExperimentResult.from_payload(payload).experiment_id == scenario_id
+            assert ScenarioSpec.load(out_dir / f"{scenario_id}.spec.json").scenario_id == scenario_id
+
+    def test_batch_rejects_empty_dir(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path)]) == 2
+        assert "no scenario" in capsys.readouterr().err
+
+    def test_batch_missing_dir(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path / "nope")]) == 2

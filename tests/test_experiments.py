@@ -138,6 +138,27 @@ class TestCaseStudyExperiment:
         assert "recalibrated" not in payload
 
 
+class TestRunAll:
+    def test_no_calibrate_and_jobs_forwarded(self):
+        from repro.experiments.runner import run_all
+
+        results = run_all(
+            fem_resolution="coarse", fast=True, verbose=False, calibrate=False
+        )
+        # --no-calibrate reaches every experiment (it used to be dropped)
+        for exp_id in ("fig4", "fig5", "fig6", "fig7", "table1"):
+            assert "model_a_cal" not in results[exp_id].series, exp_id
+        assert results["case_study"].recalibrated is None
+        # table1 is derived from the shared fig5 sweep
+        assert results["table1"].series == results["fig5"].series
+
+    def test_case_study_accepts_jobs(self):
+        exp = case_study.run(
+            fem_resolution="coarse", fast=True, recalibrate=False, jobs=4
+        )
+        assert exp.report.rises()["fem"] > 0
+
+
 class TestRenderMarkdown:
     def test_render_from_minimal_results(self, fig5_result):
         text = render_markdown({"fig5": fig5_result})
