@@ -6,8 +6,11 @@ Scenario subcommands (the declarative path — :mod:`repro.scenarios`):
   file; with ``--store DIR`` finished runs become content-addressed
   artifacts and re-running an unchanged spec is a store hit, not a solve;
 * ``list`` — show the registered scenarios;
-* ``batch <dir>`` — run every scenario file in a directory (sweep points
-  fan out over ``--jobs`` workers), skipping runs already in the store.
+* ``batch <dir>`` — compile every scenario file in a directory into one
+  merged execution plan (shared calibration/reference/sweep points are
+  solved once; sweep points fan out over ``--jobs`` workers), skipping
+  runs already in the store; ``--resume`` continues an interrupted batch
+  from its stored points.
 
 Legacy aliases keep working: ``python -m repro fig4 …`` (also ``fig5``,
 ``fig6``, ``fig7``, ``table1``, ``case_study``, ``all``) runs the paper
@@ -25,7 +28,13 @@ from .analysis import export_json, format_table
 from .experiments import REGISTRY, case_study, render_markdown, run_all
 from .experiments.harness import ExperimentResult
 from .perf import get_executor
-from .scenarios import SCENARIOS, RunStore, ScenarioSpec, run_scenario
+from .scenarios import (
+    SCENARIOS,
+    RunStore,
+    ScenarioSpec,
+    run_batch,
+    run_scenario,
+)
 from .scenarios.store import MANIFEST_NAME
 
 #: legacy experiment names that accept --jobs (they run parameter sweeps)
@@ -84,6 +93,13 @@ def _add_run_flags(parser: argparse.ArgumentParser, *, legacy: bool) -> None:
             metavar="DIR",
             help="content-addressed run store: artifacts land here and "
             "re-running an unchanged scenario is a store hit, not a solve",
+        )
+        parser.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse point-level artifacts (points/<key>.json) from an "
+            "interrupted earlier run instead of re-solving them (needs a "
+            "store)",
         )
 
 
@@ -158,6 +174,30 @@ def _print_result(result) -> None:
 # ---------------------------------------------------------------------------
 # scenario subcommands
 # ---------------------------------------------------------------------------
+class _PlanProgress:
+    """Live ``\\r``-updating execution-plan progress on stderr."""
+
+    def __init__(self) -> None:
+        self._printed = False
+        self._counts = {"solved": 0, "cache": 0, "store": 0}
+
+    def __call__(self, event: dict) -> None:
+        self._counts[event["source"]] = self._counts.get(event["source"], 0) + 1
+        print(
+            f"\r[plan] {event['done']}/{event['total']} nodes "
+            f"(solved {self._counts['solved']}, cache {self._counts['cache']}, "
+            f"resumed {self._counts['store']})",
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+        self._printed = True
+
+    def close(self) -> None:
+        if self._printed:
+            print(file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.target in SCENARIOS:
         spec = SCENARIOS.get(args.target)
@@ -172,14 +212,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         spec = ScenarioSpec.load(path)
     store = RunStore(args.store) if args.store else None
+    if args.resume and store is None:
+        print("note: --resume needs a --store; ignored", file=sys.stderr)
+    progress = _PlanProgress()
     run = run_scenario(
         spec,
         executor=get_executor(args.jobs),
         store=store,
+        resume=args.resume,
         fast=args.fast,
         fem_resolution=args.fem_resolution,
         calibrate=False if args.no_calibrate else None,
+        progress=progress,
     )
+    progress.close()
     source = "served from run store" if run.from_store else "solved"
     print(f"[{run.spec.scenario_id}] {source} (key {run.key})")
     print()
@@ -228,17 +274,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: no scenario *.json files in {directory}", file=sys.stderr)
         return 2
     store = RunStore(args.store if args.store else directory / "runs")
-    executor = get_executor(args.jobs)
+    specs = [ScenarioSpec.load(path) for path in files]
+    progress = _PlanProgress()
+    batch = run_batch(
+        specs,
+        executor=get_executor(args.jobs),
+        store=store,
+        resume=args.resume,
+        fast=args.fast,
+        fem_resolution=args.fem_resolution,
+        calibrate=False if args.no_calibrate else None,
+        progress=progress,
+    )
+    progress.close()
     solved = hits = 0
-    for path in files:
-        run = run_scenario(
-            ScenarioSpec.load(path),
-            executor=executor,
-            store=store,
-            fast=args.fast,
-            fem_resolution=args.fem_resolution,
-            calibrate=False if args.no_calibrate else None,
-        )
+    for path, run in zip(files, batch.runs):
         if run.from_store:
             hits += 1
             tag = "store hit"
@@ -253,6 +303,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 run.result.to_payload(),
             )
             run.spec.dump(args.output_dir / f"{run.spec.scenario_id}.spec.json")
+    stats = batch.stats
+    if stats.get("nodes_total"):
+        print(
+            f"\nplan: {stats['nodes_total']} nodes "
+            f"({stats.get('nodes_deduped', 0)} deduplicated across scenarios); "
+            f"{stats.get('solved', 0)} solved, {stats.get('cache', 0)} from "
+            f"cache, {stats.get('store', 0)} resumed from point store"
+        )
     print(
         f"\n{len(files)} scenario(s): {solved} solved, {hits} served from "
         f"store; artifacts in {store.root}"

@@ -47,11 +47,12 @@ class CalibrationResult:
 
 def fit_coefficients(
     samples: Sequence[Sample],
-    reference: ThermalTSVModel,
+    reference: ThermalTSVModel | None,
     *,
     fit_c_bond: bool = False,
     initial: FittingCoefficients | None = None,
     bounds: tuple[float, float] = (0.05, 20.0),
+    targets: Sequence[float] | None = None,
 ) -> CalibrationResult:
     """Least-squares fit of (k1, k2[, c_bond]) to a reference model.
 
@@ -63,26 +64,43 @@ def fit_coefficients(
         At least two samples are needed to constrain two coefficients.
     reference:
         The trusted model, usually an :class:`~repro.fem.FEMReference`.
+        May be ``None`` when ``targets`` is given.
     fit_c_bond:
         Also fit the bond conductance multiplier (case-study style).
     initial:
         Starting point; defaults to unity coefficients.
     bounds:
         Common (lower, upper) bounds for every coefficient.
+    targets:
+        Precomputed reference max-ΔT rises, one per sample.  The
+        execution-plan scheduler passes these when the reference solves
+        already ran as plan nodes; the fit is then pure optimisation and
+        never touches the reference model.  Identical floats in, identical
+        coefficients out — the fit itself is deterministic.
     """
     if len(samples) < (3 if fit_c_bond else 2):
         raise CalibrationError(
             f"need at least {'3' if fit_c_bond else '2'} samples to constrain "
             "the coefficients"
         )
-    # reference solves go through the global result cache: calibration
-    # samples usually overlap the sweep grid, so either side primes the other
-    targets = np.array(
-        [
-            cached_solve(reference, stack, via, power).max_rise
-            for stack, via, power in samples
-        ]
-    )
+    if targets is not None:
+        if len(targets) != len(samples):
+            raise CalibrationError(
+                f"got {len(targets)} targets for {len(samples)} samples"
+            )
+        targets = np.asarray(targets, dtype=float)
+    else:
+        if reference is None:
+            raise CalibrationError("need a reference model or explicit targets")
+        # reference solves go through the global result cache: calibration
+        # samples usually overlap the sweep grid, so either side primes the
+        # other
+        targets = np.array(
+            [
+                cached_solve(reference, stack, via, power).max_rise
+                for stack, via, power in samples
+            ]
+        )
     if np.any(targets <= 0.0):
         raise CalibrationError("reference produced non-positive temperature rises")
     start = initial or FittingCoefficients.unity()

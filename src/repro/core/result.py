@@ -76,3 +76,46 @@ class ModelResult:
             f"(planes: [{rises}] K, {self.n_unknowns} unknowns, "
             f"{self.solve_time * 1e3:.2f} ms)"
         )
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable dump for the run store's point-level objects.
+
+        Everything experiment assembly consumes (``max_rise``,
+        ``plane_rises``, ``solve_time``, …) round-trips exactly — JSON
+        preserves doubles — so a point resumed from the store assembles
+        byte-identically to a freshly solved one.  ``node_temperatures``
+        is included only when its keys are strings (network node ids can
+        be tuples, which JSON objects cannot key); assembly never reads
+        it.
+        """
+        payload: dict[str, Any] = {
+            "model_name": self.model_name,
+            "max_rise": self.max_rise,
+            "plane_rises": list(self.plane_rises),
+            "sink_temperature": self.sink_temperature,
+            "solve_time": self.solve_time,
+            "n_unknowns": self.n_unknowns,
+            "metadata": self.metadata,
+        }
+        if self.node_temperatures and all(
+            isinstance(k, str) for k in self.node_temperatures
+        ):
+            payload["node_temperatures"] = dict(self.node_temperatures)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ModelResult":
+        """Rebuild a result from :meth:`to_payload` output (store/JSON)."""
+        try:
+            return cls(
+                model_name=payload["model_name"],
+                max_rise=float(payload["max_rise"]),
+                plane_rises=tuple(payload["plane_rises"]),
+                sink_temperature=float(payload["sink_temperature"]),
+                solve_time=float(payload["solve_time"]),
+                n_unknowns=int(payload["n_unknowns"]),
+                node_temperatures=dict(payload.get("node_temperatures", {})),
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed point payload: {exc!r}") from exc

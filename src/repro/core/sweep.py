@@ -36,6 +36,44 @@ from .result import ModelResult
 Configurator = Callable[[Any], tuple[Stack3D, "TSV | TSVCluster", PowerSpec]]
 
 
+def expand_points(
+    values: Sequence[Any], configure: Configurator
+) -> list[tuple[Stack3D, "TSV | TSVCluster", PowerSpec]]:
+    """The (stack, via, power) triple at every swept value, in sweep order.
+
+    This is the "emit" half of a sweep: the execution-plan compiler
+    (:mod:`repro.scenarios.plan`) lowers these triples into content-keyed
+    solve nodes instead of dispatching them directly.
+    """
+    return [configure(value) for value in values]
+
+
+def assemble_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    model_names: Sequence[str],
+    point_results: Sequence[dict[str, ModelResult]],
+    metadata: dict[str, Any] | None = None,
+) -> SweepResult:
+    """Build a :class:`SweepResult` from already-solved per-point results.
+
+    ``point_results[i]`` must hold one :class:`ModelResult` per model name
+    at ``values[i]``; the result dicts are re-keyed in ``model_names``
+    order so assembly is independent of solve order (serial, parallel, or
+    plan-scheduled execution produce identical sweeps).
+    """
+    points = [
+        SweepPoint(
+            value=value,
+            results={name: point_results[i][name] for name in model_names},
+        )
+        for i, value in enumerate(values)
+    ]
+    return SweepResult(
+        parameter=parameter, points=tuple(points), metadata=metadata or {}
+    )
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """All model results at one swept value."""
@@ -129,7 +167,7 @@ def sweep(
     if not values:
         raise ValidationError("sweep needs at least one value")
     executor = executor or SerialExecutor()
-    specs = [configure(value) for value in values]
+    specs = expand_points(values, configure)
 
     # parent-side cache partition: dispatch only the missing solves
     point_results: list[dict[str, ModelResult]] = [{} for _ in values]
@@ -165,13 +203,4 @@ def sweep(
             if key is not None:
                 result_cache.put(key, result)
 
-    points = [
-        SweepPoint(
-            value=value,
-            results={m.name: point_results[i][m.name] for m in models},
-        )
-        for i, value in enumerate(values)
-    ]
-    return SweepResult(
-        parameter=parameter, points=tuple(points), metadata=metadata or {}
-    )
+    return assemble_sweep(parameter, values, names, point_results, metadata)

@@ -138,6 +138,40 @@ class ExperimentResult:
             ) from exc
 
 
+def calibration_sample_indexes(n_values: int, n_samples: int = 4) -> list[int]:
+    """Indexes of the sweep values calibration samples at.
+
+    Up to ``n_samples`` evenly spaced positions.  Shared by the eager path
+    (:func:`calibrated_model_a`) and the execution-plan compiler, which
+    lowers the same samples into plan nodes — both must pick identical
+    values for the fitted coefficients to match.
+    """
+    if n_samples < 2:
+        raise ExperimentError("calibration needs at least two samples")
+    step = max(1, (n_values - 1) // (n_samples - 1)) if n_values > 1 else 1
+    picked = list(range(n_values))[::step][:n_samples]
+    if len(picked) < 2:
+        picked = list(range(n_values))[:2]
+    return picked
+
+
+def calibration_sample_values(
+    values: Sequence[Any], n_samples: int = 4
+) -> list[Any]:
+    """The sweep values calibration samples at (see the index variant)."""
+    values = list(values)
+    return [values[i] for i in calibration_sample_indexes(len(values), n_samples)]
+
+
+def calibrated_model_from_fit(
+    coefficients: Any, *, name: str = "model_a_cal"
+) -> ModelA:
+    """The ``model_a_cal`` instance a finished coefficient fit defines."""
+    model = ModelA(coefficients)
+    model.name = name
+    return model
+
+
 def calibrated_model_a(
     values: Sequence[Any],
     configure: Configurator,
@@ -152,17 +186,9 @@ def calibrated_model_a(
     of a block" — re-run against *our* FEM.  Samples are taken at up to
     ``n_samples`` evenly spaced sweep values.
     """
-    if n_samples < 2:
-        raise ExperimentError("calibration needs at least two samples")
-    step = max(1, (len(values) - 1) // (n_samples - 1)) if len(values) > 1 else 1
-    picked = list(values)[::step][:n_samples]
-    if len(picked) < 2:
-        picked = list(values)[:2]
-    samples = [configure(v) for v in picked]
+    samples = [configure(v) for v in calibration_sample_values(values, n_samples)]
     fit = fit_coefficients(samples, reference)
-    model = ModelA(fit.coefficients)
-    model.name = name
-    return model
+    return calibrated_model_from_fit(fit.coefficients, name=name)
 
 
 def run_sweep_experiment(
@@ -190,16 +216,48 @@ def run_sweep_experiment(
         x_label, values, all_models, configure, metadata=metadata,
         executor=executor,
     )
-    reference_series = result.series(reference.name)
-    series = {m.name: result.series(m.name) for m in all_models}
+    return assemble_experiment(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        values=values,
+        model_names=[m.name for m in models],
+        reference_name=reference.name,
+        result=result,
+        metadata=metadata,
+    )
+
+
+def assemble_experiment(
+    *,
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    values: Sequence[Any],
+    model_names: Sequence[str],
+    reference_name: str,
+    result: SweepResult,
+    metadata: dict[str, Any] | None = None,
+) -> ExperimentResult:
+    """Derive an :class:`ExperimentResult` from an already-solved sweep.
+
+    The "assemble" half of :func:`run_sweep_experiment`: series, errors
+    against the reference and mean runtimes are pure functions of the
+    solved points, so the execution-plan scheduler reuses this unchanged
+    to reassemble per-scenario results from plan nodes — guaranteeing the
+    planned and eager paths build byte-identical payloads.
+    """
+    all_names = list(model_names) + [reference_name]
+    reference_series = result.series(reference_name)
+    series = {name: result.series(name) for name in all_names}
     errors = {
-        m.name: series_errors(series[m.name], reference_series) for m in models
+        name: series_errors(series[name], reference_series) for name in model_names
     }
     runtimes = {
-        m.name: float(
-            np.mean([r.solve_time for r in result.result_series(m.name)]) * 1e3
+        name: float(
+            np.mean([r.solve_time for r in result.result_series(name)]) * 1e3
         )
-        for m in all_models
+        for name in all_names
     }
     return ExperimentResult(
         experiment_id=experiment_id,
@@ -207,7 +265,7 @@ def run_sweep_experiment(
         x_label=x_label,
         x_values=list(values),
         series=series,
-        reference_name=reference.name,
+        reference_name=reference_name,
         errors=errors,
         runtimes_ms=runtimes,
         metadata=metadata or {},

@@ -116,18 +116,34 @@ def factorized_solver(matrix) -> Callable[[np.ndarray], np.ndarray]:
     once, through the global factor cache.  Transient stepping uses this
     to turn n_steps full solves into one factorisation plus n_steps
     back-substitutions.
+
+    Every returned solve applies the same finite-temperature guard as
+    :func:`solve_sparse`: a numerically singular factor that slips past
+    the factorisation (SuperLU can produce inf/nan instead of raising)
+    raises :class:`~repro.errors.SolverError` instead of silently
+    propagating non-finite values through transient stepping.
     """
     n = matrix.shape[0]
     try:
         if sp.issparse(matrix):
             if n <= DENSE_CUTOFF:
-                return factor_cache.solver(matrix.toarray())
-            return factor_cache.solver(_as_csr(matrix))
-        return factor_cache.solver(np.asarray(matrix, dtype=float))
+                solve = factor_cache.solver(matrix.toarray())
+            else:
+                solve = factor_cache.solver(_as_csr(matrix))
+        else:
+            solve = factor_cache.solver(np.asarray(matrix, dtype=float))
     except RuntimeError as exc:
         raise SingularNetworkError(
             "matrix is singular — some node has no path to ground"
         ) from exc
+
+    def checked_solve(rhs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(solve(rhs), dtype=float)
+        if not np.all(np.isfinite(arr)):
+            raise SolverError("factorized solve produced non-finite temperatures")
+        return arr
+
+    return checked_solve
 
 
 def solve_linear_system(matrix, rhs: np.ndarray) -> np.ndarray:

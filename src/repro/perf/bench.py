@@ -216,6 +216,87 @@ def bench_fem_reuse(repeats: int) -> dict[str, Any]:
     }
 
 
+def bench_batch_dedup(repeats: int) -> dict[str, Any]:
+    """Cross-scenario dedup: a two-scenario batch with shared calibration.
+
+    Both scenarios sweep the same axis against the same FEM reference with
+    the same calibration policy and differ only in their model lists, so
+    the reference solves, the coefficient fit and the calibrated-model
+    solves are all shared.  The eager baseline runs them one at a time;
+    the planned path compiles them into one merged graph and solves each
+    shared node exactly once.  The result cache is disabled for both
+    measurements — it would amortise the shared solves in-process and
+    hide the *structural* dedup this benchmark isolates (the regime that
+    matters under cache pressure and across processes).
+    """
+    from ..scenarios import AxisSpec, ScenarioSpec, run_batch
+    from ..scenarios.runner import _run_scenario_eager
+
+    def specs() -> list[ScenarioSpec]:
+        base: dict[str, Any] = {
+            "axis": AxisSpec(parameter="radius_um", values=(2.0, 5.0, 10.0)),
+            "reference": "fem:coarse",
+            "calibrate": True,
+            "calibration_samples": 3,
+        }
+        return [
+            ScenarioSpec(
+                scenario_id="bench_dedup_a", title="Bench dedup A",
+                models=("1d",), **base,
+            ),
+            ScenarioSpec(
+                scenario_id="bench_dedup_b", title="Bench dedup B",
+                models=("a:paper",), **base,
+            ),
+        ]
+
+    def eager():
+        perf_cache.reset()
+        return [_run_scenario_eager(s) for s in specs()]
+
+    def planned():
+        perf_cache.reset()
+        return run_batch(specs())
+
+    perf_cache.configure(result_cache_size=0)
+    try:
+        eager_median, eager_times, eager_runs = _time(eager, repeats)
+        planned_median, planned_times, batch = _time(planned, repeats)
+    finally:
+        perf_cache.configure(
+            result_cache_size=perf_cache.DEFAULT_RESULT_CACHE_SIZE
+        )
+    point_solves = stats_snapshot()["counters"].get("plan_point_solves", 0)
+    identical = all(
+        run.result.series == eager_run.result.series
+        and run.result.errors == eager_run.result.errors
+        for run, eager_run in zip(batch.runs, eager_runs)
+    )
+    return {
+        "benchmarks": {
+            "batch_dedup_eager": _entry(eager_median, eager_times),
+            "batch_dedup_planned": _entry(
+                planned_median,
+                planned_times,
+                nodes_total=batch.stats["nodes_total"],
+                nodes_deduped=batch.stats["nodes_deduped"],
+            ),
+        },
+        "speedups": {
+            "batch_dedup_planned_vs_eager": eager_median / planned_median,
+        },
+        "checks": {
+            "batch_dedup_identical": identical,
+            "batch_dedup_shared_nodes_merged": batch.stats["nodes_deduped"] > 0,
+            # the last planned repeat starts from reset counters, so the
+            # counter equals that run's unique solve-node count exactly
+            "batch_dedup_each_node_once": (
+                point_solves == batch.stats["solve_nodes"]
+            ),
+        },
+    }
+
+
 def run_pytest_suite(bench_dir: Path) -> dict[str, Any]:
     """Run the pytest-benchmark suite and return {test name: median s}."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -281,6 +362,7 @@ def run_benchmarks(
         bench_fig7_sweep(jobs, repeats),
         bench_transient(repeats),
         bench_fem_reuse(repeats),
+        bench_batch_dedup(repeats),
     ):
         payload["benchmarks"].update(section["benchmarks"])
         payload["speedups"].update(section["speedups"])

@@ -22,7 +22,8 @@ import math
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
@@ -54,6 +55,11 @@ def solve_task(task: PointTask) -> dict[str, Any]:
     }
 
 
+def solve_task_chunk(tasks: list[PointTask]) -> list[dict[str, Any]]:
+    """Solve a chunk of tasks in one dispatch message (worker side)."""
+    return [solve_task(t) for t in tasks]
+
+
 class SweepExecutor(abc.ABC):
     """Strategy interface: run tasks, return results aligned with input."""
 
@@ -61,12 +67,34 @@ class SweepExecutor(abc.ABC):
     def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
         """Solve every task, returning one result dict per task, in order."""
 
+    def submit_stream(
+        self, tasks: Iterable[PointTask]
+    ) -> Iterator[tuple[PointTask, dict[str, Any]]]:
+        """Yield ``(task, results)`` pairs as tasks complete.
+
+        Completion order is unspecified — the execution-plan scheduler
+        consumes this to react to each solved point as soon as it lands
+        (progress callbacks, point-store writes, unlocking dependents).
+        The default implementation delegates to :meth:`run_tasks`, so any
+        executor that only implements the batch interface still streams
+        (in task order); :class:`ParallelExecutor` overrides it with true
+        as-completed delivery.
+        """
+        tasks = list(tasks)
+        yield from zip(tasks, self.run_tasks(tasks))
+
 
 class SerialExecutor(SweepExecutor):
     """The default in-process loop — identical to the historical sweep."""
 
     def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
         return [solve_task(t) for t in tasks]
+
+    def submit_stream(
+        self, tasks: Iterable[PointTask]
+    ) -> Iterator[tuple[PointTask, dict[str, Any]]]:
+        for task in tasks:
+            yield task, solve_task(task)
 
 
 class ParallelExecutor(SweepExecutor):
@@ -109,6 +137,43 @@ class ParallelExecutor(SweepExecutor):
                 stacklevel=2,
             )
             return SerialExecutor().run_tasks(tasks)
+
+    def submit_stream(
+        self, tasks: Iterable[PointTask]
+    ) -> Iterator[tuple[PointTask, dict[str, Any]]]:
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            yield from SerialExecutor().submit_stream(tasks)
+            return
+        workers = min(self.jobs, len(tasks))
+        # same chunked dispatch as run_tasks: one future per chunk, so the
+        # streaming path amortises pickling overhead identically
+        chunk = self.chunksize or max(1, math.ceil(len(tasks) / (workers * 2)))
+        chunks = [tasks[i : i + chunk] for i in range(0, len(tasks), chunk)]
+        done: set[int] = set()
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(solve_task_chunk, c): i
+                    for i, c in enumerate(chunks)
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    # worker exceptions (bad geometry, singular systems)
+                    # propagate exactly as in serial mode
+                    results = future.result()
+                    done.add(index)
+                    yield from zip(chunks[index], results)
+        except (pickle.PicklingError, BrokenProcessPool, OSError) as exc:
+            warnings.warn(
+                f"parallel sweep degraded to serial execution: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for i, c in enumerate(chunks):
+                if i not in done:
+                    for task in c:
+                        yield task, solve_task(task)
 
 
 def get_executor(jobs: int | None) -> SweepExecutor:

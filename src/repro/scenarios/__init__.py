@@ -15,8 +15,10 @@ CLI: ``python -m repro run <id|file.json>``, ``python -m repro list``,
 ``python -m repro batch <dir>``.
 """
 
+from .plan import ExecutionPlan, ScenarioPlan, compile_plan
 from .registry import SCENARIOS, ScenarioRegistry
-from .runner import ScenarioRun, StoredCaseStudy, run_scenario
+from .runner import BatchRun, ScenarioRun, StoredCaseStudy, run_batch, run_scenario
+from .scheduler import ScheduleOutcome, execute_plan
 from .spec import (
     AXIS_LABELS,
     AXIS_PARAMETERS,
@@ -35,13 +37,20 @@ __all__ = [
     "AXIS_LABELS",
     "AXIS_PARAMETERS",
     "AxisSpec",
+    "BatchRun",
+    "ExecutionPlan",
     "GeometryParams",
     "GeometryRule",
     "RunStore",
     "SCENARIOS",
+    "ScenarioPlan",
     "ScenarioRegistry",
     "ScenarioRun",
     "ScenarioSpec",
+    "ScheduleOutcome",
     "StoredCaseStudy",
+    "compile_plan",
+    "execute_plan",
+    "run_batch",
     "run_scenario",
 ]

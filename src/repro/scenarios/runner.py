@@ -1,74 +1,58 @@
-"""Run a scenario spec through the experiment engine.
+"""Run scenario specs through the execution-plan engine.
 
-:func:`run_scenario` is the generic entry point the CLI's ``run`` and
-``batch`` subcommands sit on: resolve the spec (fast values, mesh
-override, calibration policy), consult the :class:`RunStore` keyed on the
-spec's content hash, and only if the store misses build the models via
-:func:`repro.core.factory.make_model`, expand the axis into geometry
-points and hand the sweep to
-:func:`repro.experiments.harness.run_sweep_experiment` (which in turn
-runs on the pluggable :class:`repro.perf.SweepExecutor` engine).
+:func:`run_scenario` is the generic entry point the CLI's ``run``
+subcommand sits on; :func:`run_batch` is the many-scenario variant behind
+``batch``.  Both resolve the spec(s) (fast values, mesh override,
+calibration policy), consult the :class:`RunStore` keyed on each spec's
+content hash, and compile whatever missed into ONE merged
+:class:`~repro.scenarios.plan.ExecutionPlan` — a flat DAG of
+content-keyed point/calibration/reference nodes, deduplicated across
+scenarios — which the :mod:`~repro.scenarios.scheduler` streams over the
+pluggable :class:`repro.perf.SweepExecutor` engine.  Per-scenario
+:class:`~repro.experiments.harness.ExperimentResult`\\ s are then
+reassembled from the executed nodes, byte-identically to the historical
+eager path (kept here as :func:`_run_sweep_eager` and pinned by the
+equivalence tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any
 
-from ..core.factory import make_model, parse_model_spec
-from ..core.sweep import Configurator
-from ..errors import ValidationError
-from ..experiments import case_study as case_study_module
+from ..core.factory import make_model
 from ..experiments.harness import (
     ExperimentResult,
     calibrated_model_a,
     run_sweep_experiment,
 )
 from ..experiments.table1_segments import rows_from_fig5
-from ..geometry import PowerSpec, TSVCluster, paper_stack, paper_tsv
 from ..perf import SweepExecutor
-from ..units import um
+from .plan import (
+    StoredCaseStudy,
+    _configurator,
+    _power_spec,
+    assemble_scenario,
+    compile_plan,
+    run_case_study_spec,
+)
 from .registry import SCENARIOS
+from .scheduler import ProgressFn, execute_plan
 from .spec import ScenarioSpec
 from .store import RunStore
 
-
-@dataclass(frozen=True)
-class StoredCaseStudy:
-    """A case-study run reloaded from the store (payload-backed view)."""
-
-    payload: dict[str, Any]
-
-    @property
-    def title(self) -> str:
-        return self.payload.get("title", case_study_module.TITLE)
-
-    def rises(self) -> dict[str, float]:
-        return dict(self.payload["rises"])
-
-    def rows(self) -> list[list[Any]]:
-        out: list[list[Any]] = [["model", "max ΔT [°C]", "solve time [ms]"]]
-        runtimes = self.payload.get("runtimes_ms", {})
-        for name, rise in self.payload["rises"].items():
-            out.append([name, rise, runtimes.get(name, float("nan"))])
-        recal = self.payload.get("recalibrated")
-        if recal is not None:
-            out.append(
-                [
-                    f"model_a (recal. k1={recal['k1']:.2f}, k2={recal['k2']:.2f})",
-                    recal["max_rise"],
-                    float("nan"),
-                ]
-            )
-        return out
-
-    def to_payload(self) -> dict[str, Any]:
-        return self.payload
+__all__ = [
+    "BatchRun",
+    "ScenarioRun",
+    "StoredCaseStudy",
+    "run_batch",
+    "run_scenario",
+]
 
 
 @dataclass(frozen=True)
 class ScenarioRun:
-    """One completed :func:`run_scenario` call.
+    """One completed scenario run.
 
     ``result`` is an :class:`~repro.experiments.harness.ExperimentResult`
     for sweeps (reconstructed from the payload on a store hit) or a
@@ -83,50 +67,27 @@ class ScenarioRun:
     from_store: bool
 
 
-def _power_spec(spec: ScenarioSpec) -> PowerSpec:
-    kwargs = dict(spec.power)
-    if kwargs.get("plane_powers") is not None:
-        kwargs["plane_powers"] = tuple(kwargs["plane_powers"])
-    return PowerSpec(**kwargs)
+@dataclass(frozen=True)
+class BatchRun:
+    """A completed :func:`run_batch`: per-scenario runs plus plan stats.
+
+    ``stats`` merges the compiler's node counts (``nodes_total``,
+    ``nodes_deduped``, per-kind counts) with the scheduler's satisfaction
+    counts (``solved`` / ``cache`` / ``store``) and ``run_store_hits``.
+    """
+
+    runs: tuple[ScenarioRun, ...]
+    stats: dict[str, int] = field(default_factory=dict)
 
 
-def _configurator(spec: ScenarioSpec) -> Configurator:
-    """The (stack, via, power) callback a sweep spec expands into."""
-    axis = spec.axis
-    assert axis is not None  # guaranteed by ScenarioSpec validation
-    base = spec.geometry.to_dict()
-    power = _power_spec(spec)
-
-    def configure(value):
-        geo = dict(base)
-        for rule in spec.rules:
-            if rule.applies(value):
-                geo.update(rule.set)
-        if axis.parameter != "cluster_count":
-            geo[axis.parameter] = float(value)
-        stack = paper_stack(
-            n_planes=geo["n_planes"],
-            t_si_upper=um(geo["t_si_upper_um"]),
-            t_ild=um(geo["t_ild_um"]),
-            t_bond=um(geo["t_bond_um"]),
-        )
-        via_kwargs: dict[str, float] = {
-            "radius": um(geo["radius_um"]),
-            "liner_thickness": um(geo["liner_um"]),
-        }
-        if geo["extension_um"] is not None:
-            via_kwargs["extension"] = um(geo["extension_um"])
-        via = paper_tsv(**via_kwargs)
-        if axis.parameter == "cluster_count":
-            return stack, TSVCluster(via, int(value)), power
-        return stack, via, power
-
-    return configure
-
-
-def _run_sweep(
+def _run_sweep_eager(
     spec: ScenarioSpec, *, executor: SweepExecutor | None, fast: bool, key: str
 ) -> ExperimentResult:
+    """The historical one-scenario-at-a-time path (pre-plan-compiler).
+
+    Kept as the reference implementation: the equivalence tests assert the
+    plan-compiled path produces byte-identical payloads to this.
+    """
     axis = spec.axis
     configure = _configurator(spec)
     reference = make_model(spec.reference)
@@ -157,26 +118,7 @@ def _run_sweep(
     return result
 
 
-def _run_case_study(spec: ScenarioSpec):
-    parsed = parse_model_spec(spec.reference)
-    if parsed.kind != "fem":
-        raise ValidationError(
-            f"the case study needs an axisymmetric 'fem[:...]' reference, "
-            f"got {spec.reference!r}"
-        )
-    # the spec is already resolved: ``fast`` has been folded into
-    # model_b_segments, so never pass fast=True here — case_study.run would
-    # re-trim the segments behind the content hash's back and the store
-    # would file the trimmed result under the full-accuracy key
-    return case_study_module.run(
-        fem_resolution=parsed.arg,
-        fast=False,
-        recalibrate=spec.calibrate,
-        model_b_segments=spec.model_b_segments,
-    )
-
-
-def run_scenario(
+def _run_scenario_eager(
     spec: ScenarioSpec | str,
     *,
     executor: SweepExecutor | None = None,
@@ -185,16 +127,7 @@ def run_scenario(
     fem_resolution: str | None = None,
     calibrate: bool | None = None,
 ) -> ScenarioRun:
-    """Run one scenario (a spec, or a registered scenario id).
-
-    The spec is first :meth:`~ScenarioSpec.resolved` against the run-time
-    choices so the content hash covers exactly what runs.  With a
-    ``store``, a hash hit returns the stored payload — reconstructed into
-    an :class:`ExperimentResult` for sweeps — without solving anything;
-    a miss runs the scenario and stores its payload.  ``executor`` picks
-    the sweep execution strategy (serial default; the CLI's ``--jobs N``
-    passes a :class:`~repro.perf.ParallelExecutor`).
-    """
+    """The pre-plan-compiler :func:`run_scenario` (reference for tests)."""
     if isinstance(spec, str):
         spec = SCENARIOS.get(spec)
     spec = spec.resolved(fast=fast, fem_resolution=fem_resolution, calibrate=calibrate)
@@ -208,9 +141,141 @@ def run_scenario(
                 result = ExperimentResult.from_payload(payload)
             return ScenarioRun(spec=spec, key=key, result=result, from_store=True)
     if spec.kind == "case_study":
-        result = _run_case_study(spec)
+        result = run_case_study_spec(spec)
     else:
-        result = _run_sweep(spec, executor=executor, fast=fast, key=key)
+        result = _run_sweep_eager(spec, executor=executor, fast=fast, key=key)
     if store is not None:
         store.put(key, result.to_payload(), spec)
     return ScenarioRun(spec=spec, key=key, result=result, from_store=False)
+
+
+def run_batch(
+    specs: list[ScenarioSpec | str],
+    *,
+    executor: SweepExecutor | None = None,
+    store: RunStore | None = None,
+    resume: bool = False,
+    fast: bool = False,
+    fem_resolution: str | None = None,
+    calibrate: bool | None = None,
+    progress: ProgressFn | None = None,
+) -> BatchRun:
+    """Run many scenarios as one merged, deduplicated execution plan.
+
+    Each spec is resolved and checked against the run store first (a hash
+    hit returns the stored payload without compiling anything).  The
+    misses are compiled together, so calibration samples, reference
+    solves and sweep points shared *between* scenarios are solved exactly
+    once; with a ``store`` every solved node lands in the point-level
+    object space as it completes, and ``resume=True`` reads those points
+    back so an interrupted batch continues where it stopped.
+    """
+    resolved: list[ScenarioSpec] = []
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = SCENARIOS.get(spec)
+        resolved.append(
+            spec.resolved(fast=fast, fem_resolution=fem_resolution, calibrate=calibrate)
+        )
+    runs: list[ScenarioRun | None] = [None] * len(resolved)
+    to_plan: list[tuple[int, ScenarioSpec]] = []
+    run_store_hits = 0
+    for i, spec in enumerate(resolved):
+        key = spec.content_hash()
+        if store is not None:
+            payload = store.get(key)
+            if payload is not None:
+                if spec.kind == "case_study":
+                    result: Any = StoredCaseStudy(payload)
+                else:
+                    result = ExperimentResult.from_payload(payload)
+                runs[i] = ScenarioRun(
+                    spec=spec, key=key, result=result, from_store=True
+                )
+                run_store_hits += 1
+                continue
+        to_plan.append((i, spec))
+
+    stats: dict[str, int] = {"run_store_hits": run_store_hits}
+    if to_plan:
+        plan = compile_plan([spec for _, spec in to_plan], fast=fast)
+
+        # assemble and store each scenario the moment its last node lands,
+        # so a batch that fails on scenario N still keeps every finished
+        # scenario's run-level artifact (same incremental behaviour as the
+        # pre-plan one-at-a-time loop)
+        node_results: dict[str, Any] = {}
+        pending: list[tuple[int, ScenarioSpec, Any, set[str]]] = []
+        for (i, spec), entry in zip(to_plan, plan.scenarios):
+            if entry.assembly is not None:
+                needed = {
+                    key
+                    for keys in entry.assembly.node_keys.values()
+                    for key in keys
+                }
+            else:
+                needed = {entry.node_key}
+            pending.append((i, spec, entry, needed))
+
+        def on_node(key: str, value: Any) -> None:
+            node_results[key] = value
+            for i, spec, entry, needed in pending:
+                needed.discard(key)
+                if not needed and runs[i] is None:
+                    result = assemble_scenario(entry, node_results)
+                    if store is not None:
+                        store.put(entry.run_key, result.to_payload(), spec)
+                    runs[i] = ScenarioRun(
+                        spec=spec, key=entry.run_key, result=result,
+                        from_store=False,
+                    )
+
+        outcome = execute_plan(
+            plan,
+            executor=executor,
+            store=store,
+            resume=resume,
+            progress=progress,
+            on_node=on_node,
+        )
+        stats.update(plan.stats)
+        stats.update(outcome.counts)
+        assert all(run is not None for run in runs)
+    return BatchRun(runs=tuple(runs), stats=stats)  # type: ignore[arg-type]
+
+
+def run_scenario(
+    spec: ScenarioSpec | str,
+    *,
+    executor: SweepExecutor | None = None,
+    store: RunStore | None = None,
+    fast: bool = False,
+    fem_resolution: str | None = None,
+    calibrate: bool | None = None,
+    resume: bool = False,
+    progress: ProgressFn | None = None,
+) -> ScenarioRun:
+    """Run one scenario (a spec, or a registered scenario id).
+
+    The spec is first :meth:`~ScenarioSpec.resolved` against the run-time
+    choices so the content hash covers exactly what runs.  With a
+    ``store``, a hash hit returns the stored payload — reconstructed into
+    an :class:`ExperimentResult` for sweeps — without solving anything; a
+    miss compiles the spec into a single-scenario execution plan (see
+    :func:`run_batch`), whose assembled payload is byte-identical to the
+    historical eager path.  ``executor`` picks the sweep execution
+    strategy (serial default; the CLI's ``--jobs N`` passes a
+    :class:`~repro.perf.ParallelExecutor`); ``resume`` reuses stored
+    point-level artifacts from an interrupted earlier run.
+    """
+    batch = run_batch(
+        [spec],
+        executor=executor,
+        store=store,
+        resume=resume,
+        fast=fast,
+        fem_resolution=fem_resolution,
+        calibrate=calibrate,
+        progress=progress,
+    )
+    return batch.runs[0]

@@ -1,0 +1,296 @@
+"""Topological execution of compiled plans on the sweep executors.
+
+:func:`execute_plan` walks the merged node graph a
+:func:`~repro.scenarios.plan.compile_plan` call produced:
+
+* ready :class:`~repro.scenarios.plan.SolveNode`\\ s are first resolved
+  against the global result cache, then (``resume=True``) against the
+  :class:`~repro.scenarios.store.RunStore`'s point-level object space;
+  the rest are regrouped into per-point :class:`~repro.perf.PointTask`\\ s
+  (one dispatch per geometry, not per model — the same batching the
+  eager sweep used) and stream over the executor's
+  :meth:`~repro.perf.SweepExecutor.submit_stream` as-completed interface;
+* :class:`~repro.scenarios.plan.CalibrationNode`\\ s run in the parent as
+  soon as their reference solves land — mid-stream, between completions —
+  and their dependent calibrated solve nodes dispatch in the next
+  executor wave;
+* every completed node is written into the store's point space
+  (``points/<key>.json``) so a killed batch resumes from its solved
+  points.
+
+Every solve is deterministic, so cache hits, store hits and fresh solves
+are numerically interchangeable — scheduling order never changes the
+assembled results.  Counters land in :func:`repro.perf.stats`:
+``plan_point_solves`` (actual solves dispatched), ``plan_calibrations``,
+``point_store_hits`` / ``point_store_misses``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..calibration import fit_coefficients
+from ..core.result import ModelResult
+from ..errors import ExperimentError
+from ..experiments.harness import calibrated_model_from_fit
+from ..perf import (
+    PointTask,
+    SerialExecutor,
+    SweepExecutor,
+    content_key,
+    increment,
+    result_cache,
+    solve_key,
+)
+from ..resistances import FittingCoefficients
+from .plan import (
+    CalibrationNode,
+    CaseStudyNode,
+    ExecutionPlan,
+    SolveNode,
+    StoredCaseStudy,
+    is_content_key,
+    run_case_study_spec,
+)
+from .store import RunStore
+
+#: progress callback: one event dict per completed node
+#: ``{"done", "total", "key", "kind", "source"}`` with source in
+#: ``{"solved", "cache", "store"}``
+ProgressFn = Callable[[dict[str, Any]], None]
+
+#: completion hook: ``(node key, node result)`` the moment a node finishes
+#: (:func:`repro.scenarios.runner.run_batch` uses it to assemble and store
+#: each scenario as soon as its last node lands)
+OnNodeFn = Callable[[str, Any], None]
+
+
+@dataclass
+class ScheduleOutcome:
+    """Executed node results plus how each unit of work was satisfied."""
+
+    results: dict[str, Any]
+    counts: dict[str, int] = field(
+        default_factory=lambda: {"solved": 0, "cache": 0, "store": 0}
+    )
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    *,
+    executor: SweepExecutor | None = None,
+    store: RunStore | None = None,
+    resume: bool = False,
+    progress: ProgressFn | None = None,
+    on_node: OnNodeFn | None = None,
+) -> ScheduleOutcome:
+    """Execute every node of ``plan`` and return the per-key results.
+
+    ``store`` enables point-level persistence (always written when given);
+    ``resume`` additionally *reads* stored points, so an interrupted batch
+    picks up from its solved points instead of re-solving them.
+    """
+    executor = executor or SerialExecutor()
+    nodes = plan.nodes
+    outcome = ScheduleOutcome(results={})
+    results = outcome.results
+
+    indegree: dict[str, int] = {}
+    dependents: dict[str, list[str]] = defaultdict(list)
+    for key, node in nodes.items():
+        deps = set(node.deps)
+        missing = deps - nodes.keys()
+        if missing:
+            raise ExperimentError(
+                f"plan node {key} depends on unknown node(s) {sorted(missing)}"
+            )
+        indegree[key] = len(deps)
+        for dep in deps:
+            dependents[dep].append(key)
+
+    ready_solve: list[SolveNode] = []
+    ready_other: deque[CalibrationNode | CaseStudyNode] = deque()
+    for key, node in nodes.items():
+        if indegree[key] == 0:
+            if isinstance(node, SolveNode):
+                ready_solve.append(node)
+            else:
+                ready_other.append(node)
+
+    total = len(nodes)
+    done = 0
+
+    def finish(node: Any, value: Any, source: str) -> None:
+        nonlocal done
+        results[node.key] = value
+        done += 1
+        outcome.counts[source] = outcome.counts.get(source, 0) + 1
+        for dep_key in dependents[node.key]:
+            indegree[dep_key] -= 1
+            if indegree[dep_key] == 0:
+                dep = nodes[dep_key]
+                if isinstance(dep, SolveNode):
+                    ready_solve.append(dep)
+                else:
+                    ready_other.append(dep)
+        if on_node is not None:
+            on_node(node.key, value)
+        if progress is not None:
+            progress(
+                {
+                    "done": done,
+                    "total": total,
+                    "key": node.key,
+                    "kind": node.kind,
+                    "source": source,
+                }
+            )
+
+    def run_calibration(node: CalibrationNode) -> None:
+        if resume and store is not None and is_content_key(node.key):
+            payload = store.get_point(node.key)
+            if payload is not None:
+                coefficients = FittingCoefficients(
+                    payload["k1"], payload["k2"], payload["c_bond"]
+                )
+                finish(node, coefficients, "store")
+                return
+        targets = [results[k].max_rise for k in node.sample_keys]
+        fit = fit_coefficients(list(node.samples), None, targets=targets)
+        increment("plan_calibrations")
+        coefficients = fit.coefficients
+        if store is not None and is_content_key(node.key):
+            store.put_point(
+                node.key,
+                {
+                    "kind": "calibration",
+                    "k1": coefficients.k1,
+                    "k2": coefficients.k2,
+                    "c_bond": coefficients.c_bond,
+                    "residual_rms": fit.residual_rms,
+                },
+            )
+        finish(node, coefficients, "solved")
+
+    def run_case_study(node: CaseStudyNode) -> None:
+        if resume and store is not None and is_content_key(node.key):
+            payload = store.get_point(node.key)
+            if payload is not None:
+                finish(node, StoredCaseStudy(payload), "store")
+                return
+        result = run_case_study_spec(node.spec)
+        if store is not None and is_content_key(node.key):
+            store.put_point(node.key, result.to_payload())
+        finish(node, result, "solved")
+
+    def drain_parent_nodes() -> bool:
+        ran = False
+        while ready_other:
+            node = ready_other.popleft()
+            if isinstance(node, CalibrationNode):
+                run_calibration(node)
+            else:
+                run_case_study(node)
+            ran = True
+        return ran
+
+    def node_cache_key(node: SolveNode, model: Any) -> str | None:
+        """The result-cache key for a solve node, or None (never cache).
+
+        For concrete picklable models the plan key IS the cache key;
+        opaque plan keys are compile-local and must not reach the cache.
+        Calibrated models get their key only now that the fitted
+        coefficients exist.
+        """
+        if node.model is not None:
+            return node.key if is_content_key(node.key) else None
+        return solve_key(model, node.stack, node.via, node.power)
+
+    while done < total:
+        progressed = drain_parent_nodes()
+        if not ready_solve:
+            if progressed:
+                continue
+            raise ExperimentError("execution plan has a dependency cycle")
+
+        batch, ready_solve = ready_solve, []
+        dispatch: list[tuple[SolveNode, Any, str | None]] = []
+        for node in batch:
+            model = node.model
+            if model is None:
+                model = calibrated_model_from_fit(
+                    results[node.calibration], name=node.model_name
+                )
+            cache_key = node_cache_key(node, model)
+            cached = (
+                result_cache.get(cache_key) if cache_key is not None else None
+            )
+            if cached is not None:
+                # persist cache-satisfied nodes too: resume must not depend
+                # on the in-memory cache of the killed process
+                if store is not None and is_content_key(node.key):
+                    store.put_point(node.key, cached.to_payload())
+                finish(node, cached, "cache")
+                continue
+            if resume and store is not None and is_content_key(node.key):
+                payload = store.get_point(node.key)
+                if payload is not None:
+                    result = ModelResult.from_payload(payload)
+                    if cache_key is not None:
+                        result_cache.put(cache_key, result)
+                    finish(node, result, "store")
+                    continue
+            dispatch.append((node, model, cache_key))
+
+        # regroup per-(model, point) nodes into per-point tasks, so one
+        # dispatch message carries every model of a sweep point (the same
+        # batching — and pickling cost — as the eager sweep); two nodes
+        # only share a task when their geometry matches and their model
+        # names don't collide (e.g. two different model_a_cal fits)
+        buckets: list[dict[str, tuple[SolveNode, Any, str | None]]] = []
+        by_point: dict[str, list[dict]] = defaultdict(list)
+        for node, model, cache_key in dispatch:
+            point_key = content_key(node.stack, node.via, node.power)
+            if point_key is None:
+                buckets.append({node.model_name: (node, model, cache_key)})
+                continue
+            for bucket in by_point[point_key]:
+                if node.model_name not in bucket:
+                    bucket[node.model_name] = (node, model, cache_key)
+                    break
+            else:
+                bucket = {node.model_name: (node, model, cache_key)}
+                by_point[point_key].append(bucket)
+                buckets.append(bucket)
+
+        tasks = []
+        for i, bucket in enumerate(buckets):
+            node, _, _ = next(iter(bucket.values()))
+            tasks.append(
+                PointTask(
+                    index=i,
+                    value=node.value,
+                    stack=node.stack,
+                    via=node.via,
+                    power=node.power,
+                    models=tuple(model for _, model, _ in bucket.values()),
+                )
+            )
+
+        for task, solved in executor.submit_stream(tasks):
+            for node, _, cache_key in buckets[task.index].values():
+                result = solved[node.model_name]
+                increment("plan_point_solves")
+                if cache_key is not None:
+                    result_cache.put(cache_key, result)
+                if store is not None and is_content_key(node.key):
+                    store.put_point(node.key, result.to_payload())
+                finish(node, result, "solved")
+            # calibrations whose samples just landed run immediately,
+            # unlocking their calibrated solves for the next wave
+            drain_parent_nodes()
+
+    return outcome

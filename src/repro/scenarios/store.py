@@ -1,21 +1,32 @@
-"""Content-addressed storage of finished scenario runs.
+"""Content-addressed storage of finished scenario runs and solved points.
 
-A :class:`RunStore` is a directory holding one JSON artifact per completed
-run, addressed by the :meth:`~repro.scenarios.spec.ScenarioSpec.content_hash`
-of the (resolved) spec that produced it, plus a ``manifest.json`` index
-mapping each key to its scenario id, artifact path, spec and creation
-time.  Because the key is pure content, re-running an unchanged spec is a
-store hit — the experiment layer returns the stored payload without
-solving anything — while any change to the spec (values, models, mesh,
-calibration policy) changes the key and forces a fresh run.
+A :class:`RunStore` is a directory holding two object spaces:
 
-Hits and misses are counted into :func:`repro.perf.stats` under the
-``run_store_hits`` / ``run_store_misses`` counters.
+* **runs** — one JSON artifact per completed scenario, addressed by the
+  :meth:`~repro.scenarios.spec.ScenarioSpec.content_hash` of the
+  (resolved) spec that produced it, indexed by ``manifest.json``.
+  Re-running an unchanged spec is a store hit — the experiment layer
+  returns the stored payload without solving anything.
+* **points** — one JSON artifact per executed plan node (a model solved
+  at one sweep point, a finished calibration fit, a case-study run),
+  addressed by the node's plan key.  The
+  :mod:`~repro.scenarios.scheduler` writes each point as it completes and
+  (under ``--resume``) reads them back, so an interrupted batch resumes
+  from its solved points instead of re-solving them.
+
+All writes are atomic (tmp file + rename), so a killed process never
+leaves a half-written artifact; a corrupt or unreadable object is treated
+as a miss (and healed out of the manifest) rather than an error.
+
+Hits and misses are counted into :func:`repro.perf.stats` under
+``run_store_hits`` / ``run_store_misses`` and ``point_store_hits`` /
+``point_store_misses``.
 
 Layout::
 
     <root>/manifest.json
-    <root>/objects/<key>.json
+    <root>/objects/<key>.json     (whole runs)
+    <root>/points/<key>.json      (individual plan nodes)
 """
 
 from __future__ import annotations
@@ -31,7 +42,15 @@ from .spec import ScenarioSpec
 
 MANIFEST_NAME = "manifest.json"
 OBJECTS_DIR = "objects"
+POINTS_DIR = "points"
 MANIFEST_VERSION = 1
+
+
+def _write_json_atomic(path: Path, payload: Any) -> None:
+    """Write JSON via tmp + rename so readers never see a partial file."""
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp.replace(path)
 
 
 class RunStore:
@@ -41,6 +60,8 @@ class RunStore:
         self.root = Path(root)
         self.objects = self.root / OBJECTS_DIR
         self.objects.mkdir(parents=True, exist_ok=True)
+        self.points = self.root / POINTS_DIR
+        self.points.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self.root / MANIFEST_NAME
         self._manifest = self._load_manifest()
 
@@ -61,29 +82,41 @@ class RunStore:
         return manifest
 
     def _write_manifest(self) -> None:
-        tmp = self._manifest_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._manifest, indent=2) + "\n")
-        tmp.replace(self._manifest_path)
+        _write_json_atomic(self._manifest_path, self._manifest)
 
     # ------------------------------------------------------------------
-    # content-addressed access
+    # content-addressed access: whole runs
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
-        """The stored payload for ``key``, or None (counts a hit/miss)."""
+        """The stored payload for ``key``, or None (counts a hit/miss).
+
+        An unreadable or corrupt object is a miss, not an error: the stale
+        manifest entry is healed away so the next run re-solves and
+        re-stores cleanly.
+        """
         entry = self._manifest["runs"].get(key)
         path = self.objects / f"{key}.json"
         if entry is None or not path.exists():
             increment("run_store_misses")
             return None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            # heal: drop the manifest entry for the corrupt artifact
+            del self._manifest["runs"][key]
+            self._write_manifest()
+            path.unlink(missing_ok=True)
+            increment("run_store_misses")
+            return None
         increment("run_store_hits")
-        return json.loads(path.read_text())
+        return payload
 
     def put(
         self, key: str, payload: dict[str, Any], spec: ScenarioSpec
     ) -> Path:
         """Store ``payload`` under ``key`` and index it in the manifest."""
         path = self.objects / f"{key}.json"
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        _write_json_atomic(path, payload)
         self._manifest["runs"][key] = {
             "scenario_id": spec.scenario_id,
             "path": str(path.relative_to(self.root)),
@@ -92,6 +125,43 @@ class RunStore:
         }
         self._write_manifest()
         return path
+
+    # ------------------------------------------------------------------
+    # content-addressed access: individual plan nodes
+    # ------------------------------------------------------------------
+    def get_point(self, key: str) -> dict[str, Any] | None:
+        """The stored point payload for a plan-node ``key``, or None.
+
+        Corrupt point objects are removed and counted as misses — the
+        scheduler simply re-solves the node.
+        """
+        path = self.points / f"{key}.json"
+        if not path.exists():
+            increment("point_store_misses")
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            path.unlink(missing_ok=True)
+            increment("point_store_misses")
+            return None
+        increment("point_store_hits")
+        return payload
+
+    def put_point(self, key: str, payload: dict[str, Any]) -> Path | None:
+        """Persist one plan node's payload (atomically; never raises on
+        unserialisable payload metadata — the point is just not resumable)."""
+        path = self.points / f"{key}.json"
+        try:
+            _write_json_atomic(path, payload)
+        except (TypeError, ValueError):
+            increment("point_store_skipped")
+            return None
+        return path
+
+    def point_keys(self) -> list[str]:
+        """Keys of every stored point object."""
+        return sorted(p.stem for p in self.points.glob("*.json"))
 
     # ------------------------------------------------------------------
     # introspection

@@ -196,3 +196,30 @@ class TestBatchSubcommand:
 
     def test_batch_missing_dir(self, capsys, tmp_path):
         assert main(["batch", str(tmp_path / "nope")]) == 2
+
+    def test_batch_reports_plan_stats(self, capsys, scenario_dir):
+        assert main(["batch", str(scenario_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "deduplicated across scenarios" in out
+
+    def test_batch_resume_after_lost_run_artifacts(self, capsys, scenario_dir):
+        assert main(["batch", str(scenario_dir)]) == 0
+        capsys.readouterr()
+        # simulate a batch killed before the run-level artifacts landed:
+        # the point space survives, manifest and objects do not
+        runs = scenario_dir / "runs"
+        (runs / "manifest.json").unlink()
+        for path in (runs / "objects").glob("*.json"):
+            path.unlink()
+        perf.reset()  # fresh-process caches
+        hits_before = perf.stats()["counters"].get("point_store_hits", 0)
+        assert main(["batch", str(scenario_dir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("solved") >= 2  # scenarios re-assembled, not hits
+        assert perf.stats()["counters"]["point_store_hits"] > hits_before
+        assert perf.stats()["counters"].get("plan_point_solves", 0) == 0
+        assert "resumed from point store" in out
+
+    def test_run_resume_without_store_noted(self, capsys):
+        assert main(["run", "fig7", *FAST_FLAGS, "--resume"]) == 0
+        assert "--resume needs a --store" in capsys.readouterr().err

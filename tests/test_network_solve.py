@@ -3,10 +3,14 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
-from repro.errors import SingularNetworkError
+from repro import perf
+from repro.errors import SingularNetworkError, SolverError
+from repro.network import solve as solve_module
 from repro.network.solve import (
     DENSE_CUTOFF,
+    factorized_solver,
     solve_dense,
     solve_linear_system,
     solve_sparse,
@@ -65,3 +69,75 @@ class TestBackends:
         g = sp.csr_matrix(np.diag([1.0, 0.0, 1.0]))
         with pytest.raises(Exception):
             solve_sparse(g, np.array([1.0, 1.0, 1.0]))
+
+
+class TestIterativePath:
+    """The CG branch of solve_sparse, forced by lowering ITERATIVE_CUTOFF."""
+
+    def test_cg_success_matches_direct(self, monkeypatch):
+        g, rhs = laplacian_chain(80)
+        expected = solve_dense(g, rhs)
+        calls = []
+        real_cg = spla.cg
+
+        def spying_cg(*args, **kwargs):
+            calls.append(1)
+            return real_cg(*args, **kwargs)
+
+        monkeypatch.setattr(solve_module, "ITERATIVE_CUTOFF", 10)
+        monkeypatch.setattr(solve_module.spla, "cg", spying_cg)
+        out = solve_sparse(sp.csr_matrix(g), rhs)
+        assert calls, "CG was not used despite n > ITERATIVE_CUTOFF"
+        assert np.allclose(out, expected, rtol=1e-8)
+
+    def test_ilu_failure_falls_back_to_direct(self, monkeypatch):
+        g, rhs = laplacian_chain(80)
+        monkeypatch.setattr(solve_module, "ITERATIVE_CUTOFF", 10)
+
+        def broken_spilu(*args, **kwargs):
+            raise RuntimeError("factor is exactly singular")
+
+        monkeypatch.setattr(solve_module.spla, "spilu", broken_spilu)
+        before = perf.counter("cg_ilu_fallbacks")
+        with pytest.warns(RuntimeWarning, match="ILU preconditioner failed"):
+            out = solve_sparse(sp.csr_matrix(g), rhs)
+        assert perf.counter("cg_ilu_fallbacks") == before + 1
+        assert np.allclose(out, solve_dense(g, rhs))
+
+    def test_cg_nonconvergence_falls_back_to_direct(self, monkeypatch):
+        g, rhs = laplacian_chain(80)
+        monkeypatch.setattr(solve_module, "ITERATIVE_CUTOFF", 10)
+
+        def stalled_cg(A, b, **kwargs):
+            return np.zeros_like(b), 7  # info != 0: not converged
+
+        monkeypatch.setattr(solve_module.spla, "cg", stalled_cg)
+        before = perf.counter("cg_convergence_fallbacks")
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            out = solve_sparse(sp.csr_matrix(g), rhs)
+        assert perf.counter("cg_convergence_fallbacks") == before + 1
+        assert np.allclose(out, solve_dense(g, rhs))
+
+
+class TestFactorizedSolver:
+    def test_reusable_solve_matches_direct(self):
+        g, rhs = laplacian_chain(50)
+        solve = factorized_solver(sp.csr_matrix(g))
+        assert np.allclose(solve(rhs), solve_dense(g, rhs))
+        assert np.allclose(solve(2.0 * rhs), 2.0 * solve_dense(g, rhs))
+
+    def test_nonfinite_solve_raises(self, monkeypatch):
+        # same finite-temperature guard as solve_sparse: a numerically
+        # singular factor that SuperLU accepts must not propagate NaNs
+        # (transient stepping reuses the returned solve for every step)
+        g, rhs = laplacian_chain(5)
+
+        def degenerate_factor(matrix):
+            return lambda r: np.full(r.shape, np.inf)
+
+        monkeypatch.setattr(
+            solve_module.factor_cache, "solver", degenerate_factor
+        )
+        solve = factorized_solver(g)
+        with pytest.raises(SolverError):
+            solve(rhs)

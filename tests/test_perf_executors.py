@@ -59,6 +59,54 @@ class TestExecutors:
         assert set(out) == {"model_a", "model_1d"}
         assert all(r.max_rise > 0 for r in out.values())
 
+    def _tasks(self, block_stack, block_power, n=4):
+        return [
+            PointTask(
+                index=i,
+                value=r,
+                stack=block_stack,
+                via=paper_tsv(radius=um(r), liner_thickness=um(1)),
+                power=block_power,
+                models=(Model1D(),),
+            )
+            for i, r in enumerate([2.0, 4.0, 6.0, 8.0][:n])
+        ]
+
+    def test_serial_submit_stream_matches_run_tasks(self, block_stack, block_power):
+        tasks = self._tasks(block_stack, block_power)
+        streamed = list(SerialExecutor().submit_stream(tasks))
+        batch = SerialExecutor().run_tasks(tasks)
+        assert [t.index for t, _ in streamed] == [0, 1, 2, 3]  # in order
+        for (_, solved), expected in zip(streamed, batch):
+            assert solved["model_1d"].max_rise == expected["model_1d"].max_rise
+
+    def test_parallel_submit_stream_complete_and_identical(
+        self, block_stack, block_power
+    ):
+        tasks = self._tasks(block_stack, block_power)
+        streamed = dict(
+            (t.index, solved)
+            for t, solved in ParallelExecutor(2).submit_stream(tasks)
+        )
+        batch = SerialExecutor().run_tasks(tasks)
+        assert sorted(streamed) == [0, 1, 2, 3]  # every task lands once
+        for i, expected in enumerate(batch):
+            assert streamed[i]["model_1d"].max_rise == expected["model_1d"].max_rise
+
+    def test_default_submit_stream_covers_custom_executors(
+        self, block_stack, block_power
+    ):
+        from repro.perf import SweepExecutor
+
+        class BatchOnly(SweepExecutor):
+            def run_tasks(self, tasks):
+                return [solve_task(t) for t in tasks]
+
+        tasks = self._tasks(block_stack, block_power, n=2)
+        streamed = list(BatchOnly().submit_stream(tasks))
+        assert [t.index for t, _ in streamed] == [0, 1]
+        assert all(solved["model_1d"].max_rise > 0 for _, solved in streamed)
+
     def test_parallel_single_task_stays_serial(self, block_stack, block_power):
         # one task never pays pool startup; exercised via the sweep API
         def configure(r_um):

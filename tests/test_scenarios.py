@@ -224,6 +224,49 @@ class TestRunStore:
         with pytest.raises(ValidationError):
             RunStore(root)
 
+    def test_corrupt_object_is_a_healed_miss(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        spec = tiny_spec()
+        first = run_scenario(spec, store=store)
+        # a killed process can no longer truncate an object (writes are
+        # atomic), but disk corruption still can: get() must miss, not raise
+        (store.objects / f"{first.key}.json").write_text('{"series": tru')
+        misses_before = perf.stats()["counters"].get("run_store_misses", 0)
+        assert store.get(first.key) is None
+        assert perf.stats()["counters"]["run_store_misses"] == misses_before + 1
+        # the manifest entry is healed away, so a fresh store agrees
+        assert first.key not in store
+        assert first.key not in RunStore(tmp_path / "store")
+        # and the next run re-solves and re-stores cleanly
+        again = run_scenario(spec, store=store)
+        assert not again.from_store
+        assert first.key in store
+
+    def test_writes_leave_no_tmp_files(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run_scenario(tiny_spec(), store=store)
+        leftovers = list((tmp_path / "store").rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_point_round_trip_and_corruption(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        payload = {"model_name": "m", "max_rise": 1.25}
+        store.put_point("abc123", payload)
+        hits_before = perf.stats()["counters"].get("point_store_hits", 0)
+        assert store.get_point("abc123") == payload
+        assert perf.stats()["counters"]["point_store_hits"] == hits_before + 1
+        (store.points / "abc123.json").write_text("{nope")
+        assert store.get_point("abc123") is None
+        assert not (store.points / "abc123.json").exists()  # healed away
+        assert store.get_point("missing") is None
+        assert store.point_keys() == []
+
+    def test_unserialisable_point_payload_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.put_point("bad", {"value": object()}) is None
+        assert store.get_point("bad") is None
+        assert perf.stats()["counters"].get("point_store_skipped", 0) >= 1
+
 
 class TestScenarioFromJson:
     """A brand-new scenario defined purely as data runs end-to-end."""
