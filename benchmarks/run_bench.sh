@@ -12,6 +12,29 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# --require hardens the gate: the matrix-batched entries and the fem3d
+# scenario must exist in every report (a silently dropped entry would let
+# a regression through unmeasured).  On any failure — regression, missing
+# entry, or a failed identity check — the harness prints the per-entry
+# speedup table instead of a bare assertion.
+#
+# Tolerance 0.50: measured run-to-run wall-clock drift on this shared
+# 1-CPU container reaches ~1.45x on identical code (observed across a
+# session: the same serial sweep spans 81-118 ms) — any tighter gate
+# flakes on healthy commits.  (The committed baseline is regenerated
+# right after a pytest run, mimicking CI's hot state, to centre it in
+# that band; the comparison anchors on the baseline's *median*, not its
+# lucky minimum, for the same reason.)  Entries
+# flagged "noisy" in the report (process-pool spawns, big 3-D
+# factorizations) get double tolerance on top.  The real structural
+# guarantees are carried by the load-immune same-run checks
+# (multi_rhs_batched_wins, parallel_group_dispatch_wins, *_identical),
+# which fail the gate at any load.
+# --min-delta-ms 25: tens-of-ms entries swing by >1.5x ratios that are
+# still only ~20 ms of absolute drift; a real regression on this
+# harness's entries moves both the ratio AND tens of milliseconds.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m repro bench --quick --no-write \
-    --jobs "${JOBS:-4}" --tolerance 0.25 "$@"
+    --jobs "${JOBS:-4}" --tolerance 0.50 --min-delta-ms 25 \
+    --require multi_rhs_per_point,multi_rhs_batched,parallel_group_dispatch,fem3d_power_cold \
+    "$@"

@@ -87,6 +87,13 @@ def _add_run_flags(parser: argparse.ArgumentParser, *, legacy: bool) -> None:
     )
     if not legacy:
         parser.add_argument(
+            "--no-matrix-groups",
+            action="store_true",
+            help="disable matrix-batched dispatch (nodes sharing a system "
+            "matrix are otherwise solved as one group: factor once, one "
+            "RHS per point; results are identical either way)",
+        )
+        parser.add_argument(
             "--store",
             type=Path,
             default=None,
@@ -224,6 +231,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fem_resolution=args.fem_resolution,
         calibrate=False if args.no_calibrate else None,
         progress=progress,
+        group_matrices=not args.no_matrix_groups,
     )
     progress.close()
     source = "served from run store" if run.from_store else "solved"
@@ -285,6 +293,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         fem_resolution=args.fem_resolution,
         calibrate=False if args.no_calibrate else None,
         progress=progress,
+        group_matrices=not args.no_matrix_groups,
     )
     progress.close()
     solved = hits = 0

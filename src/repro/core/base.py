@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
 from ..geometry.tsv import as_cluster
@@ -36,6 +37,39 @@ class ThermalTSVModel(abc.ABC):
         cluster = as_cluster(via)
         validate_tsv_in_stack(stack, cluster.member)
         return self._solve(stack, cluster, power)
+
+    def assembly_key(
+        self, stack: Stack3D, via: TSV | TSVCluster
+    ) -> str | None:
+        """Content hash of the assembled linear system, or None.
+
+        The key identifies the system *matrix* a solve at (stack, via)
+        assembles — everything except the power-dependent right-hand
+        side.  Two points returning the same non-None key are guaranteed
+        to share the exact matrix and may be dispatched as one
+        :meth:`solve_batch` matrix group (factor once, back-substitute
+        per point).  The default — models that do not declare a
+        power-independent assembly — is ``None``, which simply opts the
+        model out of matrix grouping.
+        """
+        return None
+
+    def solve_batch(
+        self,
+        stack: Stack3D,
+        via: TSV | TSVCluster,
+        powers: Sequence[PowerSpec],
+    ) -> list[ModelResult]:
+        """Solve one (stack, via) geometry under many power specs.
+
+        Results are positionally aligned with ``powers`` and must be
+        bit-for-bit identical to per-point :meth:`solve` calls (wall-clock
+        ``solve_time`` excepted) — the matrix-batched scheduler relies on
+        this to regroup work freely.  The default loops over
+        :meth:`solve`; models with a power-independent assembly
+        (see :meth:`assembly_key`) override it to factorise once.
+        """
+        return [self.solve(stack, via, power) for power in powers]
 
     @abc.abstractmethod
     def _solve(

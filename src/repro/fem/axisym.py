@@ -13,18 +13,25 @@ the scheme conservative across material interfaces (silicon/liner/copper).
 
 The solver knows nothing about stacks or vias; :mod:`repro.fem.reference`
 builds the conductivity/source grids from the geometry layer.
+
+:func:`solve_axisymmetric_multi` is the matrix-batched entry point: many
+source-density grids against one (mesh, conductivity) pair assemble and
+factorise the system exactly once and back-substitute per right-hand
+side — each returned field is bit-for-bit identical to the corresponding
+:func:`solve_axisymmetric` call.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..errors import SolverError, ValidationError
-from ..network.solve import solve_sparse
+from ..network.solve import solve_sparse, solve_sparse_multi
 
 
 @dataclass(frozen=True)
@@ -121,6 +128,36 @@ def _check_grid(edges: np.ndarray, name: str) -> np.ndarray:
     return edges
 
 
+def _check_axisym_inputs(
+    r_edges: np.ndarray, z_edges: np.ndarray, conductivity: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate the (mesh, conductivity) pair shared by both solve paths."""
+    r_edges = _check_grid(r_edges, "r_edges")
+    z_edges = _check_grid(z_edges, "z_edges")
+    if abs(r_edges[0]) > 1e-15:
+        raise ValidationError("r_edges must start at the axis (r = 0)")
+    nr, nz = r_edges.size - 1, z_edges.size - 1
+    k = np.asarray(conductivity, dtype=float)
+    if k.shape != (nr, nz):
+        raise ValidationError(
+            f"conductivity shape must be ({nr}, {nz}), got {k.shape}"
+        )
+    if np.any(k <= 0):
+        raise SolverError("conductivity must be positive everywhere")
+    return r_edges, z_edges, k
+
+
+def _check_axisym_source(
+    source_density: np.ndarray, nr: int, nz: int
+) -> np.ndarray:
+    q = np.asarray(source_density, dtype=float)
+    if q.shape != (nr, nz):
+        raise ValidationError(
+            f"source shape must be ({nr}, {nz}), got {q.shape}"
+        )
+    return q
+
+
 def solve_axisymmetric(
     r_edges: np.ndarray,
     z_edges: np.ndarray,
@@ -143,21 +180,67 @@ def solve_axisymmetric(
     AxisymField
         Temperature rises above the z=0 Dirichlet face.
     """
-    r_edges = _check_grid(r_edges, "r_edges")
-    z_edges = _check_grid(z_edges, "z_edges")
-    if abs(r_edges[0]) > 1e-15:
-        raise ValidationError("r_edges must start at the axis (r = 0)")
+    r_edges, z_edges, k = _check_axisym_inputs(r_edges, z_edges, conductivity)
     nr, nz = r_edges.size - 1, z_edges.size - 1
-    k = np.asarray(conductivity, dtype=float)
-    q = np.asarray(source_density, dtype=float)
-    if k.shape != (nr, nz) or q.shape != (nr, nz):
-        raise ValidationError(
-            f"conductivity/source shapes must be ({nr}, {nz}), got {k.shape}/{q.shape}"
-        )
-    if np.any(k <= 0):
-        raise SolverError("conductivity must be positive everywhere")
+    q = _check_axisym_source(source_density, nr, nz)
 
     start = time.perf_counter()
+    matrix, volume = _assemble_axisym_system(r_edges, z_edges, k)
+    rhs = (q * volume).ravel()
+    temps = solve_sparse(matrix, rhs).reshape(nr, nz)
+    elapsed = time.perf_counter() - start
+    return AxisymField(
+        r_edges=r_edges,
+        z_edges=z_edges,
+        temperatures=temps,
+        solve_time=elapsed,
+        conductivity=k,
+    )
+
+
+def solve_axisymmetric_multi(
+    r_edges: np.ndarray,
+    z_edges: np.ndarray,
+    conductivity: np.ndarray,
+    source_densities: Sequence[np.ndarray],
+) -> list[AxisymField]:
+    """Solve one axisymmetric system against many source grids.
+
+    The system matrix is assembled and factorised exactly once; each
+    source grid becomes one RHS column, back-substituted individually
+    through the shared factor (see
+    :func:`repro.network.solve.solve_sparse_multi`), so field ``i`` is
+    bit-for-bit identical to ``solve_axisymmetric(..., source_densities[i])``.
+    The recorded ``solve_time`` is the batch's wall-clock share per field.
+    """
+    r_edges, z_edges, k = _check_axisym_inputs(r_edges, z_edges, conductivity)
+    nr, nz = r_edges.size - 1, z_edges.size - 1
+    sources = [_check_axisym_source(q, nr, nz) for q in source_densities]
+    if not sources:
+        return []
+
+    start = time.perf_counter()
+    matrix, volume = _assemble_axisym_system(r_edges, z_edges, k)
+    rhs_block = np.column_stack([(q * volume).ravel() for q in sources])
+    temps_block = solve_sparse_multi(matrix, rhs_block)
+    elapsed = (time.perf_counter() - start) / len(sources)
+    return [
+        AxisymField(
+            r_edges=r_edges,
+            z_edges=z_edges,
+            temperatures=temps_block[:, i].reshape(nr, nz),
+            solve_time=elapsed,
+            conductivity=k,
+        )
+        for i in range(len(sources))
+    ]
+
+
+def _assemble_axisym_system(
+    r_edges: np.ndarray, z_edges: np.ndarray, k: np.ndarray
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """(conductance matrix, cell volumes) of the validated system."""
+    nr, nz = r_edges.size - 1, z_edges.size - 1
     dr = np.diff(r_edges)  # (nr,)
     dz = np.diff(z_edges)  # (nz,)
     rc = 0.5 * (r_edges[:-1] + r_edges[1:])
@@ -216,14 +299,4 @@ def solve_axisymmetric(
     all_cols = np.concatenate(cols + [idx(np.arange(nr).repeat(nz), np.tile(np.arange(nz), nr))])
     all_vals = np.concatenate(vals + [diag.ravel()])
     matrix = sp.coo_matrix((all_vals, (all_rows, all_cols)), shape=(n, n)).tocsr()
-    rhs = (q * volume).ravel()
-
-    temps = solve_sparse(matrix, rhs).reshape(nr, nz)
-    elapsed = time.perf_counter() - start
-    return AxisymField(
-        r_edges=r_edges,
-        z_edges=z_edges,
-        temperatures=temps,
-        solve_time=elapsed,
-        conductivity=k,
-    )
+    return matrix, volume

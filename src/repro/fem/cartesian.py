@@ -7,18 +7,25 @@ cross-check) and non-uniform floorplan power maps (the planning extension).
 Same discretisation choices as :mod:`repro.fem.axisym`: cell-centred,
 harmonic-mean face conductances, Dirichlet heat sink at z = 0, adiabatic
 sides and top.
+
+:func:`solve_cartesian_multi` is the matrix-batched entry point: many
+source grids against one (mesh, conductivity) pair assemble and factorise
+the — expensive, 3-D — system exactly once and back-substitute per
+right-hand side, bit-for-bit identical to per-point
+:func:`solve_cartesian` calls.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..errors import SolverError, ValidationError
-from ..network.solve import solve_sparse
+from ..network.solve import solve_sparse, solve_sparse_multi
 
 
 @dataclass(frozen=True)
@@ -61,6 +68,37 @@ def _check_grid(edges: np.ndarray, name: str) -> np.ndarray:
     return edges
 
 
+def _check_cartesian_inputs(
+    x_edges: np.ndarray,
+    y_edges: np.ndarray,
+    z_edges: np.ndarray,
+    conductivity: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    x_edges = _check_grid(x_edges, "x_edges")
+    y_edges = _check_grid(y_edges, "y_edges")
+    z_edges = _check_grid(z_edges, "z_edges")
+    nx, ny, nz = x_edges.size - 1, y_edges.size - 1, z_edges.size - 1
+    k = np.asarray(conductivity, dtype=float)
+    if k.shape != (nx, ny, nz):
+        raise ValidationError(
+            f"conductivity shape must be ({nx}, {ny}, {nz}), got {k.shape}"
+        )
+    if np.any(k <= 0):
+        raise SolverError("conductivity must be positive everywhere")
+    return x_edges, y_edges, z_edges, k
+
+
+def _check_cartesian_source(
+    source_density: np.ndarray, shape: tuple[int, int, int]
+) -> np.ndarray:
+    q = np.asarray(source_density, dtype=float)
+    if q.shape != shape:
+        raise ValidationError(
+            f"source shape must be {shape}, got {q.shape}"
+        )
+    return q
+
+
 def solve_cartesian(
     x_edges: np.ndarray,
     y_edges: np.ndarray,
@@ -73,21 +111,75 @@ def solve_cartesian(
     ``conductivity`` and ``source_density`` are per-cell arrays of shape
     (nx, ny, nz); the z = 0 face is the isothermal heat sink.
     """
-    x_edges = _check_grid(x_edges, "x_edges")
-    y_edges = _check_grid(y_edges, "y_edges")
-    z_edges = _check_grid(z_edges, "z_edges")
+    x_edges, y_edges, z_edges, k = _check_cartesian_inputs(
+        x_edges, y_edges, z_edges, conductivity
+    )
     nx, ny, nz = x_edges.size - 1, y_edges.size - 1, z_edges.size - 1
-    k = np.asarray(conductivity, dtype=float)
-    q = np.asarray(source_density, dtype=float)
-    if k.shape != (nx, ny, nz) or q.shape != (nx, ny, nz):
-        raise ValidationError(
-            f"conductivity/source shapes must be ({nx}, {ny}, {nz}), "
-            f"got {k.shape}/{q.shape}"
-        )
-    if np.any(k <= 0):
-        raise SolverError("conductivity must be positive everywhere")
+    q = _check_cartesian_source(source_density, (nx, ny, nz))
 
     start = time.perf_counter()
+    matrix, volume = _assemble_cartesian_system(x_edges, y_edges, z_edges, k)
+    rhs = (q * volume).ravel()
+    temps = solve_sparse(matrix, rhs).reshape(nx, ny, nz)
+    elapsed = time.perf_counter() - start
+    return CartesianField(
+        x_edges=x_edges,
+        y_edges=y_edges,
+        z_edges=z_edges,
+        temperatures=temps,
+        solve_time=elapsed,
+    )
+
+
+def solve_cartesian_multi(
+    x_edges: np.ndarray,
+    y_edges: np.ndarray,
+    z_edges: np.ndarray,
+    conductivity: np.ndarray,
+    source_densities: Sequence[np.ndarray],
+) -> list[CartesianField]:
+    """Solve one Cartesian system against many source grids.
+
+    One assembly + one factorisation, one back-substitution per source
+    grid; field ``i`` is bit-for-bit identical to
+    ``solve_cartesian(..., source_densities[i])``.  The recorded
+    ``solve_time`` is the batch's wall-clock share per field.
+    """
+    x_edges, y_edges, z_edges, k = _check_cartesian_inputs(
+        x_edges, y_edges, z_edges, conductivity
+    )
+    nx, ny, nz = x_edges.size - 1, y_edges.size - 1, z_edges.size - 1
+    sources = [
+        _check_cartesian_source(q, (nx, ny, nz)) for q in source_densities
+    ]
+    if not sources:
+        return []
+
+    start = time.perf_counter()
+    matrix, volume = _assemble_cartesian_system(x_edges, y_edges, z_edges, k)
+    rhs_block = np.column_stack([(q * volume).ravel() for q in sources])
+    temps_block = solve_sparse_multi(matrix, rhs_block)
+    elapsed = (time.perf_counter() - start) / len(sources)
+    return [
+        CartesianField(
+            x_edges=x_edges,
+            y_edges=y_edges,
+            z_edges=z_edges,
+            temperatures=temps_block[:, i].reshape(nx, ny, nz),
+            solve_time=elapsed,
+        )
+        for i in range(len(sources))
+    ]
+
+
+def _assemble_cartesian_system(
+    x_edges: np.ndarray,
+    y_edges: np.ndarray,
+    z_edges: np.ndarray,
+    k: np.ndarray,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """(conductance matrix, cell volumes) of the validated system."""
+    nx, ny, nz = x_edges.size - 1, y_edges.size - 1, z_edges.size - 1
     dx, dy, dz = np.diff(x_edges), np.diff(y_edges), np.diff(z_edges)
     volume = dx[:, None, None] * dy[None, :, None] * dz[None, None, :]
     n = nx * ny * nz
@@ -138,14 +230,4 @@ def solve_cartesian(
     all_cols = np.concatenate(cols + [all_idx])
     all_vals = np.concatenate(vals + [diag.ravel()])
     matrix = sp.coo_matrix((all_vals, (all_rows, all_cols)), shape=(n, n)).tocsr()
-    rhs = (q * volume).ravel()
-
-    temps = solve_sparse(matrix, rhs).reshape(nx, ny, nz)
-    elapsed = time.perf_counter() - start
-    return CartesianField(
-        x_edges=x_edges,
-        y_edges=y_edges,
-        z_edges=z_edges,
-        temperatures=temps,
-        solve_time=elapsed,
-    )
+    return matrix, volume

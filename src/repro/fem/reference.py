@@ -11,15 +11,35 @@ Cluster handling mirrors the experiments' physics:
   power make the cell boundaries adiabatic symmetry planes);
 * the Cartesian back-end places all n vias explicitly on a uniform grid
   inside the square footprint — slower, used as a cross-check.
+
+The FEM system matrix depends only on (mesh, conductivity) — i.e. on the
+stack, the via and the resolution — while the power specification enters
+the right-hand side alone.  :meth:`FEMReference.assembly_key` exposes that
+identity to the matrix-batched scheduler and
+:meth:`FEMReference.solve_batch` exploits it: a group of points sharing
+one geometry voxelises, assembles and factorises once and back-substitutes
+per point, bit-for-bit identical to per-point solves.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from ..errors import ValidationError
-from ..geometry import PowerSpec, Stack3D, TSVCluster
-from .axisym import solve_axisymmetric
-from .cartesian import solve_cartesian
-from .voxelize import build_axisym_grids, build_cartesian_grids, grid_via_positions
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
+from ..geometry.tsv import as_cluster
+from ..perf import content_key, model_key
+from .axisym import solve_axisymmetric, solve_axisymmetric_multi
+from .cartesian import solve_cartesian, solve_cartesian_multi
+from .voxelize import (
+    axisym_source_density,
+    build_axisym_geometry,
+    build_axisym_grids,
+    build_cartesian_geometry,
+    build_cartesian_grids,
+    cartesian_source_density,
+    grid_via_positions,
+)
 from ..core.base import ThermalTSVModel
 from ..core.result import ModelResult
 
@@ -82,6 +102,70 @@ class FEMReference(ThermalTSVModel):
             return self._solve_axisym(stack, via, power)
         return self._solve_cartesian(stack, via, power)
 
+    # ------------------------------------------------------------------
+    # matrix-batched interface
+    # ------------------------------------------------------------------
+    def assembly_key(
+        self, stack: Stack3D, via: TSV | TSVCluster
+    ) -> str | None:
+        """Content hash of the FEM system matrix at (stack, via).
+
+        The mesh and per-cell conductivity — hence the assembled matrix —
+        are fully determined by the model configuration, the stack and
+        the (cluster-normalised) via; power only shapes the RHS.  Points
+        sharing this key solve the identical matrix.
+        """
+        return content_key(
+            "fem_assembly/v1", model_key(self), stack, as_cluster(via)
+        )
+
+    def solve_batch(
+        self,
+        stack: Stack3D,
+        via: TSV | TSVCluster,
+        powers: Sequence[PowerSpec],
+    ) -> list[ModelResult]:
+        """Solve many power specs against one geometry's matrix.
+
+        Voxelises (geometry half only), assembles and factorises once,
+        then back-substitutes one RHS per power — results are bit-for-bit
+        identical to per-point :meth:`solve` calls (wall-clock
+        ``solve_time`` excepted).
+        """
+        powers = list(powers)
+        if not powers:
+            return []
+        cluster = as_cluster(via)
+        validate_tsv_in_stack(stack, cluster.member)
+        if self.solver == "axisym":
+            return self._solve_axisym_batch(stack, cluster, powers)
+        return self._solve_cartesian_batch(stack, cluster, powers)
+
+    # ------------------------------------------------------------------
+    # axisymmetric back-end
+    # ------------------------------------------------------------------
+    def _axisym_result(
+        self, stack: Stack3D, n: int, field, plane_bands
+    ) -> ModelResult:
+        plane_rises = tuple(
+            field.max_rise_in_band(z0, z1) for z0, z1 in plane_bands
+        )
+        return ModelResult(
+            model_name=self.name,
+            max_rise=field.max_rise,
+            plane_rises=plane_rises,
+            sink_temperature=stack.sink_temperature,
+            solve_time=field.solve_time,
+            n_unknowns=field.n_unknowns,
+            metadata={
+                "solver": "axisym",
+                "nr": field.nr,
+                "nz": field.nz,
+                "cluster_count": n,
+                "unit_cell": n > 1,
+            },
+        )
+
     def _solve_axisym(
         self, stack: Stack3D, via: TSVCluster, power: PowerSpec
     ) -> ModelResult:
@@ -99,8 +183,43 @@ class FEMReference(ThermalTSVModel):
         field = solve_axisymmetric(
             grids.r_edges, grids.z_edges, grids.conductivity, grids.source_density
         )
+        return self._axisym_result(stack, n, field, grids.plane_bands)
+
+    def _solve_axisym_batch(
+        self, stack: Stack3D, via: TSVCluster, powers: list[PowerSpec]
+    ) -> list[ModelResult]:
+        nr, nz = self.resolution
+        n = via.count
+        geometry = build_axisym_geometry(
+            stack,
+            via.member,
+            cell_area=stack.footprint_area / n,
+            nr=nr,
+            nz=nz,
+        )
+        sources = [
+            axisym_source_density(
+                stack, via.member, power, 1.0 / n,
+                geometry.r_edges, geometry.z_edges,
+            )
+            for power in powers
+        ]
+        fields = solve_axisymmetric_multi(
+            geometry.r_edges, geometry.z_edges, geometry.conductivity, sources
+        )
+        return [
+            self._axisym_result(stack, n, field, geometry.plane_bands)
+            for field in fields
+        ]
+
+    # ------------------------------------------------------------------
+    # Cartesian back-end
+    # ------------------------------------------------------------------
+    def _cartesian_result(
+        self, stack: Stack3D, via: TSVCluster, positions, field, plane_bands
+    ) -> ModelResult:
         plane_rises = tuple(
-            field.max_rise_in_band(z0, z1) for z0, z1 in grids.plane_bands
+            field.max_rise_in_band(z0, z1) for z0, z1 in plane_bands
         )
         return ModelResult(
             model_name=self.name,
@@ -110,11 +229,12 @@ class FEMReference(ThermalTSVModel):
             solve_time=field.solve_time,
             n_unknowns=field.n_unknowns,
             metadata={
-                "solver": "axisym",
-                "nr": field.nr,
-                "nz": field.nz,
-                "cluster_count": n,
-                "unit_cell": n > 1,
+                "solver": "cartesian",
+                "shape": tuple(int(s - 1) for s in (
+                    field.x_edges.size, field.y_edges.size, field.z_edges.size
+                )),
+                "cluster_count": via.count,
+                "via_positions": positions,
             },
         )
 
@@ -140,22 +260,39 @@ class FEMReference(ThermalTSVModel):
             grids.conductivity,
             grids.source_density,
         )
-        plane_rises = tuple(
-            field.max_rise_in_band(z0, z1) for z0, z1 in grids.plane_bands
+        return self._cartesian_result(
+            stack, via, positions, field, grids.plane_bands
         )
-        return ModelResult(
-            model_name=self.name,
-            max_rise=field.max_rise,
-            plane_rises=plane_rises,
-            sink_temperature=stack.sink_temperature,
-            solve_time=field.solve_time,
-            n_unknowns=field.n_unknowns,
-            metadata={
-                "solver": "cartesian",
-                "shape": tuple(int(s - 1) for s in (
-                    grids.x_edges.size, grids.y_edges.size, grids.z_edges.size
-                )),
-                "cluster_count": via.count,
-                "via_positions": positions,
-            },
+
+    def _solve_cartesian_batch(
+        self, stack: Stack3D, via: TSVCluster, powers: list[PowerSpec]
+    ) -> list[ModelResult]:
+        nx, ny, nz = self.resolution
+        side = stack.footprint_side
+        positions = grid_via_positions(via.count, side, side)
+        geometry = build_cartesian_geometry(
+            stack,
+            via.member,
+            via_positions=positions,
+            nx=nx,
+            ny=ny,
+            nz=nz,
         )
+        sources = [
+            cartesian_source_density(
+                stack, via.member, power,
+                geometry.x_edges, geometry.y_edges, geometry.z_edges,
+                geometry.outer_frac,
+            )
+            for power in powers
+        ]
+        fields = solve_cartesian_multi(
+            geometry.x_edges, geometry.y_edges, geometry.z_edges,
+            geometry.conductivity, sources,
+        )
+        return [
+            self._cartesian_result(
+                stack, via, positions, field, geometry.plane_bands
+            )
+            for field in fields
+        ]

@@ -12,11 +12,24 @@ Heat totals are preserved exactly: source densities are normalised to the
 actual discretised source volume, so the FVM consumes the same watts as
 the network models it is compared against.
 
-Both builders are memoized on the *content* of (stack, via, power) plus
-their keyword arguments through :data:`repro.perf.assembly_cache`: sweep
-points that share a sub-configuration (and repeated sweeps under
-multi-scenario traffic) skip the voxelisation entirely.  Grid building is
-deterministic, so a cache hit returns arrays identical to a fresh build.
+The build is split along the matrix/RHS boundary of the linear system it
+feeds: the *geometry* half (mesh + per-cell conductivity — everything the
+system matrix depends on) is independent of the power specification, and
+the *source* half (per-cell heat density — the right-hand side) is a cheap
+deposition on a finished mesh.  :func:`build_axisym_geometry` /
+:func:`build_cartesian_geometry` expose the power-independent half with
+their own cache keys, so the matrix-batched solve plane voxelises a
+shared-matrix group (e.g. a power sweep) exactly once and only re-deposits
+sources per point.  All hot loops are numpy-broadcast — identical
+floating-point operations per cell as the historical per-cell loops, so
+the arrays are bit-for-bit unchanged.
+
+Both full-grid builders are memoized on the *content* of (stack, via,
+power) plus their keyword arguments through
+:data:`repro.perf.assembly_cache`: sweep points that share a
+sub-configuration (and repeated sweeps under multi-scenario traffic) skip
+the voxelisation entirely.  Grid building is deterministic, so a cache hit
+returns arrays identical to a fresh build.
 """
 
 from __future__ import annotations
@@ -45,6 +58,21 @@ class AxisymGrids:
 
 
 @dataclass(frozen=True)
+class AxisymGeometry:
+    """The power-independent half of :class:`AxisymGrids`.
+
+    Mesh plus conductivity fully determine the assembled system matrix;
+    two points sharing an ``AxisymGeometry`` differ only in their
+    right-hand side (see :func:`axisym_source_density`).
+    """
+
+    r_edges: np.ndarray
+    z_edges: np.ndarray
+    conductivity: np.ndarray
+    plane_bands: list[tuple[float, float]]
+
+
+@dataclass(frozen=True)
 class CartesianGrids:
     """Everything :func:`repro.fem.cartesian.solve_cartesian` needs."""
 
@@ -53,6 +81,22 @@ class CartesianGrids:
     z_edges: np.ndarray
     conductivity: np.ndarray
     source_density: np.ndarray
+    plane_bands: list[tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class CartesianGeometry:
+    """The power-independent half of :class:`CartesianGrids`.
+
+    ``outer_frac`` (per-cell via+liner coverage) is kept because the
+    source deposition needs it to exclude the via footprint.
+    """
+
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+    z_edges: np.ndarray
+    conductivity: np.ndarray
+    outer_frac: np.ndarray
     plane_bands: list[tuple[float, float]]
 
 
@@ -87,6 +131,12 @@ def _layer_of(intervals: list[LayerInterval], z: float) -> LayerInterval:
         if iv.z0 - 1e-15 <= z < iv.z1 + 1e-15:
             return iv
     raise GeometryError(f"z = {z} outside the stack")
+
+
+def _layer_conductivities(stack: Stack3D, zc: np.ndarray) -> np.ndarray:
+    """Bulk conductivity of the stack layer containing each z centre."""
+    intervals = stack.layer_intervals()
+    return np.array([_layer_of(intervals, z).layer.conductivity for z in zc])
 
 
 def _source_regions(
@@ -150,25 +200,61 @@ def build_axisym_grids(
         cached = assembly_cache.get(key)
         if cached is not None:
             return cached
-    grids = _build_axisym_grids(
-        stack, via, power,
-        cell_area=cell_area, power_scale=power_scale, nr=nr, nz=nz,
+    # through the cached geometry builder: a per-point power sweep misses
+    # the power-keyed grids cache every point but shares the power-free
+    # geometry (mesh + conductivity) with earlier points — and with any
+    # matrix-group batch that already built it
+    geometry = build_axisym_geometry(
+        stack, via, cell_area=cell_area, nr=nr, nz=nz
+    )
+    grids = AxisymGrids(
+        r_edges=geometry.r_edges,
+        z_edges=geometry.z_edges,
+        conductivity=geometry.conductivity,
+        source_density=axisym_source_density(
+            stack, via, power, power_scale, geometry.r_edges, geometry.z_edges
+        ),
+        plane_bands=geometry.plane_bands,
     )
     if key is not None:
         assembly_cache.put(key, grids)
     return grids
 
 
-def _build_axisym_grids(
+def build_axisym_geometry(
     stack: Stack3D,
     via: TSV,
-    power: PowerSpec,
+    *,
+    cell_area: float | None = None,
+    nr: int = 36,
+    nz: int = 90,
+) -> AxisymGeometry:
+    """The power-independent mesh + conductivity of the axisymmetric cell.
+
+    Cached under its own (power-free) key, so a matrix group — many
+    right-hand sides against one system — voxelises exactly once.
+    """
+    key = content_key("axisym_geom", stack, via, cell_area, nr, nz)
+    if key is not None:
+        cached = assembly_cache.get(key)
+        if cached is not None:
+            return cached
+    geometry = _build_axisym_geometry(
+        stack, via, cell_area=cell_area, nr=nr, nz=nz
+    )
+    if key is not None:
+        assembly_cache.put(key, geometry)
+    return geometry
+
+
+def _build_axisym_geometry(
+    stack: Stack3D,
+    via: TSV,
     *,
     cell_area: float | None,
-    power_scale: float,
     nr: int,
     nz: int,
-) -> AxisymGrids:
+) -> AxisymGeometry:
     area = cell_area if cell_area is not None else stack.footprint_area
     if via.occupied_area >= area:
         raise GeometryError("via (incl. liner) does not fit the unit cell")
@@ -181,39 +267,47 @@ def _build_axisym_grids(
     )
     z_edges = layered_mesh(_z_breakpoints(stack, via), nz, min_per_layer=2)
     rc, zc = centers(r_edges), centers(z_edges)
-    n_r, n_z = rc.size, zc.size
 
-    intervals = stack.layer_intervals()
     z_bottom, z_top = stack.tsv_span(via.extension)
-    conductivity = np.empty((n_r, n_z))
-    for j, z in enumerate(zc):
-        k_layer = _layer_of(intervals, z).layer.conductivity
-        column = np.full(n_r, k_layer)
-        if z_bottom < z < z_top:
-            column[rc < via.radius] = via.fill.thermal_conductivity
-            inside_liner = (rc >= via.radius) & (rc < via.outer_radius)
-            column[inside_liner] = via.liner.thermal_conductivity
-        conductivity[:, j] = column
+    # layer conductivity broadcast down each column, via/liner masks on top
+    conductivity = np.repeat(
+        _layer_conductivities(stack, zc)[None, :], rc.size, axis=0
+    )
+    span = (zc > z_bottom) & (zc < z_top)
+    conductivity[np.ix_(rc < via.radius, span)] = via.fill.thermal_conductivity
+    inside_liner = (rc >= via.radius) & (rc < via.outer_radius)
+    conductivity[np.ix_(inside_liner, span)] = via.liner.thermal_conductivity
+    return AxisymGeometry(
+        r_edges=r_edges,
+        z_edges=z_edges,
+        conductivity=conductivity,
+        plane_bands=_plane_bands(stack),
+    )
 
+
+def axisym_source_density(
+    stack: Stack3D,
+    via: TSV,
+    power: PowerSpec,
+    power_scale: float,
+    r_edges: np.ndarray,
+    z_edges: np.ndarray,
+) -> np.ndarray:
+    """Per-cell heat density on a finished axisymmetric mesh (the RHS half)."""
+    rc, zc = centers(r_edges), centers(z_edges)
     ring_areas = math.pi * (r_edges[1:] ** 2 - r_edges[:-1] ** 2)
-    source = np.zeros((n_r, n_z))
+    source = np.zeros((rc.size, zc.size))
     for z0, z1, crosses, watts in _source_regions(stack, via, power, power_scale):
         if watts == 0.0:
             continue
         z_mask = (zc > z0) & (zc < z1)
-        r_mask = rc >= via.outer_radius if crosses else np.ones(n_r, dtype=bool)
+        r_mask = rc >= via.outer_radius if crosses else np.ones(rc.size, dtype=bool)
         dz = (z_edges[1:] - z_edges[:-1])[z_mask]
         volume = ring_areas[r_mask].sum() * dz.sum()
         if volume <= 0.0:
             raise GeometryError("source region has zero discretised volume")
         source[np.ix_(r_mask, z_mask)] += watts / volume
-    return AxisymGrids(
-        r_edges=r_edges,
-        z_edges=z_edges,
-        conductivity=conductivity,
-        source_density=source,
-        plane_bands=_plane_bands(stack),
-    )
+    return source
 
 
 # ---------------------------------------------------------------------------
@@ -246,22 +340,20 @@ def _coverage(
     radius: float,
     subsamples: int = 4,
 ) -> np.ndarray:
-    """Fraction of each (x, y) cell covered by the disc, by subsampling."""
-    nx, ny = x_edges.size - 1, y_edges.size - 1
-    frac = np.zeros((nx, ny))
+    """Fraction of each (x, y) cell covered by the disc, by subsampling.
+
+    Broadcast over all cells at once; each cell sees the same subsample
+    points and inside-test as the historical per-cell loop (cells wholly
+    outside the disc's bounding box evaluate to exactly 0.0 either way),
+    so the fractions are bit-for-bit unchanged.
+    """
     offsets = (np.arange(subsamples) + 0.5) / subsamples
-    for i in range(nx):
-        xs = x_edges[i] + offsets * (x_edges[i + 1] - x_edges[i])
-        if x_edges[i + 1] < cx - radius or x_edges[i] > cx + radius:
-            continue
-        for j in range(ny):
-            if y_edges[j + 1] < cy - radius or y_edges[j] > cy + radius:
-                continue
-            ys = y_edges[j] + offsets * (y_edges[j + 1] - y_edges[j])
-            gx, gy = np.meshgrid(xs, ys, indexing="ij")
-            inside = (gx - cx) ** 2 + (gy - cy) ** 2 <= radius**2
-            frac[i, j] = inside.mean()
-    return frac
+    xs = x_edges[:-1, None] + offsets[None, :] * np.diff(x_edges)[:, None]
+    ys = y_edges[:-1, None] + offsets[None, :] * np.diff(y_edges)[:, None]
+    inside = (xs[:, None, :, None] - cx) ** 2 + (
+        ys[None, :, None, :] - cy
+    ) ** 2 <= radius**2
+    return inside.mean(axis=(2, 3))
 
 
 def squared_via_dimensions(via: TSV) -> tuple[float, float]:
@@ -336,26 +428,73 @@ def build_cartesian_grids(
         cached = assembly_cache.get(key)
         if cached is not None:
             return cached
-    grids = _build_cartesian_grids(
-        stack, via, power,
+    # cached geometry builder: shares the expensive 3-D voxelization with
+    # other powers at this geometry and with matrix-group batches
+    geometry = build_cartesian_geometry(
+        stack, via,
         via_positions=via_positions, nx=nx, ny=ny, nz=nz, via_style=via_style,
+    )
+    grids = CartesianGrids(
+        x_edges=geometry.x_edges,
+        y_edges=geometry.y_edges,
+        z_edges=geometry.z_edges,
+        conductivity=geometry.conductivity,
+        source_density=cartesian_source_density(
+            stack, via, power,
+            geometry.x_edges, geometry.y_edges, geometry.z_edges,
+            geometry.outer_frac,
+        ),
+        plane_bands=geometry.plane_bands,
     )
     if key is not None:
         assembly_cache.put(key, grids)
     return grids
 
 
-def _build_cartesian_grids(
+def build_cartesian_geometry(
     stack: Stack3D,
     via: TSV,
-    power: PowerSpec,
+    *,
+    via_positions: list[tuple[float, float]] | None = None,
+    nx: int = 40,
+    ny: int = 40,
+    nz: int = 80,
+    via_style: str = "squared",
+) -> CartesianGeometry:
+    """The power-independent mesh + conductivity of the Cartesian block.
+
+    Cached under its own (power-free) key; the expensive 3-D voxelisation
+    of a matrix group runs once no matter how many right-hand sides it
+    serves.
+    """
+    key = content_key(
+        "cartesian_geom", stack, via,
+        tuple(via_positions) if via_positions is not None else None,
+        nx, ny, nz, via_style,
+    )
+    if key is not None:
+        cached = assembly_cache.get(key)
+        if cached is not None:
+            return cached
+    geometry = _build_cartesian_geometry(
+        stack, via,
+        via_positions=via_positions, nx=nx, ny=ny, nz=nz, via_style=via_style,
+    )
+    if key is not None:
+        assembly_cache.put(key, geometry)
+    return geometry
+
+
+def _build_cartesian_geometry(
+    stack: Stack3D,
+    via: TSV,
     *,
     via_positions: list[tuple[float, float]] | None,
     nx: int,
     ny: int,
     nz: int,
     via_style: str,
-) -> CartesianGrids:
+) -> CartesianGeometry:
     if via_style not in ("squared", "round"):
         raise GeometryError(f"via_style must be 'squared' or 'round', got {via_style!r}")
     side = stack.footprint_side
@@ -396,23 +535,42 @@ def _build_cartesian_grids(
     outer_frac = np.clip(outer_frac, 0.0, 1.0)
     liner_frac = np.clip(outer_frac - metal_frac, 0.0, 1.0)
 
-    intervals = stack.layer_intervals()
     z_bottom, z_top = stack.tsv_span(via.extension)
-    conductivity = np.empty((n_x, n_y, n_z))
-    for j, z in enumerate(zc):
-        k_layer = _layer_of(intervals, z).layer.conductivity
-        if z_bottom < z < z_top:
-            k_xy = (
-                metal_frac * via.fill.thermal_conductivity
-                + liner_frac * via.liner.thermal_conductivity
-                + (1.0 - outer_frac) * k_layer
-            )
-        else:
-            k_xy = np.full((n_x, n_y), k_layer)
-        conductivity[:, :, j] = k_xy
+    k_z = _layer_conductivities(stack, zc)
+    # bulk conductivity everywhere, the anti-aliased via mix on the span
+    conductivity = np.broadcast_to(k_z[None, None, :], (n_x, n_y, n_z)).copy()
+    span = (zc > z_bottom) & (zc < z_top)
+    via_mix = (
+        metal_frac * via.fill.thermal_conductivity
+        + liner_frac * via.liner.thermal_conductivity
+    )
+    conductivity[:, :, span] = (
+        via_mix[:, :, None] + (1.0 - outer_frac)[:, :, None] * k_z[span][None, None, :]
+    )
+    return CartesianGeometry(
+        x_edges=x_edges,
+        y_edges=y_edges,
+        z_edges=z_edges,
+        conductivity=conductivity,
+        outer_frac=outer_frac,
+        plane_bands=_plane_bands(stack),
+    )
 
+
+def cartesian_source_density(
+    stack: Stack3D,
+    via: TSV,
+    power: PowerSpec,
+    x_edges: np.ndarray,
+    y_edges: np.ndarray,
+    z_edges: np.ndarray,
+    outer_frac: np.ndarray,
+) -> np.ndarray:
+    """Per-cell heat density on a finished Cartesian mesh (the RHS half)."""
+    zc = centers(z_edges)
+    n_x, n_y = x_edges.size - 1, y_edges.size - 1
     cell_area = np.outer(np.diff(x_edges), np.diff(y_edges))
-    source = np.zeros((n_x, n_y, n_z))
+    source = np.zeros((n_x, n_y, zc.size))
     for z0, z1, crosses, watts in _source_regions(stack, via, power, 1.0):
         if watts == 0.0:
             continue
@@ -423,11 +581,4 @@ def _build_cartesian_grids(
         if volume <= 0.0:
             raise GeometryError("source region has zero discretised volume")
         source[:, :, z_mask] += (watts / volume) * weight[:, :, None]
-    return CartesianGrids(
-        x_edges=x_edges,
-        y_edges=y_edges,
-        z_edges=z_edges,
-        conductivity=conductivity,
-        source_density=source,
-        plane_bands=_plane_bands(stack),
-    )
+    return source

@@ -109,6 +109,30 @@ class PowerSpec:
         volume = stack.footprint_area * plane.ild.thickness
         return self.ild_heat(stack, plane_index) / volume
 
+    def scaled(self, factor: float) -> "PowerSpec":
+        """This power spec with every heat source multiplied by ``factor``.
+
+        Scales whichever mode is active — the volumetric densities and,
+        when given, the per-plane totals — so ``ild_fraction`` splits are
+        preserved.  This is the ``power_scale`` sweep axis of the scenario
+        subsystem: the geometry (and hence every assembled system matrix)
+        is untouched, only the right-hand side scales.
+        """
+        if not isinstance(factor, (int, float)) or isinstance(factor, bool):
+            raise ValidationError(f"power scale must be a number, got {factor!r}")
+        if factor < 0.0:
+            raise ValidationError(f"power scale must be >= 0, got {factor!r}")
+        return PowerSpec(
+            device_power_density=self.device_power_density * factor,
+            ild_power_density=self.ild_power_density * factor,
+            plane_powers=(
+                None
+                if self.plane_powers is None
+                else tuple(p * factor for p in self.plane_powers)
+            ),
+            ild_fraction=self.ild_fraction,
+        )
+
     def scaled_to_area(self, stack: Stack3D, area: float) -> "PowerSpec":
         """Power spec for a unit cell of ``area`` carved out of ``stack``.
 

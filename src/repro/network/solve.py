@@ -11,6 +11,17 @@ triangular solves.  Factorisation is deterministic, so cached and fresh
 solves produce identical results.  :func:`factorized_solver` exposes the
 same machinery for callers that solve one matrix against many right-hand
 sides.
+
+Multi-RHS entry points (:func:`solve_sparse_multi`,
+:func:`solve_dense_multi`, :func:`solve_linear_system_multi`) solve one
+matrix against an ``(n, k)`` block of right-hand sides: the matrix is
+factorised exactly once and each column is back-substituted through the
+shared factor.  Columns are solved *individually* (not as one BLAS block
+solve) on purpose — blocked triangular solves reorder floating-point
+operations, and the matrix-batched execution plane requires column ``j``
+of a batched solve to be bit-for-bit identical to the corresponding
+single-RHS solve.  The finite-temperature guard is applied column-wise,
+naming the offending columns.
 """
 
 from __future__ import annotations
@@ -79,8 +90,13 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
     return arr
 
 
-def _solve_cg(csr: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray | None:
-    """Preconditioned CG; returns None to fall back to the direct solver."""
+def _cg_preconditioner(csr: sp.csr_matrix) -> spla.LinearOperator | None:
+    """ILU preconditioner for CG, or None to fall back to the direct solver.
+
+    Building the preconditioner is deterministic, so one preconditioner
+    shared across a block of right-hand sides yields the same iterates as
+    rebuilding it per solve — the multi-RHS path relies on this.
+    """
     try:
         ilu = spla.spilu(csr.tocsc(), drop_tol=1e-5, fill_factor=8.0)
     except RuntimeError as exc:
@@ -89,10 +105,16 @@ def _solve_cg(csr: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray | None:
             f"ILU preconditioner failed ({exc}); falling back to the direct "
             "sparse solver",
             RuntimeWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
         return None
-    preconditioner = spla.LinearOperator(csr.shape, ilu.solve)
+    return spla.LinearOperator(csr.shape, ilu.solve)
+
+
+def _cg_iterate(
+    csr: sp.csr_matrix, rhs: np.ndarray, preconditioner: spla.LinearOperator
+) -> np.ndarray | None:
+    """One preconditioned CG solve; None means fall back to direct."""
     solution, info = spla.cg(
         csr, rhs, rtol=1e-10, atol=0.0, maxiter=2000, M=preconditioner
     )
@@ -102,10 +124,115 @@ def _solve_cg(csr: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray | None:
             f"preconditioned CG did not converge (info={info}); falling back "
             "to the direct sparse solver",
             RuntimeWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
         return None
     return np.asarray(solution, dtype=float)
+
+
+def _solve_cg(csr: sp.csr_matrix, rhs: np.ndarray) -> np.ndarray | None:
+    """Preconditioned CG; returns None to fall back to the direct solver."""
+    preconditioner = _cg_preconditioner(csr)
+    if preconditioner is None:
+        return None
+    return _cg_iterate(csr, rhs, preconditioner)
+
+
+def _check_finite_columns(solution: np.ndarray, what: str) -> np.ndarray:
+    """Column-wise finite-temperature guard shared by the multi-RHS paths."""
+    arr = np.asarray(solution, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        if arr.ndim == 1:
+            raise SolverError(f"{what} produced non-finite temperatures")
+        bad = sorted(np.nonzero(~np.isfinite(arr).all(axis=0))[0].tolist())
+        raise SolverError(
+            f"{what} produced non-finite temperatures in RHS column(s) {bad}"
+        )
+    return arr
+
+
+def _as_rhs_block(rhs_block: np.ndarray) -> np.ndarray:
+    block = np.asarray(rhs_block, dtype=float)
+    if block.ndim != 2:
+        raise SolverError(
+            f"multi-RHS solves need an (n, k) block, got shape {block.shape}"
+        )
+    return block
+
+
+def solve_sparse_multi(matrix: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray:
+    """Solve a sparse SPD system against an ``(n, k)`` RHS block.
+
+    One SuperLU factorisation (through the global factor cache) plus one
+    back-substitution per column; column ``j`` of the result is bit-for-bit
+    identical to ``solve_sparse(matrix, rhs_block[:, j])``.  Above
+    :data:`ITERATIVE_CUTOFF` unknowns the ILU preconditioner is built once
+    and shared across the per-column CG solves (identical iterates);
+    columns that fail to converge fall back to the shared direct factor,
+    exactly as their single-RHS counterparts would.
+    """
+    block = _as_rhs_block(rhs_block)
+    csr = _as_csr(matrix)
+    n, k = block.shape
+    if k == 0:
+        return block.copy()
+    columns: list[np.ndarray | None] = [None] * k
+    if n > ITERATIVE_CUTOFF:
+        preconditioner = _cg_preconditioner(csr)
+        if preconditioner is not None:
+            for j in range(k):
+                columns[j] = _cg_iterate(csr, block[:, j], preconditioner)
+    if any(c is None for c in columns):
+        try:
+            solve = factor_cache.solver(csr)
+        except RuntimeError as exc:
+            raise SingularNetworkError(
+                "sparse conductance matrix is singular — some node has no "
+                "path to ground"
+            ) from exc
+        for j in range(k):
+            if columns[j] is None:
+                columns[j] = solve(block[:, j])
+    return _check_finite_columns(np.column_stack(columns), "sparse solve")
+
+
+def solve_dense_multi(matrix: np.ndarray, rhs_block: np.ndarray) -> np.ndarray:
+    """Solve a dense system against an ``(n, k)`` RHS block.
+
+    One LAPACK LU factorisation (through the global factor cache) plus one
+    per-column back-substitution.  ``getrf``+``getrs`` on a single column
+    is the same computation :func:`solve_dense` performs via
+    ``numpy.linalg.solve`` (``gesv``), so columns match their single-RHS
+    solves bit-for-bit when numpy and scipy resolve to the same LAPACK
+    build (asserted by the identity tests on this environment; on split
+    BLAS installs the columns may differ in the last ulp).  The sparse
+    path — the one the FEM matrix groups actually use — carries the
+    unconditional guarantee: both sides share one cached SuperLU factor.
+    """
+    block = _as_rhs_block(rhs_block)
+    if block.shape[1] == 0:
+        return block.copy()
+    try:
+        solve = factor_cache.solver(np.asarray(matrix, dtype=float))
+    except RuntimeError as exc:
+        raise SingularNetworkError(
+            "conductance matrix is singular — some node has no path to ground"
+        ) from exc
+    columns = [solve(block[:, j]) for j in range(block.shape[1])]
+    return _check_finite_columns(np.column_stack(columns), "dense solve")
+
+
+def solve_linear_system_multi(matrix, rhs_block: np.ndarray) -> np.ndarray:
+    """Dispatch an ``(n, k)`` RHS block to the dense or sparse back-end."""
+    block = _as_rhs_block(rhs_block)
+    n = block.shape[0]
+    if sp.issparse(matrix):
+        if n <= DENSE_CUTOFF:
+            return solve_dense_multi(matrix.toarray(), block)
+        return solve_sparse_multi(matrix, block)
+    if n <= DENSE_CUTOFF:
+        return solve_dense_multi(np.asarray(matrix, dtype=float), block)
+    return solve_sparse_multi(sp.csr_matrix(matrix), block)
 
 
 def factorized_solver(matrix) -> Callable[[np.ndarray], np.ndarray]:
@@ -117,11 +244,18 @@ def factorized_solver(matrix) -> Callable[[np.ndarray], np.ndarray]:
     to turn n_steps full solves into one factorisation plus n_steps
     back-substitutions.
 
+    The returned solve also accepts an ``(n, k)`` RHS block (SuperLU and
+    LAPACK back-substitute blocks natively); note that blocked triangular
+    solves are *not* bit-identical to per-column solves — callers that
+    need column-exact identity with single-RHS solves use
+    :func:`solve_linear_system_multi` instead.
+
     Every returned solve applies the same finite-temperature guard as
-    :func:`solve_sparse`: a numerically singular factor that slips past
-    the factorisation (SuperLU can produce inf/nan instead of raising)
-    raises :class:`~repro.errors.SolverError` instead of silently
-    propagating non-finite values through transient stepping.
+    :func:`solve_sparse`, column-wise for RHS blocks: a numerically
+    singular factor that slips past the factorisation (SuperLU can
+    produce inf/nan instead of raising) raises
+    :class:`~repro.errors.SolverError` instead of silently propagating
+    non-finite values through transient stepping.
     """
     n = matrix.shape[0]
     try:
@@ -138,10 +272,7 @@ def factorized_solver(matrix) -> Callable[[np.ndarray], np.ndarray]:
         ) from exc
 
     def checked_solve(rhs: np.ndarray) -> np.ndarray:
-        arr = np.asarray(solve(rhs), dtype=float)
-        if not np.all(np.isfinite(arr)):
-            raise SolverError("factorized solve produced non-finite temperatures")
-        return arr
+        return _check_finite_columns(solve(rhs), "factorized solve")
 
     return checked_solve
 

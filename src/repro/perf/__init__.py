@@ -8,7 +8,12 @@ Public surface:
 * :func:`configure` — resize or disable the assembly/result/factor caches;
 * :class:`SerialExecutor` / :class:`ParallelExecutor` /
   :func:`get_executor` — the sweep execution strategies behind ``--jobs``;
+* :class:`PointTask` / :class:`MatrixGroupTask` — the two dispatch
+  shapes: per-point solves and matrix groups (one model, one geometry,
+  many right-hand sides);
 * :func:`cached_solve` — a model solve through the global result cache;
+* :func:`calibration_key` / :func:`calibration_fit_key` — the shared
+  identity of a coefficient fit (plan node key and fit-cache key);
 * :class:`FactorizationCache` — reusable matrix factorizations.
 
 The benchmark-regression harness lives in :mod:`repro.perf.bench` and is
@@ -27,25 +32,38 @@ from .cache import (
     result_cache,
 )
 from .executors import (
+    MatrixGroupTask,
     ParallelExecutor,
     PointTask,
     SerialExecutor,
     SweepExecutor,
+    SweepTask,
     get_executor,
     solve_task,
+    solve_work,
 )
-from .memo import cached_solve, model_key, solve_key
+from .memo import (
+    cached_solve,
+    calibration_fit_key,
+    calibration_key,
+    model_key,
+    solve_key,
+)
 from .stats import counter, increment, stats
 
 __all__ = [
     "FactorizationCache",
     "LRUCache",
+    "MatrixGroupTask",
     "ParallelExecutor",
     "PointTask",
     "SerialExecutor",
     "SweepExecutor",
+    "SweepTask",
     "assembly_cache",
     "cached_solve",
+    "calibration_fit_key",
+    "calibration_key",
     "configure",
     "content_key",
     "counter",
@@ -58,5 +76,6 @@ __all__ = [
     "result_cache",
     "solve_key",
     "solve_task",
+    "solve_work",
     "stats",
 ]

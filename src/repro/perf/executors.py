@@ -1,18 +1,31 @@
 """Pluggable sweep execution: serial today, process-parallel when asked.
 
-The sweep engine hands an executor a list of :class:`PointTask` work specs
-(one per sweep point that missed the result cache) and expects the solved
-results back *in task order*.  :class:`SerialExecutor` is the default and
-reproduces the historical strictly-serial loop bit-for-bit;
-:class:`ParallelExecutor` fans tasks out over a ``ProcessPoolExecutor``
-with chunked dispatch.  Work specs carry plain dataclass geometry and the
-model instances themselves, all of which pickle cleanly; the configure
-callback (often a closure) is evaluated in the parent before dispatch, so
-it never crosses the process boundary.
+The sweep engine hands an executor a list of work specs and expects the
+solved results back *in task order*.  Two task shapes exist:
 
-Determinism: ``ProcessPoolExecutor.map`` preserves input order and every
-model solve is deterministic, so serial and parallel sweeps produce
-numerically identical results regardless of how tasks land on workers.
+* :class:`PointTask` — one sweep point's worth of solves (one geometry,
+  several models), the historical unit of dispatch;
+* :class:`MatrixGroupTask` — one *matrix group*: a single model solved at
+  one geometry under many power specs.  The members share the exact
+  system matrix (see
+  :meth:`repro.core.base.ThermalTSVModel.assembly_key`), so the group is
+  solved through the model's ``solve_batch`` — voxelise/assemble/factor
+  once, back-substitute per member — and, under parallel dispatch, the
+  shared geometry/model payload is pickled *once per group* instead of
+  once per point.
+
+:class:`SerialExecutor` is the default and reproduces the historical
+strictly-serial loop bit-for-bit; :class:`ParallelExecutor` fans tasks out
+over a ``ProcessPoolExecutor`` with chunked dispatch.  Work specs carry
+plain dataclass geometry and the model instances themselves, all of which
+pickle cleanly; the configure callback (often a closure) is evaluated in
+the parent before dispatch, so it never crosses the process boundary.
+
+Determinism: ``ProcessPoolExecutor.map`` preserves input order, every
+model solve is deterministic, and batched solves are bit-identical to
+per-point solves, so serial, parallel, grouped and ungrouped execution
+all produce numerically identical results regardless of how tasks land
+on workers.
 """
 
 from __future__ import annotations
@@ -25,8 +38,8 @@ import warnings
 from collections.abc import Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, replace
+from typing import Any, Union
 
 from ..errors import ValidationError
 
@@ -48,37 +61,72 @@ class PointTask:
     models: tuple[Any, ...]
 
 
+@dataclass(frozen=True)
+class MatrixGroupTask:
+    """A matrix group: one model, one geometry, many right-hand sides.
+
+    ``index`` is the group's position in the caller's group list;
+    ``powers`` lists one power spec per member, in member order, starting
+    at member ``offset`` (non-zero when :class:`ParallelExecutor` splits
+    a large group into per-worker RHS sub-blocks — each sub-block still
+    factorises only once per worker, but the group no longer serialises
+    a whole sweep onto one process).  Solved via ``model.solve_batch`` —
+    results align positionally with ``powers`` and are bit-identical to
+    per-point solves.  The shared (model, stack, via) payload crosses
+    the process boundary once per (sub-)group, which is where parallel
+    dispatch of shared-matrix sweeps recovers its pickling/IPC overhead.
+    """
+
+    index: int
+    stack: Any
+    via: Any
+    model: Any
+    powers: tuple[Any, ...]
+    offset: int = 0
+
+
+#: anything an executor can be handed
+SweepTask = Union[PointTask, MatrixGroupTask]
+
+
 def solve_task(task: PointTask) -> dict[str, Any]:
-    """Solve every model of one task; runs in the parent or a worker."""
+    """Solve every model of one point task; runs in the parent or a worker."""
     return {
         m.name: m.solve(task.stack, task.via, task.power) for m in task.models
     }
 
 
-def solve_task_chunk(tasks: list[PointTask]) -> list[dict[str, Any]]:
+def solve_work(task: SweepTask) -> Any:
+    """Solve any task shape: a result dict (point) or list (matrix group)."""
+    if isinstance(task, MatrixGroupTask):
+        return task.model.solve_batch(task.stack, task.via, task.powers)
+    return solve_task(task)
+
+
+def solve_task_chunk(tasks: list[SweepTask]) -> list[Any]:
     """Solve a chunk of tasks in one dispatch message (worker side)."""
-    return [solve_task(t) for t in tasks]
+    return [solve_work(t) for t in tasks]
 
 
 class SweepExecutor(abc.ABC):
     """Strategy interface: run tasks, return results aligned with input."""
 
     @abc.abstractmethod
-    def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
-        """Solve every task, returning one result dict per task, in order."""
+    def run_tasks(self, tasks: list[SweepTask]) -> list[Any]:
+        """Solve every task, returning one result per task, in order."""
 
     def submit_stream(
-        self, tasks: Iterable[PointTask]
-    ) -> Iterator[tuple[PointTask, dict[str, Any]]]:
+        self, tasks: Iterable[SweepTask]
+    ) -> Iterator[tuple[SweepTask, Any]]:
         """Yield ``(task, results)`` pairs as tasks complete.
 
         Completion order is unspecified — the execution-plan scheduler
-        consumes this to react to each solved point as soon as it lands
-        (progress callbacks, point-store writes, unlocking dependents).
-        The default implementation delegates to :meth:`run_tasks`, so any
-        executor that only implements the batch interface still streams
-        (in task order); :class:`ParallelExecutor` overrides it with true
-        as-completed delivery.
+        consumes this to react to each solved point (or matrix group) as
+        soon as it lands (progress callbacks, point-store writes,
+        unlocking dependents).  The default implementation delegates to
+        :meth:`run_tasks`, so any executor that only implements the batch
+        interface still streams (in task order); :class:`ParallelExecutor`
+        overrides it with true as-completed delivery.
         """
         tasks = list(tasks)
         yield from zip(tasks, self.run_tasks(tasks))
@@ -87,14 +135,14 @@ class SweepExecutor(abc.ABC):
 class SerialExecutor(SweepExecutor):
     """The default in-process loop — identical to the historical sweep."""
 
-    def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
-        return [solve_task(t) for t in tasks]
+    def run_tasks(self, tasks: list[SweepTask]) -> list[Any]:
+        return [solve_work(t) for t in tasks]
 
     def submit_stream(
-        self, tasks: Iterable[PointTask]
-    ) -> Iterator[tuple[PointTask, dict[str, Any]]]:
+        self, tasks: Iterable[SweepTask]
+    ) -> Iterator[tuple[SweepTask, Any]]:
         for task in tasks:
-            yield task, solve_task(task)
+            yield task, solve_work(task)
 
 
 class ParallelExecutor(SweepExecutor):
@@ -107,6 +155,9 @@ class ParallelExecutor(SweepExecutor):
     chunksize:
         Tasks per dispatch message; default splits the task list into
         roughly two chunks per worker to amortise pickling overhead.
+        A :class:`MatrixGroupTask` counts as one task but carries a whole
+        group — its shared payload is pickled once however the chunks
+        fall.
 
     Worker exceptions (bad geometry, singular systems) propagate to the
     caller exactly as in serial mode.  A broken pool or unpicklable work
@@ -122,14 +173,14 @@ class ParallelExecutor(SweepExecutor):
             raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
         self.chunksize = chunksize
 
-    def run_tasks(self, tasks: list[PointTask]) -> list[dict[str, Any]]:
+    def run_tasks(self, tasks: list[SweepTask]) -> list[Any]:
         if self.jobs == 1 or len(tasks) <= 1:
             return SerialExecutor().run_tasks(tasks)
         workers = min(self.jobs, len(tasks))
         chunk = self.chunksize or max(1, math.ceil(len(tasks) / (workers * 2)))
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(solve_task, tasks, chunksize=chunk))
+                return list(pool.map(solve_work, tasks, chunksize=chunk))
         except (pickle.PicklingError, BrokenProcessPool, OSError) as exc:
             warnings.warn(
                 f"parallel sweep degraded to serial execution: {exc}",
@@ -138,10 +189,46 @@ class ParallelExecutor(SweepExecutor):
             )
             return SerialExecutor().run_tasks(tasks)
 
+    def _split_groups(self, tasks: list[SweepTask]) -> list[SweepTask]:
+        """Split large matrix groups into per-worker RHS sub-blocks.
+
+        A single indivisible group would serialise a whole shared-matrix
+        sweep onto one worker, so each group is split into roughly
+        ``jobs / len(tasks)`` sub-blocks — just enough to fill the idle
+        workers.  When the task list already saturates the pool, nothing
+        is split: every extra sub-block costs a redundant factorization
+        in its worker (sub-blocks of one group land on different
+        processes with cold factor caches), which only pays off while
+        workers would otherwise sit idle.  Splitting is deterministic
+        and each sub-block carries its ``offset``, so results stay
+        bit-identical and realignable with the original member order.
+        """
+        per_task = self.jobs // max(1, len(tasks))
+        if per_task <= 1:
+            return tasks
+        expanded: list[SweepTask] = []
+        for task in tasks:
+            if isinstance(task, MatrixGroupTask) and len(task.powers) > 1:
+                n_sub = min(per_task, len(task.powers))
+                size = math.ceil(len(task.powers) / n_sub)
+                for start in range(0, len(task.powers), size):
+                    expanded.append(
+                        replace(
+                            task,
+                            powers=task.powers[start : start + size],
+                            offset=task.offset + start,
+                        )
+                    )
+                continue
+            expanded.append(task)
+        return expanded
+
     def submit_stream(
-        self, tasks: Iterable[PointTask]
-    ) -> Iterator[tuple[PointTask, dict[str, Any]]]:
+        self, tasks: Iterable[SweepTask]
+    ) -> Iterator[tuple[SweepTask, Any]]:
         tasks = list(tasks)
+        if self.jobs > 1:
+            tasks = self._split_groups(tasks)
         if self.jobs == 1 or len(tasks) <= 1:
             yield from SerialExecutor().submit_stream(tasks)
             return
@@ -173,7 +260,7 @@ class ParallelExecutor(SweepExecutor):
             for i, c in enumerate(chunks):
                 if i not in done:
                     for task in c:
-                        yield task, solve_task(task)
+                        yield task, solve_work(task)
 
 
 def get_executor(jobs: int | None) -> SweepExecutor:

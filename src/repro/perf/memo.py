@@ -34,6 +34,63 @@ def solve_key(model: Any, stack: Any, via: Any, power: Any) -> str | None:
     return content_key(mkey, stack, via, power)
 
 
+def calibration_key(
+    reference_key: str | None, sample_keys: Any, name: str
+) -> str | None:
+    """Identity of one coefficient fit: reference config + sample solves.
+
+    The same formula keys the execution plan's CalibrationNode and the
+    eager path's fit, so both address one result-cache entry (see
+    :func:`calibration_fit_key`).  ``sample_keys`` are the reference
+    solve keys at the calibration samples, in sample order; any missing
+    piece (unpicklable model) disables the identity.
+    """
+    if reference_key is None:
+        return None
+    sample_keys = tuple(sample_keys)
+    if any(key is None for key in sample_keys):
+        return None
+    return content_key("calibration/v1", reference_key, sample_keys, name)
+
+
+def calibration_fit_key(cal_key: str | None) -> str | None:
+    """Result-cache key of a finished coefficient fit.
+
+    Derived from (not equal to) the calibration identity so a cached
+    :class:`~repro.calibration.fit.CalibrationResult` can never collide
+    with a plan-node result stored under the identity itself.
+    """
+    if cal_key is None:
+        return None
+    return content_key("calibration_fit/v1", cal_key)
+
+
+def memoized_fit(fit_key: str | None, compute: Any) -> Any:
+    """A coefficient fit through the result cache (the fit-level cache).
+
+    The single implementation of the fit-memoization contract shared by
+    the eager path (:func:`repro.experiments.harness.calibrated_model_a`)
+    and the plan scheduler — same counters
+    (``calibration_fit_hits``/``_misses``), same None-key bypass, same
+    cached type (the full CalibrationResult) — so the two paths can never
+    drift apart and split the cache.  The fit is deterministic, so a hit
+    returns coefficients identical to recomputing.  Returns
+    ``(fit, from_cache)``.
+    """
+    from .stats import increment
+
+    fit = result_cache.get(fit_key) if fit_key is not None else None
+    if fit is not None:
+        increment("calibration_fit_hits")
+        return fit, True
+    if fit_key is not None:
+        increment("calibration_fit_misses")
+    fit = compute()
+    if fit_key is not None:
+        result_cache.put(fit_key, fit)
+    return fit, False
+
+
 def cached_solve(model: Any, stack: Any, via: Any, power: Any) -> Any:
     """``model.solve(...)`` through the global result cache."""
     key = solve_key(model, stack, via, power)

@@ -41,7 +41,7 @@ from ..experiments.harness import (
 )
 from ..experiments.table1_segments import rows_from_fig5
 from ..geometry import PowerSpec, TSVCluster, paper_stack, paper_tsv
-from ..perf import content_key, increment, model_key, solve_key
+from ..perf import calibration_key, content_key, increment, model_key, solve_key
 from ..units import um
 from .spec import ScenarioSpec
 
@@ -112,7 +112,7 @@ def _configurator(spec: ScenarioSpec) -> Configurator:
         for rule in spec.rules:
             if rule.applies(value):
                 geo.update(rule.set)
-        if axis.parameter != "cluster_count":
+        if axis.parameter not in ("cluster_count", "power_scale"):
             geo[axis.parameter] = float(value)
         stack = paper_stack(
             n_planes=geo["n_planes"],
@@ -127,9 +127,14 @@ def _configurator(spec: ScenarioSpec) -> Configurator:
         if geo["extension_um"] is not None:
             via_kwargs["extension"] = um(geo["extension_um"])
         via = paper_tsv(**via_kwargs)
+        point_power = (
+            power.scaled(float(value))
+            if axis.parameter == "power_scale"
+            else power
+        )
         if axis.parameter == "cluster_count":
-            return stack, TSVCluster(via, int(value)), power
-        return stack, via, power
+            return stack, TSVCluster(via, int(value)), point_power
+        return stack, via, point_power
 
     return configure
 
@@ -144,6 +149,13 @@ class SolveNode:
     ``model`` is the concrete model instance, or ``None`` for a calibrated
     model that only exists once its ``calibration`` node has run (the
     scheduler materialises it from the fitted coefficients).
+
+    ``assembly_key`` is the content hash of the linear system the solve
+    assembles — the model's :meth:`~repro.core.base.ThermalTSVModel.assembly_key`
+    at (stack, via), independent of the power/RHS — or ``None`` when the
+    model declares no power-independent assembly.  Ready nodes sharing an
+    ``assembly_key`` are regrouped by the scheduler into one
+    :class:`~repro.perf.MatrixGroupTask` (factor once, one RHS per point).
     """
 
     key: str
@@ -154,6 +166,7 @@ class SolveNode:
     model_name: str
     model: Any = None
     calibration: str | None = None  # key of the CalibrationNode, if any
+    assembly_key: str | None = None
 
     @property
     def kind(self) -> str:
@@ -304,6 +317,7 @@ def _compile_sweep(plan: ExecutionPlan, spec: ScenarioSpec, *, fast: bool) -> No
                     power=power,
                     model_name=model.name,
                     model=model,
+                    assembly_key=model.assembly_key(stack, via),
                 )
             )
             node_keys[model.name].append(key)
@@ -314,8 +328,13 @@ def _compile_sweep(plan: ExecutionPlan, spec: ScenarioSpec, *, fast: bool) -> No
         )
         sample_keys = tuple(node_keys[reference.name][i] for i in sample_idx)
         samples = tuple(points[i] for i in sample_idx)
-        cal_key = content_key(
-            "calibration/v1", model_key(reference), sample_keys,
+        # opaque sample keys are compile-local (and can repeat their
+        # counter across compiles), so a fit depending on one must get an
+        # opaque key too — the shared calibration_key formula also keys
+        # the fit's result-cache entry on the eager path
+        cal_key = calibration_key(
+            model_key(reference),
+            tuple(k if is_content_key(k) else None for k in sample_keys),
             CALIBRATED_MODEL_NAME,
         ) or plan.next_opaque_key("calibration")
         plan.add(

@@ -159,6 +159,7 @@ def run_batch(
     fem_resolution: str | None = None,
     calibrate: bool | None = None,
     progress: ProgressFn | None = None,
+    group_matrices: bool = True,
 ) -> BatchRun:
     """Run many scenarios as one merged, deduplicated execution plan.
 
@@ -169,6 +170,10 @@ def run_batch(
     once; with a ``store`` every solved node lands in the point-level
     object space as it completes, and ``resume=True`` reads those points
     back so an interrupted batch continues where it stopped.
+    ``group_matrices`` (default on) lets the scheduler dispatch nodes
+    that share a system matrix — power sweeps, shared geometries — as
+    matrix groups: one factorization, one RHS per point, bit-identical
+    results.
     """
     resolved: list[ScenarioSpec] = []
     for spec in specs:
@@ -237,6 +242,7 @@ def run_batch(
             resume=resume,
             progress=progress,
             on_node=on_node,
+            group_matrices=group_matrices,
         )
         stats.update(plan.stats)
         stats.update(outcome.counts)
@@ -254,6 +260,7 @@ def run_scenario(
     calibrate: bool | None = None,
     resume: bool = False,
     progress: ProgressFn | None = None,
+    group_matrices: bool = True,
 ) -> ScenarioRun:
     """Run one scenario (a spec, or a registered scenario id).
 
@@ -277,5 +284,6 @@ def run_scenario(
         fem_resolution=fem_resolution,
         calibrate=calibrate,
         progress=progress,
+        group_matrices=group_matrices,
     )
     return batch.runs[0]

@@ -6,22 +6,39 @@
 * ready :class:`~repro.scenarios.plan.SolveNode`\\ s are first resolved
   against the global result cache, then (``resume=True``) against the
   :class:`~repro.scenarios.store.RunStore`'s point-level object space;
-  the rest are regrouped into per-point :class:`~repro.perf.PointTask`\\ s
-  (one dispatch per geometry, not per model — the same batching the
-  eager sweep used) and stream over the executor's
-  :meth:`~repro.perf.SweepExecutor.submit_stream` as-completed interface;
+* the remaining ready nodes are regrouped for dispatch.  Nodes sharing a
+  non-None ``assembly_key`` — the same system matrix, different
+  right-hand sides (power sweeps, calibration samples, repeated
+  geometries across scenarios) — become one
+  :class:`~repro.perf.MatrixGroupTask` solved through the model's
+  ``solve_batch``: voxelise/assemble/factorise once, back-substitute per
+  member, with the shared payload shipped once under parallel dispatch.
+  Everything else falls back to per-point
+  :class:`~repro.perf.PointTask`\\ s (one dispatch per geometry, not per
+  model — the same batching the eager sweep used).  Both shapes stream
+  over the executor's :meth:`~repro.perf.SweepExecutor.submit_stream`
+  as-completed interface; ``group_matrices=False`` disables the
+  regrouping (the two paths are bit-identical — asserted by tests and
+  the ``multi_rhs_identical`` bench check);
 * :class:`~repro.scenarios.plan.CalibrationNode`\\ s run in the parent as
   soon as their reference solves land — mid-stream, between completions —
   and their dependent calibrated solve nodes dispatch in the next
-  executor wave;
+  executor wave.  Finished fits are memoized in the result cache keyed on
+  (reference config, sample solve keys) via
+  :func:`repro.perf.calibration_fit_key`, so repeated in-process batches
+  skip the least-squares fit too (counters
+  ``calibration_fit_hits`` / ``calibration_fit_misses``);
 * every completed node is written into the store's point space
   (``points/<key>.json``) so a killed batch resumes from its solved
   points.
 
-Every solve is deterministic, so cache hits, store hits and fresh solves
-are numerically interchangeable — scheduling order never changes the
-assembled results.  Counters land in :func:`repro.perf.stats`:
-``plan_point_solves`` (actual solves dispatched), ``plan_calibrations``,
+Every solve is deterministic and batched solves are bit-identical to
+per-point solves, so cache hits, store hits, fresh solves and group
+membership are all numerically interchangeable — scheduling order never
+changes the assembled results.  Counters land in
+:func:`repro.perf.stats`: ``plan_point_solves`` (actual solves
+dispatched), ``plan_matrix_groups`` / ``plan_grouped_solves`` (matrix
+groups dispatched and the nodes they carried), ``plan_calibrations``,
 ``point_store_hits`` / ``point_store_misses``.
 """
 
@@ -37,14 +54,18 @@ from ..core.result import ModelResult
 from ..errors import ExperimentError
 from ..experiments.harness import calibrated_model_from_fit
 from ..perf import (
+    MatrixGroupTask,
     PointTask,
     SerialExecutor,
     SweepExecutor,
+    SweepTask,
+    calibration_fit_key,
     content_key,
     increment,
     result_cache,
     solve_key,
 )
+from ..perf.memo import memoized_fit
 from ..resistances import FittingCoefficients
 from .plan import (
     CalibrationNode,
@@ -86,12 +107,16 @@ def execute_plan(
     resume: bool = False,
     progress: ProgressFn | None = None,
     on_node: OnNodeFn | None = None,
+    group_matrices: bool = True,
 ) -> ScheduleOutcome:
     """Execute every node of ``plan`` and return the per-key results.
 
     ``store`` enables point-level persistence (always written when given);
     ``resume`` additionally *reads* stored points, so an interrupted batch
     picks up from its solved points instead of re-solving them.
+    ``group_matrices`` controls the matrix-batched dispatch: ready nodes
+    sharing an ``assembly_key`` are solved as one group (factor once, one
+    RHS per node) unless disabled — results are bit-identical either way.
     """
     executor = executor or SerialExecutor()
     nodes = plan.nodes
@@ -158,9 +183,22 @@ def execute_plan(
                 )
                 finish(node, coefficients, "store")
                 return
-        targets = [results[k].max_rise for k in node.sample_keys]
-        fit = fit_coefficients(list(node.samples), None, targets=targets)
-        increment("plan_calibrations")
+        # the node key IS the fit identity (reference config + sample solve
+        # keys), so the finished CalibrationResult memoizes under a key
+        # derived from it — repeated in-process batches skip the
+        # least-squares fit, not just the point solves
+        fit_key = (
+            calibration_fit_key(node.key) if is_content_key(node.key) else None
+        )
+
+        def compute():
+            targets = [results[k].max_rise for k in node.sample_keys]
+            fit = fit_coefficients(list(node.samples), None, targets=targets)
+            increment("plan_calibrations")
+            return fit
+
+        fit, from_cache = memoized_fit(fit_key, compute)
+        source = "cache" if from_cache else "solved"
         coefficients = fit.coefficients
         if store is not None and is_content_key(node.key):
             store.put_point(
@@ -173,7 +211,7 @@ def execute_plan(
                     "residual_rms": fit.residual_rms,
                 },
             )
-        finish(node, coefficients, "solved")
+        finish(node, coefficients, source)
 
     def run_case_study(node: CaseStudyNode) -> None:
         if resume and store is not None and is_content_key(node.key):
@@ -245,14 +283,38 @@ def execute_plan(
                     continue
             dispatch.append((node, model, cache_key))
 
-        # regroup per-(model, point) nodes into per-point tasks, so one
-        # dispatch message carries every model of a sweep point (the same
-        # batching — and pickling cost — as the eager sweep); two nodes
-        # only share a task when their geometry matches and their model
-        # names don't collide (e.g. two different model_a_cal fits)
+        # matrix groups first: nodes sharing an assembly_key solve the
+        # identical system matrix and differ only in their RHS, so they
+        # dispatch as one MatrixGroupTask (voxelise/assemble/factor once,
+        # back-substitute per member; the shared payload crosses the
+        # process boundary once).  Singleton "groups" gain nothing and
+        # fall back to per-point batching with everything else.
+        grouped: dict[str, list[tuple[SolveNode, Any, str | None]]] = {}
+        ungrouped: list[tuple[SolveNode, Any, str | None]] = []
+        if group_matrices:
+            by_assembly: dict[str, list] = defaultdict(list)
+            for entry in dispatch:
+                akey = entry[0].assembly_key
+                if akey is not None:
+                    by_assembly[akey].append(entry)
+                else:
+                    ungrouped.append(entry)
+            for akey, members in by_assembly.items():
+                if len(members) > 1:
+                    grouped[akey] = members
+                else:
+                    ungrouped.extend(members)
+        else:
+            ungrouped = list(dispatch)
+
+        # the rest regroups into per-point tasks, so one dispatch message
+        # carries every model of a sweep point (the same batching — and
+        # pickling cost — as the eager sweep); two nodes only share a
+        # task when their geometry matches and their model names don't
+        # collide (e.g. two different model_a_cal fits)
         buckets: list[dict[str, tuple[SolveNode, Any, str | None]]] = []
         by_point: dict[str, list[dict]] = defaultdict(list)
-        for node, model, cache_key in dispatch:
+        for node, model, cache_key in ungrouped:
             point_key = content_key(node.stack, node.via, node.power)
             if point_key is None:
                 buckets.append({node.model_name: (node, model, cache_key)})
@@ -266,7 +328,7 @@ def execute_plan(
                 by_point[point_key].append(bucket)
                 buckets.append(bucket)
 
-        tasks = []
+        tasks: list[SweepTask] = []
         for i, bucket in enumerate(buckets):
             node, _, _ = next(iter(bucket.values()))
             tasks.append(
@@ -279,16 +341,41 @@ def execute_plan(
                     models=tuple(model for _, model, _ in bucket.values()),
                 )
             )
+        groups = list(grouped.values())
+        for i, members in enumerate(groups):
+            node, model, _ = members[0]
+            increment("plan_matrix_groups")
+            increment("plan_grouped_solves", len(members))
+            tasks.append(
+                MatrixGroupTask(
+                    index=i,
+                    stack=node.stack,
+                    via=node.via,
+                    model=model,
+                    powers=tuple(m[0].power for m in members),
+                )
+            )
+
+        def land(node: SolveNode, cache_key: str | None, result: Any) -> None:
+            increment("plan_point_solves")
+            if cache_key is not None:
+                result_cache.put(cache_key, result)
+            if store is not None and is_content_key(node.key):
+                store.put_point(node.key, result.to_payload())
+            finish(node, result, "solved")
 
         for task, solved in executor.submit_stream(tasks):
-            for node, _, cache_key in buckets[task.index].values():
-                result = solved[node.model_name]
-                increment("plan_point_solves")
-                if cache_key is not None:
-                    result_cache.put(cache_key, result)
-                if store is not None and is_content_key(node.key):
-                    store.put_point(node.key, result.to_payload())
-                finish(node, result, "solved")
+            if isinstance(task, MatrixGroupTask):
+                # a parallel executor may have split the group into RHS
+                # sub-blocks; task.offset realigns them with the members
+                members = groups[task.index][
+                    task.offset : task.offset + len(task.powers)
+                ]
+                for (node, _, cache_key), result in zip(members, solved):
+                    land(node, cache_key, result)
+            else:
+                for node, _, cache_key in buckets[task.index].values():
+                    land(node, cache_key, solved[node.model_name])
             # calibrations whose samples just landed run immediately,
             # unlocking their calibrated solves for the next wave
             drain_parent_nodes()

@@ -28,7 +28,10 @@ from typing import Any
 from ..core.factory import parse_model_spec
 from ..errors import ValidationError
 
-#: sweepable parameters: geometry fields (µm) plus the Eq.-(22) cluster size
+#: sweepable parameters: geometry fields (µm), the Eq.-(22) cluster size,
+#: and a uniform power multiplier (``power_scale`` leaves the geometry —
+#: and hence every assembled system matrix — untouched, so its sweep
+#: points form one matrix group: factor once, one RHS per point)
 AXIS_PARAMETERS = (
     "radius_um",
     "liner_um",
@@ -36,6 +39,7 @@ AXIS_PARAMETERS = (
     "t_ild_um",
     "t_bond_um",
     "cluster_count",
+    "power_scale",
 )
 
 #: default x-axis label per sweepable parameter (matches the paper figures)
@@ -46,6 +50,7 @@ AXIS_LABELS = {
     "t_ild_um": "tD [um]",
     "t_bond_um": "tb [um]",
     "cluster_count": "n TTSVs",
+    "power_scale": "power scale",
 }
 
 #: allowed keys of the ``power`` mapping (kwargs of PowerSpec)

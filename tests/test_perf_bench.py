@@ -62,6 +62,18 @@ class TestCompare:
         assert regressions == []
         assert comparisons[0]["current_s"] == 0.1
 
+    def test_noisy_entries_get_doubled_tolerance(self):
+        previous = _payload({"steady": 0.1, "jittery": 0.1})
+        current = _payload({"steady": 0.14, "jittery": 0.14})
+        current["benchmarks"]["jittery"]["noisy"] = True
+        regressions, _ = bench.compare(current, previous, tolerance=0.25)
+        # 1.4x: past 25% for the steady entry, within 50% for the noisy one
+        assert [r["benchmark"] for r in regressions] == ["steady"]
+        # but a noisy entry past the doubled tolerance still regresses
+        current["benchmarks"]["jittery"]["min_s"] = 0.2
+        regressions, _ = bench.compare(current, previous, tolerance=0.25)
+        assert {r["benchmark"] for r in regressions} == {"steady", "jittery"}
+
     def test_unmatched_benchmarks_skipped(self):
         current = _payload({"new_one": 5.0})
         previous = _payload({"old_one": 0.1})
@@ -149,3 +161,54 @@ class TestScenarios:
         )
         code = bench.main(["--output-dir", str(tmp_path), "--no-write"])
         assert code == 1
+
+    def test_cli_fails_on_missing_required_entry(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda **kwargs: _payload({"a": 0.1})
+        )
+        code = bench.main(
+            ["--output-dir", str(tmp_path), "--no-write", "--require", "a,b"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "'b'" in out and "missing" in out
+
+    def test_cli_passes_when_required_entries_present(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda **kwargs: _payload({"a": 0.1})
+        )
+        code = bench.main(
+            ["--output-dir", str(tmp_path), "--no-write", "--require", "a"]
+        )
+        assert code == 0
+
+    def test_cli_fails_on_failed_check_with_speedup_table(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        payload = _payload({"a": 0.1})
+        payload["checks"] = {"multi_rhs_identical": False}
+        payload["speedups"] = {"multi_rhs_batched_vs_per_point": 3.4}
+        monkeypatch.setattr(bench, "run_benchmarks", lambda **kwargs: payload)
+        code = bench.main(["--output-dir", str(tmp_path), "--no-write"])
+        out = capsys.readouterr().out
+        assert code == 1
+        # the failure prints the per-entry speedup table, not a bare assert
+        assert "multi_rhs_identical" in out
+        assert "3.40x" in out
+        assert "FAIL" in out
+
+    def test_speedup_table_includes_comparisons(self):
+        payload = _payload({"a": 0.1})
+        payload["speedups"] = {"s": 2.0}
+        payload["checks"] = {"c": True}
+        rows = [
+            {"benchmark": "a", "previous_s": 0.1, "current_s": 0.2, "ratio": 2.0}
+        ]
+        table = bench.render_speedup_table(payload, rows)
+        assert "s" in table and "2.00x" in table
+        assert "PASS" in table
+        assert "a" in table and "200.00ms" in table

@@ -203,9 +203,30 @@ class TestAssemblyMemoization:
 
     def test_changed_kwargs_miss(self, block_stack, block_tsv, block_power):
         build_axisym_grids(block_stack, block_tsv, block_power, nr=20, nz=40)
-        before = perf.assembly_cache.stats()["misses"]
+        before = perf.assembly_cache.stats()
         build_axisym_grids(block_stack, block_tsv, block_power, nr=22, nz=40)
-        assert perf.assembly_cache.stats()["misses"] == before + 1
+        after = perf.assembly_cache.stats()
+        # a changed mesh misses both cache levels (full grids + the
+        # power-free geometry half) and hits neither
+        assert after["misses"] == before["misses"] + 2
+        assert after["hits"] == before["hits"]
+
+    def test_changed_power_shares_geometry(
+        self, block_stack, block_tsv, block_power
+    ):
+        from dataclasses import replace
+
+        build_axisym_grids(block_stack, block_tsv, block_power, nr=20, nz=40)
+        before = perf.assembly_cache.stats()
+        hotter = replace(
+            block_power, device_power_density=block_power.device_power_density * 2
+        )
+        build_axisym_grids(block_stack, block_tsv, hotter, nr=20, nz=40)
+        after = perf.assembly_cache.stats()
+        # a changed power misses the power-keyed grids cache but reuses
+        # the power-free geometry (mesh + conductivity) built before
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
 
     def test_disabled_cache_still_builds(self, block_stack, block_tsv, block_power):
         perf.configure(assembly_cache_size=0)
