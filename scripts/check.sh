@@ -19,6 +19,10 @@ fi
 echo "== tier-1 tests"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
+echo "== physics-kind quick scenarios (transient + nonlinear)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run transient_spike --fast >/dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run nonlinear_hotspot --fast >/dev/null
+
 echo "== benchmark quick gate"
 benchmarks/run_bench.sh
 

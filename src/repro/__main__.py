@@ -3,9 +3,13 @@
 Scenario subcommands (the declarative path — :mod:`repro.scenarios`):
 
 * ``run <id|file.json>`` — run a registered scenario or a scenario JSON
-  file; with ``--store DIR`` finished runs become content-addressed
-  artifacts and re-running an unchanged spec is a store hit, not a solve;
-* ``list`` — show the registered scenarios;
+  file (any kind: steady sweeps, the case study, transient RC step
+  responses, nonlinear k(T) fixed points); with ``--store DIR`` finished
+  runs become content-addressed artifacts and re-running an unchanged
+  spec is a store hit, not a solve; ``--progress json`` streams one JSON
+  event per completed plan node on stderr;
+* ``list`` — show the registered scenarios (with their kind, so mixed
+  registries stay legible);
 * ``batch <dir>`` — compile every scenario file in a directory into one
   merged execution plan (shared calibration/reference/sweep points are
   solved once; sweep points fan out over ``--jobs`` workers), skipping
@@ -21,6 +25,7 @@ benchmark-regression harness.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -108,6 +113,15 @@ def _add_run_flags(parser: argparse.ArgumentParser, *, legacy: bool) -> None:
             "interrupted earlier run instead of re-solving them (needs a "
             "store)",
         )
+        parser.add_argument(
+            "--progress",
+            choices=["bar", "json"],
+            default="bar",
+            help="execution-plan progress on stderr: 'bar' (default) is the "
+            "live one-line counter; 'json' emits one JSON event per "
+            "completed plan node (kind, key, cache/store provenance, "
+            "elapsed seconds)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,6 +195,51 @@ def _print_result(result) -> None:
 # ---------------------------------------------------------------------------
 # scenario subcommands
 # ---------------------------------------------------------------------------
+class _JsonProgress:
+    """``--progress json``: one JSON event line per completed plan node.
+
+    Each line is a self-contained object — ``{"event": "node", "kind":
+    ..., "key": ..., "source": "solved|cache|store", "done": n, "total":
+    m, "elapsed_s": ...}`` — written to stderr the moment the node lands,
+    so a dashboard (or the future service front-end) can tail the stream
+    instead of scraping the human progress line.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def __call__(self, event: dict) -> None:
+        self._counts[event["source"]] = self._counts.get(event["source"], 0) + 1
+        print(
+            json.dumps(
+                {
+                    "event": "node",
+                    "kind": event["kind"],
+                    "key": event["key"],
+                    "source": event["source"],
+                    "done": event["done"],
+                    "total": event["total"],
+                    "elapsed_s": event.get("elapsed_s"),
+                },
+                sort_keys=False,
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def close(self) -> None:
+        if self._counts:
+            print(
+                json.dumps({"event": "done", "counts": self._counts}),
+                file=sys.stderr,
+                flush=True,
+            )
+
+
+def _make_progress(args: argparse.Namespace):
+    return _JsonProgress() if args.progress == "json" else _PlanProgress()
+
+
 class _PlanProgress:
     """Live ``\\r``-updating execution-plan progress on stderr."""
 
@@ -221,7 +280,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = RunStore(args.store) if args.store else None
     if args.resume and store is None:
         print("note: --resume needs a --store; ignored", file=sys.stderr)
-    progress = _PlanProgress()
+    progress = _make_progress(args)
     run = run_scenario(
         spec,
         executor=get_executor(args.jobs),
@@ -250,15 +309,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_list() -> int:
-    rows: list[list[object]] = [["id", "kind", "axis", "points", "reference", "title"]]
+    rows: list[list[object]] = [["id", "kind", "axis", "points", "physics", "title"]]
     for spec in SCENARIOS.specs():
+        if spec.kind == "transient":
+            physics = (
+                f"t_end={spec.transient.t_end_s:g}s x{spec.transient.n_steps}"
+            )
+        elif spec.kind == "nonlinear":
+            physics = f"slope x{spec.nonlinear.slope_scale:g}"
+        elif spec.kind == "sweep":
+            physics = f"ref {spec.reference}"
+        else:
+            physics = "-"
+        # physics kinds run one base-geometry point when they have no axis;
+        # only the opaque case study has no point count at all
+        points = (
+            len(spec.axis.values)
+            if spec.axis
+            else (1 if spec.kind in ("transient", "nonlinear") else "-")
+        )
         rows.append(
             [
                 spec.scenario_id,
                 spec.kind,
                 spec.axis.parameter if spec.axis else "-",
-                len(spec.axis.values) if spec.axis else "-",
-                spec.reference,
+                points,
+                physics,
                 spec.title,
             ]
         )
@@ -283,7 +359,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     store = RunStore(args.store if args.store else directory / "runs")
     specs = [ScenarioSpec.load(path) for path in files]
-    progress = _PlanProgress()
+    progress = _make_progress(args)
     batch = run_batch(
         specs,
         executor=get_executor(args.jobs),

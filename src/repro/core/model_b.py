@@ -26,13 +26,17 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ValidationError
-from ..geometry import PowerSpec, Stack3D, TSVCluster
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
 from ..geometry.stack import LayerInterval
 from ..geometry.tsv import as_cluster
-from ..network import GROUND, ThermalCircuit
+from ..network import GROUND, NetworkSolution, ThermalCircuit
+from ..perf import content_key, model_key
 from ..resistances import compute_model_b_resistances
 from ..resistances.model_a_set import _liner_lateral
 from ..units import require_positive_int
@@ -291,30 +295,47 @@ class ModelB(ThermalTSVModel):
             return self._scheme_obj
         return SegmentScheme.paper(self._n_upper, stack.n_planes)
 
-    def _solve(
-        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
-    ) -> ModelResult:
-        cluster = as_cluster(via)
-        scheme = self.segment_scheme(stack)
-        start = time.perf_counter()
+    def _segments(
+        self,
+        stack: Stack3D,
+        cluster: TSVCluster,
+        scheme: SegmentScheme,
+        power: PowerSpec,
+    ) -> list[_Segment]:
         build = _paper_segments if self.scheme == "paper" else _uniform_segments
-        segments = build(
+        return build(
             stack, cluster, scheme, power, self.bond_factor, self.exact_area
         )
+
+    def _build(
+        self, stack: Stack3D, cluster: TSVCluster, power: PowerSpec
+    ) -> tuple[ThermalCircuit, list[str], SegmentScheme]:
+        """Assemble the π-segment ladder circuit for one power spec."""
+        scheme = self.segment_scheme(stack)
+        segments = self._segments(stack, cluster, scheme, power)
         rs = compute_model_b_resistances(
             stack, cluster, bond_factor=self.bond_factor, exact_area=self.exact_area
         ).rs
         circuit, top_nodes = build_model_b_circuit(segments, rs)
-        solution = circuit.solve()
-        elapsed = time.perf_counter() - start
-        plane_rises = tuple(solution[node] for node in top_nodes)
+        return circuit, top_nodes, scheme
+
+    def _result(
+        self,
+        stack: Stack3D,
+        cluster: TSVCluster,
+        scheme: SegmentScheme,
+        solution: NetworkSolution,
+        top_nodes: list[str],
+        n_unknowns: int,
+        elapsed: float,
+    ) -> ModelResult:
         return ModelResult(
             model_name=self.name,
             max_rise=solution.max_rise,
-            plane_rises=plane_rises,
+            plane_rises=tuple(solution[node] for node in top_nodes),
             sink_temperature=stack.sink_temperature,
             solve_time=elapsed,
-            n_unknowns=circuit.n_nodes,
+            n_unknowns=n_unknowns,
             node_temperatures=dict(solution.temperatures),
             metadata={
                 "scheme": self.scheme,
@@ -323,3 +344,74 @@ class ModelB(ThermalTSVModel):
                 "cluster_count": cluster.count,
             },
         )
+
+    def _solve(
+        self, stack: Stack3D, via: TSVCluster, power: PowerSpec
+    ) -> ModelResult:
+        cluster = as_cluster(via)
+        start = time.perf_counter()
+        circuit, top_nodes, scheme = self._build(stack, cluster, power)
+        solution = circuit.solve()
+        elapsed = time.perf_counter() - start
+        return self._result(
+            stack, cluster, scheme, solution, top_nodes, circuit.n_nodes, elapsed
+        )
+
+    # ------------------------------------------------------------------
+    # matrix-batched interface
+    # ------------------------------------------------------------------
+    def assembly_key(
+        self, stack: Stack3D, via: TSV | TSVCluster
+    ) -> str | None:
+        """Content hash of Model B's conductance matrix at (stack, via).
+
+        The π-segment resistances — and hence the assembled Eq. (19)
+        matrix — depend only on the model configuration, the stack and the
+        (cluster-normalised) via; power enters the Eq. (20) source vector
+        alone.  Points sharing this key solve the identical matrix, so
+        large-segment sweeps ride the matrix-batched dispatch plane.
+        """
+        return content_key(
+            "model_b_assembly/v1", model_key(self), stack, as_cluster(via)
+        )
+
+    def solve_batch(
+        self,
+        stack: Stack3D,
+        via: TSV | TSVCluster,
+        powers: Sequence[PowerSpec],
+    ) -> list[ModelResult]:
+        """Solve one (stack, via) ladder under many power specs.
+
+        The circuit is assembled and its conductance matrix factorised
+        once; each power spec contributes one Eq. (20) source vector and
+        costs one back-substitution.  Results are bit-identical to
+        per-point :meth:`solve` calls (wall-clock ``solve_time`` excepted)
+        — the per-power source vector accumulates exactly the heats the
+        per-point circuit build would have stamped.
+        """
+        powers = list(powers)
+        if not powers:
+            return []
+        cluster = as_cluster(via)
+        validate_tsv_in_stack(stack, cluster.member)
+        start = time.perf_counter()
+        circuit, top_nodes, scheme = self._build(stack, cluster, powers[0])
+        # the first member's heats are already stamped into the circuit;
+        # later members only differ in their Eq. (20) source vector
+        sources = [circuit.source_vector()]
+        for power in powers[1:]:
+            segments = self._segments(stack, cluster, scheme, power)
+            q = np.zeros(circuit.n_nodes)
+            for i, seg in enumerate(segments):
+                if seg.heat:
+                    q[circuit.node_index(f"b{i + 1}")] += seg.heat
+            sources.append(q)
+        solutions = circuit.solve_many(sources)
+        elapsed = time.perf_counter() - start
+        return [
+            self._result(
+                stack, cluster, scheme, solution, top_nodes, circuit.n_nodes, elapsed
+            )
+            for solution in solutions
+        ]

@@ -17,13 +17,59 @@ layers whose material has a zero slope are untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from ..core.base import ThermalTSVModel
 from ..core.model_a import ModelA
 from ..core.result import ModelResult
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, ValidationError
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
 from ..units import ZERO_CELSIUS, require_fraction, require_positive_int
+
+
+def scale_conductivity_slopes(stack: Stack3D, scale: float) -> Stack3D:
+    """The stack with every material's dk/dT multiplied by ``scale``.
+
+    The k(T) *slope policy* of nonlinear scenarios: ``scale == 1`` keeps
+    the library values (silicon ≈ -0.42 W/(m·K²)), ``0`` turns the
+    nonlinearity off entirely, and intermediate/exaggerated values probe
+    sensitivity.  Nominal conductivities are untouched, so the linear
+    (first-iteration) solve is identical for every scale.
+    """
+    if scale == 1.0:
+        return stack
+    new_planes = tuple(
+        replace(
+            plane,
+            substrate=replace(
+                plane.substrate,
+                material=replace(
+                    plane.substrate.material,
+                    conductivity_slope=plane.substrate.material.conductivity_slope
+                    * scale,
+                ),
+            ),
+            ild=replace(
+                plane.ild,
+                material=replace(
+                    plane.ild.material,
+                    conductivity_slope=plane.ild.material.conductivity_slope * scale,
+                ),
+            ),
+        )
+        for plane in stack.planes
+    )
+    new_bonds = tuple(
+        replace(
+            bond,
+            material=replace(
+                bond.material,
+                conductivity_slope=bond.material.conductivity_slope * scale,
+            ),
+        )
+        for bond in stack.bonds
+    )
+    return replace(stack, planes=new_planes, bonds=new_bonds)
 
 
 def _stack_at_temperatures(
@@ -76,9 +122,40 @@ class NonlinearResult:
         return self.result.max_rise
 
     @property
+    def linear_rise(self) -> float:
+        """Max ΔT the constant-k (first-iteration) solve predicted."""
+        return self.history[0]
+
+    @property
     def linear_error(self) -> float:
         """Relative error a constant-k solve would have made."""
         return (self.history[0] - self.max_rise) / self.max_rise
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable dump (exact float round-trip via JSON doubles).
+
+        Wraps the converged :meth:`ModelResult.to_payload` plus the
+        iteration diagnostics — everything but the wall-clock
+        ``solve_time`` inside the model payload is deterministic.
+        """
+        return {
+            "kind": "nonlinear",
+            "result": self.result.to_payload(),
+            "iterations": self.iterations,
+            "history": list(self.history),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "NonlinearResult":
+        """Rebuild a result from :meth:`to_payload` output (store/JSON)."""
+        try:
+            return cls(
+                result=ModelResult.from_payload(payload["result"]),
+                iterations=int(payload["iterations"]),
+                history=tuple(payload["history"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed nonlinear payload: {exc!r}") from exc
 
 
 class NonlinearSolver:
@@ -95,6 +172,10 @@ class NonlinearSolver:
         Iteration budget; exceeding it raises :class:`ConvergenceError`.
     relaxation:
         Under-relaxation factor in (0, 1]; 1 is plain fixed point.
+    slope_scale:
+        Multiplier on every material's dk/dT (the scenario layer's k(T)
+        slope policy; see :func:`scale_conductivity_slopes`).  1 keeps the
+        library slopes; the linear first solve is unaffected either way.
     """
 
     def __init__(
@@ -104,6 +185,7 @@ class NonlinearSolver:
         tolerance: float = 1e-6,
         max_iterations: int = 30,
         relaxation: float = 1.0,
+        slope_scale: float = 1.0,
     ) -> None:
         self.model = model or ModelA()
         if tolerance <= 0.0:
@@ -114,16 +196,32 @@ class NonlinearSolver:
         if relaxation == 0.0:
             raise ConvergenceError("relaxation must be positive")
         self.relaxation = relaxation
+        if not isinstance(slope_scale, (int, float)) or isinstance(slope_scale, bool):
+            raise ConvergenceError(f"slope_scale must be a number, got {slope_scale!r}")
+        self.slope_scale = float(slope_scale)
 
     def solve(
-        self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
+        self,
+        stack: Stack3D,
+        via: TSV | TSVCluster,
+        power: PowerSpec,
+        *,
+        initial: ModelResult | None = None,
     ) -> NonlinearResult:
-        """Iterate until max ΔT stabilises."""
+        """Iterate until max ΔT stabilises.
+
+        ``initial`` optionally supplies the constant-k first solve (the
+        plain ``model.solve(stack, via, power)`` result).  Solves are
+        deterministic, so passing a precomputed one is bit-identical to
+        letting the loop solve it — the execution-plan scheduler uses this
+        to share the linear baseline with steady-state scenarios.
+        """
         rises: tuple[float, ...] | None = None
         history: list[float] = []
-        result = self.model.solve(stack, via, power)
+        result = initial if initial is not None else self.model.solve(stack, via, power)
         history.append(result.max_rise)
         rises = result.plane_rises
+        stack = scale_conductivity_slopes(stack, self.slope_scale)
         for iteration in range(1, self.max_iterations + 1):
             hot_stack = _stack_at_temperatures(stack, rises)
             result = self.model.solve(hot_stack, via, power)

@@ -8,7 +8,7 @@ machinery the paper's Eqs. (1)–(6) and (17)–(19) describe.
 from .circuit import NetworkSolution, ThermalCircuit
 from .elements import GROUND, Capacitor, HeatSource, Resistor
 from .graph import dominant_paths, effective_resistance, to_networkx
-from .transient import TransientResult, step_response, time_constants
+from .transient import TransientResult, step_response, time_constants, transient_lhs
 
 __all__ = [
     "GROUND",
@@ -23,4 +23,5 @@ __all__ = [
     "TransientResult",
     "step_response",
     "time_constants",
+    "transient_lhs",
 ]

@@ -238,3 +238,31 @@ class ThermalCircuit:
             temperatures={node: float(temps[i]) for node, i in self._nodes.items()},
             circuit=self,
         )
+
+    def solve_many(self, sources: list[np.ndarray]) -> list[NetworkSolution]:
+        """Solve G·ΔT = q for many source vectors against one factorization.
+
+        The conductance matrix is assembled and factorised once
+        (:func:`~repro.network.solve.solve_linear_system_multi`); each
+        source vector costs one back-substitution, and column ``j`` is
+        bit-for-bit identical to ``solve()`` with that source — Model B's
+        matrix-group dispatch relies on this.  All returned solutions
+        reference *this* circuit (whose own sources may correspond to any
+        one of the vectors).
+        """
+        from .solve import solve_linear_system_multi
+
+        if not sources:
+            return []
+        self.validate()
+        matrix = self.conductance_matrix()
+        temps = solve_linear_system_multi(matrix, np.column_stack(sources))
+        return [
+            NetworkSolution(
+                temperatures={
+                    node: float(temps[i, j]) for node, i in self._nodes.items()
+                },
+                circuit=self,
+            )
+            for j in range(len(sources))
+        ]

@@ -13,7 +13,9 @@ equations stay algebraic), which backward Euler handles naturally.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 import scipy.linalg as la
@@ -50,6 +52,86 @@ class TransientResult:
         """Temperatures at the last time point."""
         return self.temperatures[-1]
 
+    @property
+    def peak_rise(self) -> float:
+        """The largest rise reached anywhere, any time."""
+        return float(self.temperatures.max(initial=0.0))
+
+    def settle_time(self, node: NodeId, *, fraction: float = 0.9) -> float:
+        """First time the node reaches ``fraction`` of its final rise."""
+        trace = self.trace(node)
+        target = fraction * trace[-1]
+        hit = np.nonzero(trace >= target)[0]
+        return float(self.times[hit[0]]) if hit.size else float(self.times[-1])
+
+    def observed(self, nodes: Sequence[NodeId]) -> "TransientResult":
+        """The trajectory restricted to ``nodes`` (column subset, same times).
+
+        Traces of the kept nodes are the exact arrays of the full result —
+        the scenario layer stores only the observed subset without
+        changing a single bit of it.
+        """
+        idx = []
+        for node in nodes:
+            try:
+                idx.append(self.nodes.index(node))
+            except ValueError:
+                raise ValidationError(
+                    f"no node {node!r} in the transient result; "
+                    f"known: {self.nodes}"
+                ) from None
+        return TransientResult(
+            times=self.times,
+            temperatures=self.temperatures[:, idx],
+            nodes=list(nodes),
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable dump (exact float round-trip via JSON doubles).
+
+        Node ids must be JSON scalars (str/int) — the scenario layer's
+        circuits name nodes with strings; ad-hoc tuple-keyed networks are
+        not storable.
+        """
+        for node in self.nodes:
+            if not isinstance(node, (str, int)) or isinstance(node, bool):
+                raise ValidationError(
+                    f"transient payloads need str/int node ids, got {node!r}"
+                )
+        return {
+            "kind": "transient",
+            "times_s": self.times.tolist(),
+            "temperatures": self.temperatures.tolist(),
+            "nodes": list(self.nodes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TransientResult":
+        """Rebuild a result from :meth:`to_payload` output (store/JSON)."""
+        try:
+            return cls(
+                times=np.asarray(payload["times_s"], dtype=float),
+                temperatures=np.asarray(payload["temperatures"], dtype=float),
+                nodes=list(payload["nodes"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed transient payload: {exc!r}") from exc
+
+
+def transient_lhs(circuit: ThermalCircuit, dt: float) -> sp.csr_matrix:
+    """The backward-Euler left-hand matrix C/dt + G of a circuit.
+
+    Power sources only enter the right-hand side, so this matrix — and
+    hence its factorization — is shared by every drive level of one
+    network: the scenario layer groups same-geometry trajectories on its
+    content and factorises once (see
+    :meth:`repro.scenarios.physics.TransientModel.solve_batch`).
+    """
+    require_positive("dt", dt)
+    g = circuit.conductance_matrix(sparse=True)
+    c = capacitance_vector(circuit)
+    return (g + sp.diags(c / dt)).tocsr()
+
 
 def capacitance_vector(circuit: ThermalCircuit) -> np.ndarray:
     """Per-node capacitance (J/K) aligned with ``circuit.nodes``."""
@@ -64,6 +146,7 @@ def step_response(
     *,
     t_end: float,
     n_steps: int = 200,
+    step_solver: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> TransientResult:
     """Integrate the network from ΔT = 0 with the sources switched on at t=0.
 
@@ -73,18 +156,23 @@ def step_response(
 
     The left-hand matrix is constant across steps, so it is factorised
     exactly once (through the global factor cache); every step then costs
-    only the triangular back-substitutions.
+    only the triangular back-substitutions.  Callers integrating several
+    drive levels of one network pass a precomputed ``step_solver``
+    (``factorized_solver(transient_lhs(circuit, dt))``) so even the single
+    factorization is shared — factorization is deterministic, so the
+    trajectory is bit-identical either way.
     """
     require_positive("t_end", t_end)
     require_positive_int("n_steps", n_steps)
     circuit.validate()
-    g = circuit.conductance_matrix(sparse=True)
     q = circuit.source_vector()
     c = capacitance_vector(circuit)
     dt = t_end / n_steps
-    c_over_dt = sp.diags(c / dt)
-    lhs = (g + c_over_dt).tocsr()
-    step_solve = factorized_solver(lhs)
+    step_solve = (
+        step_solver
+        if step_solver is not None
+        else factorized_solver(transient_lhs(circuit, dt))
+    )
 
     times = np.linspace(0.0, t_end, n_steps + 1)
     temps = np.zeros((n_steps + 1, circuit.n_nodes))

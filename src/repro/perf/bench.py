@@ -413,6 +413,121 @@ def bench_multi_rhs(jobs: int, repeats: int) -> dict[str, Any]:
     }
 
 
+def _nonlinear_payloads_match(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    """Bitwise equality of two nonlinear payloads' deterministic content.
+
+    Everything except the wall-clock ``solve_time`` inside the wrapped
+    model payloads must match exactly.
+    """
+    if a["series"] != b["series"] or a["x_values"] != b["x_values"]:
+        return False
+    if a["results"].keys() != b["results"].keys():
+        return False
+    for name in a["results"]:
+        if len(a["results"][name]) != len(b["results"][name]):
+            return False
+        for ra, rb in zip(a["results"][name], b["results"][name]):
+            if ra["history"] != rb["history"] or ra["iterations"] != rb["iterations"]:
+                return False
+            if ra["result"]["max_rise"] != rb["result"]["max_rise"]:
+                return False
+            if ra["result"]["plane_rises"] != rb["result"]["plane_rises"]:
+                return False
+    return True
+
+
+def bench_physics(repeats: int) -> dict[str, Any]:
+    """The physics kinds through the plan: transient cold/resume + nonlinear.
+
+    ``transient_planned_cold`` runs the builtin ``transient_spike``
+    scenario from cold caches through the full spec → plan → scheduler
+    path; ``transient_planned_resume`` re-runs it against a point store
+    populated by a prior run whose run-level artifact was removed
+    (simulating a batch killed after its last point but before assembly)
+    — the plan recompiles and every trajectory must come back from
+    ``points/<key>.json`` without solving; ``nonlinear_planned`` runs the
+    builtin ``nonlinear_hotspot`` cold.  The structural checks carry the
+    guarantees: planned payloads bit-identical to direct
+    ``step_response`` / ``NonlinearSolver`` library calls, one
+    factorization per trajectory (never one per backward-Euler step — the
+    PR-1 transient factor-reuse win carried into the planned path), and a
+    resume that re-solves nothing.
+    """
+    import shutil
+
+    from ..scenarios import SCENARIOS, RunStore, run_scenario
+    from ..scenarios.physics import (
+        run_nonlinear_spec_direct,
+        run_transient_spec_direct,
+    )
+    from .stats import counter
+
+    t_spec = SCENARIOS.get("transient_spike").resolved()
+    n_spec = SCENARIOS.get("nonlinear_hotspot").resolved()
+    n_trajectories = len(t_spec.axis.values) * len(t_spec.models)
+
+    def t_cold():
+        perf_cache.reset()
+        return run_scenario(t_spec)
+
+    cold_median, cold_times, cold_run = _time(t_cold, repeats)
+    factor_misses = stats_snapshot()["caches"]["factor_cache"]["misses"]
+    t_direct = run_transient_spec_direct(t_spec)
+
+    store_dir = Path(tempfile.mkdtemp(prefix="bench_physics_store_"))
+    try:
+        store = RunStore(store_dir)
+        perf_cache.reset()
+        run_scenario(t_spec, store=store)  # populate points/<key>.json
+        run_object = store.objects / f"{t_spec.content_hash()}.json"
+
+        def t_resume():
+            perf_cache.reset()
+            run_object.unlink(missing_ok=True)  # keep only the point space
+            return run_scenario(t_spec, store=store, resume=True)
+
+        resume_median, resume_times, resume_run = _time(t_resume, repeats)
+        resume_solves = counter("plan_point_solves")
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    def n_cold():
+        perf_cache.reset()
+        return run_scenario(n_spec)
+
+    nl_median, nl_times, nl_run = _time(n_cold, repeats)
+    n_direct = run_nonlinear_spec_direct(n_spec)
+    return {
+        "benchmarks": {
+            "transient_planned_cold": _entry(
+                cold_median, cold_times, trajectories=n_trajectories
+            ),
+            "transient_planned_resume": _entry(
+                resume_median, resume_times, trajectories=n_trajectories
+            ),
+            "nonlinear_planned": _entry(
+                nl_median, nl_times, points=len(n_spec.axis.values)
+            ),
+        },
+        "speedups": {
+            "transient_resume_vs_cold": cold_median / resume_median,
+        },
+        "checks": {
+            "transient_planned_identical": (
+                cold_run.result.to_payload() == t_direct.to_payload()
+                and resume_run.result.to_payload() == t_direct.to_payload()
+            ),
+            "transient_factor_once_per_trajectory": (
+                factor_misses == n_trajectories
+            ),
+            "transient_resume_no_solves": resume_solves == 0,
+            "nonlinear_planned_identical": _nonlinear_payloads_match(
+                nl_run.result.to_payload(), n_direct.to_payload()
+            ),
+        },
+    }
+
+
 def bench_fem3d(repeats: int) -> dict[str, Any]:
     """The builtin 3-D FEM power sweep, cold — the expensive, cache-
     sensitive workload the matrix-batched plane was built for."""
@@ -504,6 +619,7 @@ def run_benchmarks(
         bench_fem_reuse(repeats),
         bench_batch_dedup(repeats),
         bench_multi_rhs(jobs, repeats),
+        bench_physics(repeats),
         bench_fem3d(repeats),
     ):
         payload["benchmarks"].update(section["benchmarks"])

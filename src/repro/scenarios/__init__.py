@@ -2,7 +2,10 @@
 
 This package turns experiments into data.  A
 :class:`~repro.scenarios.spec.ScenarioSpec` describes a sweep (axis,
-geometry, power, models, reference, calibration policy) or the case study
+geometry, power, models, reference, calibration policy), the case study,
+an RC transient (``kind: "transient"`` — time grid, capacitance policy,
+drive power, observed nodes) or a k(T) fixed point (``kind: "nonlinear"``
+— slope policy and loop controls)
 as a frozen, JSON-round-trippable value with a stable content hash; the
 :data:`~repro.scenarios.registry.SCENARIOS` registry maps ids to specs
 (the paper's six experiments are builtin entries); the
@@ -15,6 +18,15 @@ CLI: ``python -m repro run <id|file.json>``, ``python -m repro list``,
 ``python -m repro batch <dir>``.
 """
 
+from .physics import (
+    NonlinearExperiment,
+    NonlinearModel,
+    TransientExperiment,
+    TransientModel,
+    build_transient_circuit,
+    run_nonlinear_spec_direct,
+    run_transient_spec_direct,
+)
 from .plan import ExecutionPlan, ScenarioPlan, compile_plan
 from .registry import SCENARIOS, ScenarioRegistry
 from .runner import BatchRun, ScenarioRun, StoredCaseStudy, run_batch, run_scenario
@@ -25,7 +37,9 @@ from .spec import (
     AxisSpec,
     GeometryParams,
     GeometryRule,
+    NonlinearParams,
     ScenarioSpec,
+    TransientParams,
 )
 from .store import RunStore
 
@@ -41,6 +55,9 @@ __all__ = [
     "ExecutionPlan",
     "GeometryParams",
     "GeometryRule",
+    "NonlinearExperiment",
+    "NonlinearModel",
+    "NonlinearParams",
     "RunStore",
     "SCENARIOS",
     "ScenarioPlan",
@@ -49,8 +66,14 @@ __all__ = [
     "ScenarioSpec",
     "ScheduleOutcome",
     "StoredCaseStudy",
+    "TransientExperiment",
+    "TransientModel",
+    "TransientParams",
+    "build_transient_circuit",
     "compile_plan",
     "execute_plan",
     "run_batch",
+    "run_nonlinear_spec_direct",
     "run_scenario",
+    "run_transient_spec_direct",
 ]

@@ -12,7 +12,14 @@ sweep values come straight from the captions (mirroring
 from __future__ import annotations
 
 from .registry import SCENARIOS
-from .spec import AxisSpec, GeometryParams, GeometryRule, ScenarioSpec
+from .spec import (
+    AxisSpec,
+    GeometryParams,
+    GeometryRule,
+    NonlinearParams,
+    ScenarioSpec,
+    TransientParams,
+)
 
 
 @SCENARIOS.register
@@ -151,6 +158,79 @@ def fem3d_power() -> ScenarioSpec:
             "caption": "tL=1um, tD=4um, tb=1um, tSi2,3=20um, r=10um; "
             "power scaled uniformly per point"
         },
+    )
+
+
+@SCENARIOS.register
+def transient_spike() -> ScenarioSpec:
+    """A 4x power spike against the Fig. 5 block, swept over TTSV radius.
+
+    The first builtin of the ``transient`` physics kind: each radius gets
+    one backward-Euler step-response trajectory of Model A's RC network
+    (plane-lumped thermal mass), answering how fast — and how far — the
+    planes heat up when the workload steps to four times its steady
+    power.  All three trajectories share nothing but their time grid
+    (the radius changes the network), but repeated drive levels of one
+    network would factorise once via the matrix-group plane.
+    """
+    return ScenarioSpec(
+        scenario_id="transient_spike",
+        title="Transient: plane heat-up under a 4x power spike",
+        description=(
+            "backward-Euler step response of Model A's RC network under a "
+            "4x power step; one trajectory per TTSV radius"
+        ),
+        kind="transient",
+        axis=AxisSpec(
+            parameter="radius_um",
+            values=(2.0, 5.0, 10.0),
+            fast_values=(5.0,),
+        ),
+        geometry=GeometryParams(
+            t_si_upper_um=45.0, t_ild_um=7.0, t_bond_um=1.0, liner_um=0.5
+        ),
+        models=("a:paper",),
+        calibrate=False,
+        transient=TransientParams(
+            t_end_s=5e-3, n_steps=200, power_scale=4.0
+        ),
+        metadata={"caption": "tL=0.5um, tD=7um, tb=1um, tSi2,3=45um; q -> 4q at t=0"},
+    )
+
+
+@SCENARIOS.register
+def nonlinear_hotspot() -> ScenarioSpec:
+    """k(T) fixed-point solves at rising power — the hotspot feedback loop.
+
+    The first builtin of the ``nonlinear`` physics kind: silicon's
+    conductivity drops ~0.3 %/K, so the hotter the stack runs the worse
+    it spreads heat.  Each power level converges Model A under the
+    library k(T) slopes and reports the converged rise next to its
+    constant-k baseline; the baselines are ordinary solve nodes that
+    dedup against steady-state scenarios and share Model A's point
+    geometry across the sweep.
+    """
+    return ScenarioSpec(
+        scenario_id="nonlinear_hotspot",
+        title="Nonlinear: k(T) feedback vs power level",
+        description=(
+            "temperature-dependent-conductivity fixed point around Model A "
+            "at 1-4x the paper's power; converged vs constant-k rises"
+        ),
+        kind="nonlinear",
+        axis=AxisSpec(
+            parameter="power_scale",
+            values=(1.0, 2.0, 4.0),
+            fast_values=(2.0,),
+        ),
+        geometry=GeometryParams(
+            t_si_upper_um=45.0, t_ild_um=7.0, t_bond_um=1.0, radius_um=5.0,
+            liner_um=0.5,
+        ),
+        models=("a:paper",),
+        calibrate=False,
+        nonlinear=NonlinearParams(tolerance=1e-8),
+        metadata={"caption": "r=5um, tL=0.5um, tD=7um, tb=1um; k(T) slopes from the library"},
     )
 
 

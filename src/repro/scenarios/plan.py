@@ -27,7 +27,7 @@ planned and eager paths produce byte-identical payloads.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -40,9 +40,17 @@ from ..experiments.harness import (
     calibration_sample_indexes,
 )
 from ..experiments.table1_segments import rows_from_fig5
-from ..geometry import PowerSpec, TSVCluster, paper_stack, paper_tsv
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, paper_stack, paper_tsv
 from ..perf import calibration_key, content_key, increment, model_key, solve_key
 from ..units import um
+from .physics import (
+    BASE_POINT_LABEL,
+    BASE_POINT_VALUE,
+    TransientModel,
+    default_observed_nodes,
+    nonlinear_model_name,
+    transient_model_name,
+)
 from .spec import ScenarioSpec
 
 #: the model name calibration nodes materialise (the paper's workflow)
@@ -100,6 +108,23 @@ def _power_spec(spec: ScenarioSpec) -> PowerSpec:
     return PowerSpec(**kwargs)
 
 
+def _build_geometry(geo: Mapping[str, Any]) -> tuple[Stack3D, TSV]:
+    """(stack, via) for one resolved geometry-parameter mapping."""
+    stack = paper_stack(
+        n_planes=geo["n_planes"],
+        t_si_upper=um(geo["t_si_upper_um"]),
+        t_ild=um(geo["t_ild_um"]),
+        t_bond=um(geo["t_bond_um"]),
+    )
+    via_kwargs: dict[str, float] = {
+        "radius": um(geo["radius_um"]),
+        "liner_thickness": um(geo["liner_um"]),
+    }
+    if geo["extension_um"] is not None:
+        via_kwargs["extension"] = um(geo["extension_um"])
+    return stack, paper_tsv(**via_kwargs)
+
+
 def _configurator(spec: ScenarioSpec) -> Configurator:
     """The (stack, via, power) callback a sweep spec expands into."""
     axis = spec.axis
@@ -114,19 +139,7 @@ def _configurator(spec: ScenarioSpec) -> Configurator:
                 geo.update(rule.set)
         if axis.parameter not in ("cluster_count", "power_scale"):
             geo[axis.parameter] = float(value)
-        stack = paper_stack(
-            n_planes=geo["n_planes"],
-            t_si_upper=um(geo["t_si_upper_um"]),
-            t_ild=um(geo["t_ild_um"]),
-            t_bond=um(geo["t_bond_um"]),
-        )
-        via_kwargs: dict[str, float] = {
-            "radius": um(geo["radius_um"]),
-            "liner_thickness": um(geo["liner_um"]),
-        }
-        if geo["extension_um"] is not None:
-            via_kwargs["extension"] = um(geo["extension_um"])
-        via = paper_tsv(**via_kwargs)
+        stack, via = _build_geometry(geo)
         point_power = (
             power.scaled(float(value))
             if axis.parameter == "power_scale"
@@ -137,6 +150,23 @@ def _configurator(spec: ScenarioSpec) -> Configurator:
         return stack, via, point_power
 
     return configure
+
+
+def scenario_axis_points(
+    spec: ScenarioSpec,
+) -> tuple[str, list[Any], list[tuple[Stack3D, Any, PowerSpec]]]:
+    """(x_label, values, points) a physics scenario expands into.
+
+    With an ``axis`` this is the ordinary sweep expansion (geometry rules
+    included); without one, a single point at the spec's base geometry
+    under the :data:`BASE_POINT_VALUE` placeholder.  Shared by the plan
+    compiler and the direct reference runners so both expand identically.
+    """
+    if spec.axis is not None:
+        values = list(spec.axis.values)
+        return spec.axis.x_label, values, expand_points(values, _configurator(spec))
+    stack, via = _build_geometry(spec.geometry.to_dict())
+    return BASE_POINT_LABEL, [BASE_POINT_VALUE], [(stack, via, _power_spec(spec))]
 
 
 # ---------------------------------------------------------------------------
@@ -211,7 +241,75 @@ class CaseStudyNode:
         return ()
 
 
-PlanNode = SolveNode | CalibrationNode | CaseStudyNode
+@dataclass(frozen=True)
+class TransientNode:
+    """One backward-Euler trajectory: a network + time grid + drive power.
+
+    ``model`` is a :class:`~repro.scenarios.physics.TransientModel`
+    adapter; the node dispatches through the ordinary point/matrix-group
+    machinery.  ``assembly_key`` hashes the power-independent left-hand
+    matrix C/dt + G, so same-network trajectories at different drive
+    levels regroup into one :class:`~repro.perf.MatrixGroupTask` (factor
+    once, integrate per drive).
+    """
+
+    key: str
+    value: Any
+    stack: Any
+    via: Any
+    power: Any
+    model_name: str
+    model: Any
+    assembly_key: str | None = None
+
+    @property
+    def kind(self) -> str:
+        return "transient"
+
+    @property
+    def deps(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class NonlinearNode:
+    """One k(T) fixed-point chain seeded by its linear baseline.
+
+    ``linear`` is the key of the plain (constant-k) :class:`SolveNode` of
+    the inner ``model`` at the same point — an ordinary content-keyed node
+    that deduplicates against steady-state scenarios wherever the stack is
+    unchanged, and (for models with a power-independent assembly) rides
+    the matrix-group dispatch.  The chain itself re-assembles at updated
+    conductivities every iteration, so it never groups
+    (``assembly_key`` is None) and runs as a per-point dispatch once its
+    baseline lands.
+    """
+
+    key: str
+    value: Any
+    stack: Any
+    via: Any
+    power: Any
+    model_name: str
+    model: Any  # the inner steady-state model (not an adapter)
+    params: Any  # NonlinearParams
+    linear: str
+    assembly_key: str | None = None
+
+    @property
+    def kind(self) -> str:
+        return "nonlinear"
+
+    @property
+    def deps(self) -> tuple[str, ...]:
+        return (self.linear,)
+
+
+PlanNode = SolveNode | CalibrationNode | CaseStudyNode | TransientNode | NonlinearNode
+
+#: node types the scheduler dispatches onto the sweep executors (the rest
+#: — calibrations, case studies — run in the parent process)
+DISPATCH_NODE_TYPES = (SolveNode, TransientNode, NonlinearNode)
 
 
 # ---------------------------------------------------------------------------
@@ -232,6 +330,19 @@ class SweepAssembly:
 
 
 @dataclass(frozen=True)
+class PhysicsAssembly:
+    """Everything needed to rebuild one physics scenario from its nodes."""
+
+    kind: str  # "transient" | "nonlinear"
+    x_label: str
+    values: tuple[Any, ...]
+    model_names: tuple[str, ...]  # adapter names, report order
+    #: model name -> node key per value index
+    node_keys: dict[str, tuple[str, ...]]
+    metadata: dict[str, Any]
+
+
+@dataclass(frozen=True)
 class ScenarioPlan:
     """One scenario's slice of the merged plan."""
 
@@ -239,6 +350,7 @@ class ScenarioPlan:
     run_key: str
     assembly: SweepAssembly | None = None  # sweeps
     node_key: str | None = None  # case studies
+    physics: PhysicsAssembly | None = None  # transient / nonlinear
 
 
 @dataclass
@@ -253,6 +365,8 @@ class ExecutionPlan:
         "solve_nodes": 0,
         "calibrate_nodes": 0,
         "case_study_nodes": 0,
+        "transient_nodes": 0,
+        "nonlinear_nodes": 0,
     })
     _opaque: int = 0
 
@@ -392,6 +506,150 @@ def _compile_case_study(plan: ExecutionPlan, spec: ScenarioSpec) -> None:
     )
 
 
+def _physics_scenario_plan(
+    plan: ExecutionPlan,
+    spec: ScenarioSpec,
+    *,
+    kind: str,
+    x_label: str,
+    values: list[Any],
+    node_keys: dict[str, list[str]],
+    fast: bool,
+) -> None:
+    run_key = spec.content_hash()
+    plan.scenarios.append(
+        ScenarioPlan(
+            spec=spec,
+            run_key=run_key,
+            physics=PhysicsAssembly(
+                kind=kind,
+                x_label=x_label,
+                values=tuple(values),
+                model_names=tuple(node_keys),
+                node_keys={name: tuple(keys) for name, keys in node_keys.items()},
+                metadata={
+                    **dict(spec.metadata), "fast": fast, "spec_hash": run_key,
+                },
+            ),
+        )
+    )
+
+
+def _compile_transient(
+    plan: ExecutionPlan, spec: ScenarioSpec, *, fast: bool
+) -> None:
+    """Lower a transient spec: one trajectory node per (model, point).
+
+    Same-network trajectories share an ``assembly_key`` (the C/dt + G
+    matrix is drive-independent), so a multi-drive scenario — or several
+    scenarios over one geometry — regroups into matrix groups that
+    factorise once.
+    """
+    params = spec.transient
+    assert params is not None  # guaranteed by ScenarioSpec validation
+    x_label, values, points = scenario_axis_points(spec)
+    node_keys: dict[str, list[str]] = {}
+    for model_spec in spec.models:
+        inner = make_model(model_spec)
+        name = transient_model_name(inner.name)
+        if name in node_keys:
+            raise ExperimentError(f"duplicate model names in scenario: {name}")
+        node_keys[name] = []
+        adapters: dict[int, TransientModel] = {}  # per n_planes (observe varies)
+        for stack, via, power in points:
+            adapter = adapters.get(stack.n_planes)
+            if adapter is None:
+                observe = params.observe or default_observed_nodes(stack)
+                adapter = TransientModel(inner, params, observe)
+                adapters[stack.n_planes] = adapter
+            drive = (
+                power
+                if params.power_scale == 1.0
+                else power.scaled(params.power_scale)
+            )
+            key = plan.add(
+                TransientNode(
+                    key=_solve_node_key(plan, adapter, stack, via, drive),
+                    value=None,
+                    stack=stack,
+                    via=via,
+                    power=drive,
+                    model_name=name,
+                    model=adapter,
+                    assembly_key=adapter.assembly_key(stack, via),
+                )
+            )
+            node_keys[name].append(key)
+    _physics_scenario_plan(
+        plan, spec, kind="transient", x_label=x_label, values=values,
+        node_keys=node_keys, fast=fast,
+    )
+
+
+def _compile_nonlinear(
+    plan: ExecutionPlan, spec: ScenarioSpec, *, fast: bool
+) -> None:
+    """Lower a nonlinear spec: per (model, point), a linear baseline solve
+    node plus the fixed-point chain depending on it.
+
+    The baseline is an ordinary content-keyed :class:`SolveNode` — it
+    deduplicates against steady-state scenarios at the same point and
+    groups by the inner model's ``assembly_key`` — while the chain itself
+    is dispatched once the baseline lands, seeded with its result.
+    """
+    params = spec.nonlinear
+    assert params is not None  # guaranteed by ScenarioSpec validation
+    x_label, values, points = scenario_axis_points(spec)
+    node_keys: dict[str, list[str]] = {}
+    for model_spec in spec.models:
+        inner = make_model(model_spec)
+        name = nonlinear_model_name(inner.name)
+        if name in node_keys:
+            raise ExperimentError(f"duplicate model names in scenario: {name}")
+        node_keys[name] = []
+        for stack, via, power in points:
+            linear_key = plan.add(
+                SolveNode(
+                    key=_solve_node_key(plan, inner, stack, via, power),
+                    value=None,
+                    stack=stack,
+                    via=via,
+                    power=power,
+                    model_name=inner.name,
+                    model=inner,
+                    assembly_key=inner.assembly_key(stack, via),
+                )
+            )
+            # a content key derived from an opaque baseline would *look*
+            # stable while depending on compile-local state (same rule as
+            # calibrated solves)
+            nl_key = (
+                content_key(
+                    "nonlinear/v1", model_key(inner), params, stack, via, power
+                )
+                if is_content_key(linear_key)
+                else None
+            )
+            key = plan.add(
+                NonlinearNode(
+                    key=nl_key or plan.next_opaque_key(name),
+                    value=None,
+                    stack=stack,
+                    via=via,
+                    power=power,
+                    model_name=name,
+                    model=inner,
+                    params=params,
+                    linear=linear_key,
+                )
+            )
+            node_keys[name].append(key)
+    _physics_scenario_plan(
+        plan, spec, kind="nonlinear", x_label=x_label, values=values,
+        node_keys=node_keys, fast=fast,
+    )
+
+
 def compile_plan(
     specs: Sequence[ScenarioSpec], *, fast: bool = False
 ) -> ExecutionPlan:
@@ -406,6 +664,10 @@ def compile_plan(
     for spec in specs:
         if spec.kind == "case_study":
             _compile_case_study(plan, spec)
+        elif spec.kind == "transient":
+            _compile_transient(plan, spec, fast=fast)
+        elif spec.kind == "nonlinear":
+            _compile_nonlinear(plan, spec, fast=fast)
         else:
             _compile_sweep(plan, spec, fast=fast)
     if plan.stats["nodes_deduped"]:
@@ -447,9 +709,29 @@ def assemble_scenario(
     Sweeps go through the exact assembly code the eager path uses
     (:func:`~repro.experiments.harness.assemble_experiment` on a
     re-keyed :class:`~repro.core.sweep.SweepResult`), so a planned run's
-    payload is byte-identical to an eager run's.  Case studies return
-    their node's result directly.
+    payload is byte-identical to an eager run's.  Physics scenarios
+    (transient/nonlinear) collect their per-point results into the
+    matching experiment container; case studies return their node's
+    result directly.
     """
+    if entry.physics is not None:
+        from .physics import NonlinearExperiment, TransientExperiment
+
+        a = entry.physics
+        container = (
+            TransientExperiment if a.kind == "transient" else NonlinearExperiment
+        )
+        return container(
+            experiment_id=entry.spec.scenario_id,
+            title=entry.spec.title,
+            x_label=a.x_label,
+            x_values=list(a.values),
+            results={
+                name: [node_results[key] for key in a.node_keys[name]]
+                for name in a.model_names
+            },
+            metadata=dict(a.metadata),
+        )
     if entry.assembly is None:
         assert entry.node_key is not None
         return node_results[entry.node_key]

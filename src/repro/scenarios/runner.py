@@ -28,6 +28,11 @@ from ..experiments.harness import (
 )
 from ..experiments.table1_segments import rows_from_fig5
 from ..perf import SweepExecutor
+from .physics import (
+    result_from_store_payload,
+    run_nonlinear_spec_direct,
+    run_transient_spec_direct,
+)
 from .plan import (
     StoredCaseStudy,
     _configurator,
@@ -135,13 +140,14 @@ def _run_scenario_eager(
     if store is not None:
         payload = store.get(key)
         if payload is not None:
-            if spec.kind == "case_study":
-                result: Any = StoredCaseStudy(payload)
-            else:
-                result = ExperimentResult.from_payload(payload)
+            result: Any = result_from_store_payload(spec, payload)
             return ScenarioRun(spec=spec, key=key, result=result, from_store=True)
     if spec.kind == "case_study":
         result = run_case_study_spec(spec)
+    elif spec.kind == "transient":
+        result = run_transient_spec_direct(spec, fast=fast)
+    elif spec.kind == "nonlinear":
+        result = run_nonlinear_spec_direct(spec, fast=fast)
     else:
         result = _run_sweep_eager(spec, executor=executor, fast=fast, key=key)
     if store is not None:
@@ -190,10 +196,7 @@ def run_batch(
         if store is not None:
             payload = store.get(key)
             if payload is not None:
-                if spec.kind == "case_study":
-                    result: Any = StoredCaseStudy(payload)
-                else:
-                    result = ExperimentResult.from_payload(payload)
+                result: Any = result_from_store_payload(spec, payload)
                 runs[i] = ScenarioRun(
                     spec=spec, key=key, result=result, from_store=True
                 )
@@ -216,6 +219,12 @@ def run_batch(
                 needed = {
                     key
                     for keys in entry.assembly.node_keys.values()
+                    for key in keys
+                }
+            elif entry.physics is not None:
+                needed = {
+                    key
+                    for keys in entry.physics.node_keys.values()
                     for key in keys
                 }
             else:

@@ -20,6 +20,14 @@
   as-completed interface; ``group_matrices=False`` disables the
   regrouping (the two paths are bit-identical — asserted by tests and
   the ``multi_rhs_identical`` bench check);
+* the physics kinds flow through the same machinery:
+  :class:`~repro.scenarios.plan.TransientNode`\\ s dispatch like solve
+  nodes (their adapter's ``solve``/``solve_batch`` integrate the
+  backward-Euler trajectory; same-network trajectories share an
+  ``assembly_key`` and factorise once per group), and
+  :class:`~repro.scenarios.plan.NonlinearNode`\\ s dispatch once their
+  linear baseline — an ordinary, deduplicatable solve node — lands,
+  seeding the k(T) fixed-point chain with its result;
 * :class:`~repro.scenarios.plan.CalibrationNode`\\ s run in the parent as
   soon as their reference solves land — mid-stream, between completions —
   and their dependent calibrated solve nodes dispatch in the next
@@ -37,22 +45,26 @@ per-point solves, so cache hits, store hits, fresh solves and group
 membership are all numerically interchangeable — scheduling order never
 changes the assembled results.  Counters land in
 :func:`repro.perf.stats`: ``plan_point_solves`` (actual solves
-dispatched), ``plan_matrix_groups`` / ``plan_grouped_solves`` (matrix
-groups dispatched and the nodes they carried), ``plan_calibrations``,
-``point_store_hits`` / ``point_store_misses``.
+dispatched), ``plan_transient_solves`` / ``plan_nonlinear_solves`` (the
+physics-kind subsets), ``plan_matrix_groups`` / ``plan_grouped_solves``
+(matrix groups dispatched and the nodes they carried),
+``plan_calibrations``, ``point_store_hits`` / ``point_store_misses``.
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict, deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..calibration import fit_coefficients
+from ..core.nonlinear import NonlinearResult
 from ..core.result import ModelResult
 from ..errors import ExperimentError
 from ..experiments.harness import calibrated_model_from_fit
+from ..network.transient import TransientResult
 from ..perf import (
     MatrixGroupTask,
     PointTask,
@@ -67,20 +79,25 @@ from ..perf import (
 )
 from ..perf.memo import memoized_fit
 from ..resistances import FittingCoefficients
+from .physics import NonlinearModel
 from .plan import (
+    DISPATCH_NODE_TYPES,
     CalibrationNode,
     CaseStudyNode,
     ExecutionPlan,
+    NonlinearNode,
     SolveNode,
     StoredCaseStudy,
+    TransientNode,
     is_content_key,
     run_case_study_spec,
 )
 from .store import RunStore
 
 #: progress callback: one event dict per completed node
-#: ``{"done", "total", "key", "kind", "source"}`` with source in
-#: ``{"solved", "cache", "store"}``
+#: ``{"done", "total", "key", "kind", "source", "elapsed_s"}`` with source
+#: in ``{"solved", "cache", "store"}``; ``elapsed_s`` is the wall-clock
+#: time since the previous completion (the stream's per-node cadence)
 ProgressFn = Callable[[dict[str, Any]], None]
 
 #: completion hook: ``(node key, node result)`` the moment a node finishes
@@ -136,20 +153,21 @@ def execute_plan(
         for dep in deps:
             dependents[dep].append(key)
 
-    ready_solve: list[SolveNode] = []
+    ready_solve: list[Any] = []
     ready_other: deque[CalibrationNode | CaseStudyNode] = deque()
     for key, node in nodes.items():
         if indegree[key] == 0:
-            if isinstance(node, SolveNode):
+            if isinstance(node, DISPATCH_NODE_TYPES):
                 ready_solve.append(node)
             else:
                 ready_other.append(node)
 
     total = len(nodes)
     done = 0
+    last_completion = time.perf_counter()
 
     def finish(node: Any, value: Any, source: str) -> None:
-        nonlocal done
+        nonlocal done, last_completion
         results[node.key] = value
         done += 1
         outcome.counts[source] = outcome.counts.get(source, 0) + 1
@@ -157,12 +175,14 @@ def execute_plan(
             indegree[dep_key] -= 1
             if indegree[dep_key] == 0:
                 dep = nodes[dep_key]
-                if isinstance(dep, SolveNode):
+                if isinstance(dep, DISPATCH_NODE_TYPES):
                     ready_solve.append(dep)
                 else:
                     ready_other.append(dep)
         if on_node is not None:
             on_node(node.key, value)
+        now = time.perf_counter()
+        elapsed, last_completion = now - last_completion, now
         if progress is not None:
             progress(
                 {
@@ -171,6 +191,7 @@ def execute_plan(
                     "key": node.key,
                     "kind": node.kind,
                     "source": source,
+                    "elapsed_s": elapsed,
                 }
             )
 
@@ -235,17 +256,42 @@ def execute_plan(
             ran = True
         return ran
 
-    def node_cache_key(node: SolveNode, model: Any) -> str | None:
-        """The result-cache key for a solve node, or None (never cache).
+    def node_cache_key(node: Any, model: Any) -> str | None:
+        """The result-cache key for a dispatchable node, or None (never cache).
 
         For concrete picklable models the plan key IS the cache key;
         opaque plan keys are compile-local and must not reach the cache.
         Calibrated models get their key only now that the fitted
         coefficients exist.
         """
-        if node.model is not None:
-            return node.key if is_content_key(node.key) else None
-        return solve_key(model, node.stack, node.via, node.power)
+        if isinstance(node, SolveNode) and node.model is None:
+            return solve_key(model, node.stack, node.via, node.power)
+        return node.key if is_content_key(node.key) else None
+
+    def node_payload_result(node: Any, payload: dict[str, Any]) -> Any:
+        """Decode a stored point payload into the node's result type."""
+        if isinstance(node, TransientNode):
+            return TransientResult.from_payload(payload)
+        if isinstance(node, NonlinearNode):
+            return NonlinearResult.from_payload(payload)
+        return ModelResult.from_payload(payload)
+
+    def node_model(node: Any) -> Any:
+        """The dispatchable model instance a ready node solves with.
+
+        Solve nodes carry their model (or materialise the calibrated one
+        from the landed fit); transient nodes carry their adapter; a
+        nonlinear node's chain is seeded with its landed linear baseline.
+        """
+        if isinstance(node, NonlinearNode):
+            return NonlinearModel(
+                node.model, node.params, initial=results[node.linear]
+            )
+        if node.model is None:
+            return calibrated_model_from_fit(
+                results[node.calibration], name=node.model_name
+            )
+        return node.model
 
     while done < total:
         progressed = drain_parent_nodes()
@@ -255,13 +301,9 @@ def execute_plan(
             raise ExperimentError("execution plan has a dependency cycle")
 
         batch, ready_solve = ready_solve, []
-        dispatch: list[tuple[SolveNode, Any, str | None]] = []
+        dispatch: list[tuple[Any, Any, str | None]] = []
         for node in batch:
-            model = node.model
-            if model is None:
-                model = calibrated_model_from_fit(
-                    results[node.calibration], name=node.model_name
-                )
+            model = node_model(node)
             cache_key = node_cache_key(node, model)
             cached = (
                 result_cache.get(cache_key) if cache_key is not None else None
@@ -276,7 +318,7 @@ def execute_plan(
             if resume and store is not None and is_content_key(node.key):
                 payload = store.get_point(node.key)
                 if payload is not None:
-                    result = ModelResult.from_payload(payload)
+                    result = node_payload_result(node, payload)
                     if cache_key is not None:
                         result_cache.put(cache_key, result)
                     finish(node, result, "store")
@@ -289,8 +331,8 @@ def execute_plan(
         # back-substitute per member; the shared payload crosses the
         # process boundary once).  Singleton "groups" gain nothing and
         # fall back to per-point batching with everything else.
-        grouped: dict[str, list[tuple[SolveNode, Any, str | None]]] = {}
-        ungrouped: list[tuple[SolveNode, Any, str | None]] = []
+        grouped: dict[str, list[tuple[Any, Any, str | None]]] = {}
+        ungrouped: list[tuple[Any, Any, str | None]] = []
         if group_matrices:
             by_assembly: dict[str, list] = defaultdict(list)
             for entry in dispatch:
@@ -312,7 +354,7 @@ def execute_plan(
         # pickling cost — as the eager sweep); two nodes only share a
         # task when their geometry matches and their model names don't
         # collide (e.g. two different model_a_cal fits)
-        buckets: list[dict[str, tuple[SolveNode, Any, str | None]]] = []
+        buckets: list[dict[str, tuple[Any, Any, str | None]]] = []
         by_point: dict[str, list[dict]] = defaultdict(list)
         for node, model, cache_key in ungrouped:
             point_key = content_key(node.stack, node.via, node.power)
@@ -356,8 +398,10 @@ def execute_plan(
                 )
             )
 
-        def land(node: SolveNode, cache_key: str | None, result: Any) -> None:
+        def land(node: Any, cache_key: str | None, result: Any) -> None:
             increment("plan_point_solves")
+            if isinstance(node, (TransientNode, NonlinearNode)):
+                increment(f"plan_{node.kind}_solves")
             if cache_key is not None:
                 result_cache.put(cache_key, result)
             if store is not None and is_content_key(node.key):

@@ -61,8 +61,11 @@ POWER_KEYS = (
     "ild_fraction",
 )
 
-KINDS = ("sweep", "case_study")
+KINDS = ("sweep", "case_study", "transient", "nonlinear")
 POSTPROCESSES = (None, "table1")
+
+#: how transient scenarios attach thermal mass to the network nodes
+CAPACITANCE_POLICIES = ("plane_lumped", "substrate_ild")
 
 
 def _require_number(name: str, value: Any) -> float:
@@ -211,6 +214,111 @@ class AxisSpec:
 
 
 @dataclass(frozen=True)
+class TransientParams:
+    """The ``kind == "transient"`` physics: an RC step response.
+
+    ``t_end_s``/``n_steps`` set the backward-Euler time grid,
+    ``capacitance`` picks how thermal mass is lumped onto the network
+    nodes (``"plane_lumped"`` puts each plane's full-thickness substrate
+    ρ·cp·V on its bulk node — the historical library example;
+    ``"substrate_ild"`` sums the substrate and ILD capacities from their
+    own materials and thicknesses), ``power_scale`` is the drive level
+    (the spike magnitude relative to the scenario's steady power), and
+    ``observe`` names the circuit nodes whose traces are kept (empty =
+    every plane bulk node).
+    """
+
+    t_end_s: float
+    n_steps: int = 200
+    capacitance: str = "plane_lumped"
+    power_scale: float = 1.0
+    observe: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if _require_number("t_end_s", self.t_end_s) <= 0.0:
+            raise ValidationError(f"t_end_s must be positive, got {self.t_end_s!r}")
+        if not isinstance(self.n_steps, int) or isinstance(self.n_steps, bool) \
+                or self.n_steps < 1:
+            raise ValidationError(
+                f"n_steps must be a positive int, got {self.n_steps!r}"
+            )
+        if self.capacitance not in CAPACITANCE_POLICIES:
+            raise ValidationError(
+                f"capacitance must be one of {CAPACITANCE_POLICIES}, "
+                f"got {self.capacitance!r}"
+            )
+        if _require_number("power_scale", self.power_scale) <= 0.0:
+            raise ValidationError(
+                f"power_scale must be positive, got {self.power_scale!r}"
+            )
+        object.__setattr__(self, "observe", tuple(self.observe))
+        for node in self.observe:
+            if not node or not isinstance(node, str):
+                raise ValidationError(
+                    f"observe entries must be non-empty node names, got {node!r}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "t_end_s": self.t_end_s,
+            "n_steps": self.n_steps,
+            "capacitance": self.capacitance,
+            "power_scale": self.power_scale,
+            "observe": list(self.observe),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TransientParams":
+        _reject_unknown("transient", data, [f.name for f in fields(cls)])
+        kwargs = dict(data)
+        if "observe" in kwargs:
+            kwargs["observe"] = tuple(kwargs["observe"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class NonlinearParams:
+    """The ``kind == "nonlinear"`` physics: a k(T) fixed-point solve.
+
+    ``slope_scale`` is the slope policy — a multiplier on every material's
+    dk/dT (1 keeps the library values, 0 recovers the linear solve,
+    larger values probe sensitivity); ``tolerance``/``max_iterations``/
+    ``relaxation`` control the fixed-point loop.  Every converged result
+    carries its linear (constant-k) baseline for comparison.
+    """
+
+    tolerance: float = 1e-6
+    max_iterations: int = 30
+    relaxation: float = 1.0
+    slope_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if _require_number("tolerance", self.tolerance) <= 0.0:
+            raise ValidationError(
+                f"tolerance must be positive, got {self.tolerance!r}"
+            )
+        if not isinstance(self.max_iterations, int) \
+                or isinstance(self.max_iterations, bool) or self.max_iterations < 1:
+            raise ValidationError(
+                f"max_iterations must be a positive int, got {self.max_iterations!r}"
+            )
+        relaxation = _require_number("relaxation", self.relaxation)
+        if not 0.0 < relaxation <= 1.0:
+            raise ValidationError(
+                f"relaxation must be in (0, 1], got {self.relaxation!r}"
+            )
+        _require_number("slope_scale", self.slope_scale)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NonlinearParams":
+        _reject_unknown("nonlinear", data, [f.name for f in fields(cls)])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, data-defined experiment.
 
@@ -223,6 +331,17 @@ class ScenarioSpec:
     "case_study"`` runs the Section IV-E DRAM-µP system instead
     (``model_b_segments`` sets its Model B size; ``calibrate`` maps to the
     recalibration step).
+
+    Two further *physics kinds* run the library's extensions beyond the
+    paper.  ``kind == "transient"`` integrates the RC step response of
+    each model's network (``transient`` holds the time grid, capacitance
+    policy, drive power and observed nodes; models must be Model A specs);
+    ``kind == "nonlinear"`` runs the k(T) fixed-point solve around each
+    model (``nonlinear`` holds the slope policy and loop controls), each
+    converged point carrying its constant-k baseline.  Both accept an
+    optional ``axis`` — one trajectory / fixed-point chain per axis value
+    — or run a single point at the base geometry; neither calibrates nor
+    uses the ``reference``.
     """
 
     scenario_id: str
@@ -240,6 +359,8 @@ class ScenarioSpec:
     postprocess: str | None = None
     model_b_segments: int = 1000
     metadata: Mapping[str, Any] = field(default_factory=dict)
+    transient: TransientParams | None = None
+    nonlinear: NonlinearParams | None = None
 
     def __post_init__(self) -> None:
         if not self.scenario_id or not isinstance(self.scenario_id, str):
@@ -255,6 +376,42 @@ class ScenarioSpec:
                 raise ValidationError("a sweep scenario needs an 'axis'")
             if not self.models:
                 raise ValidationError("a sweep scenario needs at least one model")
+        if self.kind == "transient":
+            if self.transient is None:
+                raise ValidationError(
+                    "a transient scenario needs 'transient' parameters "
+                    "(t_end_s at minimum)"
+                )
+            if not self.models:
+                raise ValidationError("a transient scenario needs at least one model")
+            for spec in self.models:
+                if parse_model_spec(spec).kind != "a":
+                    raise ValidationError(
+                        f"transient scenarios integrate Model A networks; "
+                        f"model {spec!r} is not an 'a[:...]' spec"
+                    )
+        elif self.transient is not None:
+            raise ValidationError(
+                f"'transient' parameters only apply to kind 'transient', "
+                f"not {self.kind!r}"
+            )
+        if self.kind == "nonlinear":
+            if self.nonlinear is None:
+                raise ValidationError(
+                    "a nonlinear scenario needs 'nonlinear' parameters "
+                    "(defaults are fine: {})"
+                )
+            if not self.models:
+                raise ValidationError("a nonlinear scenario needs at least one model")
+        elif self.nonlinear is not None:
+            raise ValidationError(
+                f"'nonlinear' parameters only apply to kind 'nonlinear', "
+                f"not {self.kind!r}"
+            )
+        if self.kind in ("transient", "nonlinear") and self.calibrate:
+            raise ValidationError(
+                f"{self.kind} scenarios do not calibrate; set calibrate=false"
+            )
         for spec in self.models:
             parse_model_spec(spec)  # raises ValidationError on bad grammar
         parse_model_spec(self.reference)
@@ -262,6 +419,10 @@ class ScenarioSpec:
         if self.postprocess not in POSTPROCESSES:
             raise ValidationError(
                 f"postprocess must be one of {POSTPROCESSES}, got {self.postprocess!r}"
+            )
+        if self.postprocess is not None and self.kind != "sweep":
+            raise ValidationError(
+                f"postprocess {self.postprocess!r} only applies to sweep scenarios"
             )
         if not isinstance(self.calibration_samples, int) or self.calibration_samples < 2:
             raise ValidationError(
@@ -276,8 +437,14 @@ class ScenarioSpec:
     # JSON round-trip
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form (the JSON schema; see README 'Scenario files')."""
-        return {
+        """Plain-dict form (the JSON schema; see README 'Scenario files').
+
+        The physics blocks are emitted only when set: a sweep/case-study
+        spec's canonical JSON — and hence its :meth:`content_hash` and
+        every run-store key derived from it — is byte-identical to what
+        pre-physics-kind versions produced, so existing stores stay warm.
+        """
+        data = {
             "scenario_id": self.scenario_id,
             "title": self.title,
             "kind": self.kind,
@@ -294,6 +461,11 @@ class ScenarioSpec:
             "model_b_segments": self.model_b_segments,
             "metadata": dict(self.metadata),
         }
+        if self.transient is not None:
+            data["transient"] = self.transient.to_dict()
+        if self.nonlinear is not None:
+            data["nonlinear"] = self.nonlinear.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -315,6 +487,10 @@ class ScenarioSpec:
             kwargs["power"] = power
         if "models" in kwargs:
             kwargs["models"] = tuple(kwargs["models"])
+        if kwargs.get("transient") is not None:
+            kwargs["transient"] = TransientParams.from_dict(kwargs["transient"])
+        if kwargs.get("nonlinear") is not None:
+            kwargs["nonlinear"] = NonlinearParams.from_dict(kwargs["nonlinear"])
         return cls(**kwargs)
 
     def dumps(self) -> str:

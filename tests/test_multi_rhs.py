@@ -266,10 +266,31 @@ class TestAssemblyKey:
             cfg.stack, TSVCluster(cfg.via, 4)
         )
 
-    def test_network_models_opt_out(self):
+    def test_lumped_network_models_opt_out(self):
+        # Model A and the 1-D baseline stay per-point; Model B's π-segment
+        # matrix is power-independent and declares an assembly since PR 5
         cfg = fig5_config(1.0)
-        for spec in ("a:paper", "b:10", "1d"):
+        for spec in ("a:paper", "1d"):
             assert make_model(spec).assembly_key(cfg.stack, cfg.via) is None
+        assert make_model("b:10").assembly_key(cfg.stack, cfg.via) is not None
+
+    def test_model_b_assembly_key_semantics(self):
+        cfg1, cfg2 = fig5_config(1.0), fig5_config(2.0)
+        model = make_model("b:10")
+        # power-independent, geometry- and configuration-dependent
+        assert model.assembly_key(cfg1.stack, cfg1.via) == make_model(
+            "b:10"
+        ).assembly_key(cfg1.stack, cfg1.via)
+        assert model.assembly_key(cfg1.stack, cfg1.via) != model.assembly_key(
+            cfg2.stack, cfg2.via
+        )
+        assert model.assembly_key(cfg1.stack, cfg1.via) != make_model(
+            "b:20"
+        ).assembly_key(cfg1.stack, cfg1.via)
+        # cluster-normalised like the FEM keys
+        assert model.assembly_key(cfg1.stack, cfg1.via) == model.assembly_key(
+            cfg1.stack, TSVCluster(cfg1.via, 1)
+        )
 
 
 class TestMatrixGroupTask:
