@@ -23,6 +23,9 @@ echo "== physics-kind quick scenarios (transient + nonlinear)"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run transient_spike --fast >/dev/null
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run nonlinear_hotspot --fast >/dev/null
 
+echo "== fault-injection matrix (crash/error/delay/corrupt at rate 0.2)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python scripts/fault_matrix.py
+
 echo "== benchmark quick gate"
 benchmarks/run_bench.sh
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI fault matrix: every injection kind against a small builtin scenario.
+
+For each fault kind (``crash``, ``error``, ``delay``, ``corrupt``) the
+builtin ``fig7`` scenario runs (fast mode) with the :mod:`repro.faults`
+registry armed at a fixed rate and seed, under a retry budget matched to
+the rate.  The gate asserts the fault-tolerance invariant end to end:
+
+* the run completes (no kind at the matrix rate may exhaust the matched
+  retry budget and fail the scenario);
+* the assembled payload is byte-identical to a fault-free run (modulo
+  the wall-clock ``runtimes_ms`` metadata);
+* every point artifact that survived in the store decodes to exactly the
+  fault-free point payload (modulo wall-clock ``solve_time``) — corrupt
+  writes may heal away, but never to *different physics*.
+
+The ``crash`` kind runs under a 2-worker process pool so the injected
+``os._exit`` kills a real worker and exercises the pool-rebuild path;
+the other kinds run serially (faster, and the capture path is shared).
+
+Usage::
+
+    PYTHONPATH=src python scripts/fault_matrix.py [--rate 0.2] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro import faults, perf
+from repro.perf import ParallelExecutor, RetryPolicy, counter
+from repro.scenarios import RunStore, run_scenario
+
+SCENARIO = "fig7"
+
+#: the matrix retry budget is matched to its rate: at rate 0.2 a node
+#: needs 5 independent draws for a ~3e-4 chance of exhausting them, so a
+#: failed matrix means broken recovery machinery, not an unlucky seed
+MATRIX_RETRY = RetryPolicy(max_attempts=5, backoff_s=0.0)
+
+
+def normalized_run(result) -> dict:
+    payload = result.to_payload()
+    payload.pop("runtimes_ms", None)
+    return payload
+
+
+def normalized_point(payload: dict) -> dict:
+    payload = dict(payload)
+    payload.pop("solve_time", None)
+    return payload
+
+
+def run_once(kind: str | None, rate: float, seed: int, store_dir: Path):
+    """One matrix cell: ``kind`` armed (or a fault-free baseline for None)."""
+    perf.reset()
+    faults.reset()
+    store = RunStore(store_dir)
+    executor = ParallelExecutor(2) if kind == "crash" else None
+    if kind is not None:
+        faults.configure(rate=rate, kinds=(kind,), seed=seed)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            run = run_scenario(
+                SCENARIO,
+                fast=True,
+                store=store,
+                executor=executor,
+                retry=MATRIX_RETRY,
+            )
+    finally:
+        faults.reset()
+    injected = counter(f"fault_injected_{kind}") if kind else 0
+    return run, store, injected
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rate", type=float, default=0.2)
+    # seed 1: every kind (including store-write corruption) fires at
+    # least once on this scenario at the default rate
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    root = Path(tempfile.mkdtemp(prefix="fault_matrix_"))
+    failures: list[str] = []
+    try:
+        baseline_run, baseline_store, _ = run_once(
+            None, args.rate, args.seed, root / "baseline"
+        )
+        baseline_payload = normalized_run(baseline_run.result)
+        baseline_points = {
+            key: normalized_point(baseline_store.get_point(key))
+            for key in baseline_store.point_keys()
+        }
+
+        for kind in faults.KINDS:
+            run, store, injected = run_once(
+                kind, args.rate, args.seed, root / kind
+            )
+            verdicts = []
+            if injected == 0:
+                verdicts.append(f"no {kind} fault fired at rate {args.rate}")
+            if run.failed:
+                verdicts.append(
+                    f"scenario failed ({len(run.failures)} quarantined node(s))"
+                )
+            elif normalized_run(run.result) != baseline_payload:
+                verdicts.append("assembled payload differs from fault-free run")
+            for key in store.point_keys():
+                payload = store.get_point(key)
+                if payload is None:
+                    continue  # healed-away corruption: a legitimate miss
+                if normalized_point(payload) != baseline_points.get(key):
+                    verdicts.append(f"point {key[:16]}... differs")
+                    break
+            status = "FAIL: " + "; ".join(verdicts) if verdicts else "ok"
+            print(
+                f"[fault-matrix] kind={kind:<7} injected={injected:<3} "
+                f"points={len(store.point_keys()):<3} {status}"
+            )
+            failures.extend(f"{kind}: {v}" for v in verdicts)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    if failures:
+        print(f"[fault-matrix] {len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("[fault-matrix] all kinds recovered byte-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

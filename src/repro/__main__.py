@@ -32,7 +32,7 @@ from pathlib import Path
 from .analysis import export_json, format_table
 from .experiments import REGISTRY, case_study, render_markdown, run_all
 from .experiments.harness import ExperimentResult
-from .perf import get_executor
+from .perf import RetryPolicy, get_executor
 from .scenarios import (
     SCENARIOS,
     RunStore,
@@ -121,6 +121,24 @@ def _add_run_flags(parser: argparse.ArgumentParser, *, legacy: bool) -> None:
             "live one-line counter; 'json' emits one JSON event per "
             "completed plan node (kind, key, cache/store provenance, "
             "elapsed seconds)",
+        )
+        parser.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="how many times a transiently-failed plan node is "
+            "re-dispatched before being quarantined (default 2; 0 "
+            "quarantines on first failure)",
+        )
+        parser.add_argument(
+            "--node-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-node wall-clock budget; a node exceeding it counts "
+            "as a transient failure and is retried (scaled by member "
+            "count for matrix groups; default: unbounded)",
         )
 
 
@@ -240,19 +258,53 @@ def _make_progress(args: argparse.Namespace):
     return _JsonProgress() if args.progress == "json" else _PlanProgress()
 
 
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
+    """The CLI's fault-tolerance policy (attempts = first try + retries)."""
+    if args.max_retries < 0:
+        raise SystemExit("error: --max-retries must be >= 0")
+    return RetryPolicy(
+        max_attempts=args.max_retries + 1, node_timeout_s=args.node_timeout
+    )
+
+
+def _print_failures(failures) -> None:
+    """The nonzero-exit quarantine table (stderr)."""
+    print(
+        f"\n{len(failures)} plan node(s) exhausted their retry budget and "
+        "were quarantined:",
+        file=sys.stderr,
+    )
+    rows: list[list[object]] = [["node", "kind", "error", "attempts", "message"]]
+    for f in failures:
+        key = f.key if len(f.key) <= 20 else f.key[:17] + "..."
+        message = f.message if len(f.message) <= 48 else f.message[:45] + "..."
+        rows.append([key, f.kind, f.error_class, f.attempts, message])
+    print(format_table(rows), file=sys.stderr)
+    print(
+        "re-run with --store/--resume to re-attempt only the quarantined "
+        "points; completed points are kept",
+        file=sys.stderr,
+    )
+
+
 class _PlanProgress:
     """Live ``\\r``-updating execution-plan progress on stderr."""
 
     def __init__(self) -> None:
         self._printed = False
-        self._counts = {"solved": 0, "cache": 0, "store": 0}
+        self._counts = {"solved": 0, "cache": 0, "store": 0, "failed": 0}
 
     def __call__(self, event: dict) -> None:
         self._counts[event["source"]] = self._counts.get(event["source"], 0) + 1
+        failed = (
+            f", failed {self._counts['failed']}"
+            if self._counts.get("failed")
+            else ""
+        )
         print(
             f"\r[plan] {event['done']}/{event['total']} nodes "
             f"(solved {self._counts['solved']}, cache {self._counts['cache']}, "
-            f"resumed {self._counts['store']})",
+            f"resumed {self._counts['store']}{failed})",
             end="",
             file=sys.stderr,
             flush=True,
@@ -291,8 +343,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         calibrate=False if args.no_calibrate else None,
         progress=progress,
         group_matrices=not args.no_matrix_groups,
+        retry=_retry_policy(args),
     )
     progress.close()
+    if run.failed:
+        print(f"[{run.spec.scenario_id}] FAILED (key {run.key})")
+        _print_failures(run.failures)
+        return 3
     source = "served from run store" if run.from_store else "solved"
     print(f"[{run.spec.scenario_id}] {source} (key {run.key})")
     print()
@@ -370,18 +427,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         calibrate=False if args.no_calibrate else None,
         progress=progress,
         group_matrices=not args.no_matrix_groups,
+        retry=_retry_policy(args),
     )
     progress.close()
-    solved = hits = 0
+    solved = hits = failed = 0
     for path, run in zip(files, batch.runs):
-        if run.from_store:
+        if run.failed:
+            failed += 1
+            tag = "FAILED"
+        elif run.from_store:
             hits += 1
             tag = "store hit"
         else:
             solved += 1
             tag = "solved"
         print(f"[{run.spec.scenario_id}] {tag:9s} {path.name} -> {run.key}")
-        if args.output_dir:
+        if args.output_dir and not run.failed:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             export_json(
                 args.output_dir / f"{run.spec.scenario_id}.json",
@@ -398,9 +459,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     print(
         f"\n{len(files)} scenario(s): {solved} solved, {hits} served from "
-        f"store; artifacts in {store.root}"
+        f"store"
+        + (f", {failed} failed" if failed else "")
+        + f"; artifacts in {store.root}"
         + (f"; payloads in {args.output_dir}" if args.output_dir else "")
     )
+    if batch.failures:
+        _print_failures(batch.failures)
+        return 3
     return 0
 
 

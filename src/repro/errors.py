@@ -40,6 +40,27 @@ class ConvergenceError(SolverError):
     """An iterative procedure exhausted its budget without converging."""
 
 
+class WorkerCrashError(ReproError):
+    """A worker process died (or simulated dying) mid-solve.
+
+    Raised in-process when :mod:`repro.faults` injects a ``crash`` outside
+    a pool worker (a real worker takes ``os._exit`` instead), and used by
+    the fault-tolerant executors to report tasks lost to a broken pool.
+    Always treated as transient: the work itself is deterministic, so a
+    retry on a fresh worker is expected to succeed.
+    """
+
+
+class NodeTimeoutError(ReproError):
+    """A plan node exceeded its per-node wall-clock budget.
+
+    Raised by the execution deadline in :mod:`repro.perf.retry` when a
+    :class:`~repro.perf.RetryPolicy` sets ``node_timeout_s``.  Transient:
+    hung solves are usually environmental (a stuck worker, injected
+    delays), so the node is retried before being quarantined.
+    """
+
+
 class CalibrationError(ReproError):
     """Fitting-coefficient calibration failed or was given unusable data."""
 

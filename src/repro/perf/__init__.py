@@ -49,17 +49,29 @@ from .memo import (
     model_key,
     solve_key,
 )
+from .retry import (
+    DEFAULT_RETRY,
+    NodeFailure,
+    RetryPolicy,
+    TaskFailure,
+    failure_from_exception,
+    node_deadline,
+)
 from .stats import counter, increment, stats
 
 __all__ = [
+    "DEFAULT_RETRY",
     "FactorizationCache",
     "LRUCache",
     "MatrixGroupTask",
+    "NodeFailure",
     "ParallelExecutor",
     "PointTask",
+    "RetryPolicy",
     "SerialExecutor",
     "SweepExecutor",
     "SweepTask",
+    "TaskFailure",
     "assembly_cache",
     "cached_solve",
     "calibration_fit_key",
@@ -68,7 +80,9 @@ __all__ = [
     "content_key",
     "counter",
     "factor_cache",
+    "failure_from_exception",
     "get_executor",
+    "node_deadline",
     "increment",
     "matrix_fingerprint",
     "model_key",

@@ -528,6 +528,53 @@ def bench_physics(repeats: int) -> dict[str, Any]:
     }
 
 
+def bench_fault_recovery(repeats: int) -> dict[str, Any]:
+    """No-fault cost of the fault-tolerance plumbing on the fig7 plan.
+
+    The same builtin ``fig7`` scenario runs cold twice: once with
+    ``retry=None`` (the historical plain stream — failures unwind the
+    scheduler) and once under the default :class:`~repro.perf.RetryPolicy`
+    (the capture-mode stream: per-task failure capture, retry/quarantine
+    bookkeeping, ledger checks).  With no faults armed the two paths must
+    produce byte-identical payloads (modulo wall-clock ``runtimes_ms``)
+    and the plumbing must cost under 5% — gated as a same-run best-of-N
+    ratio (``checks.fault_plumbing_under_5pct``) with the usual absolute
+    floor so millisecond jitter on a loaded machine cannot trip it.
+    """
+    from ..scenarios import run_scenario
+    from .retry import DEFAULT_RETRY
+
+    def run(retry):
+        perf_cache.reset()
+        return run_scenario("fig7", retry=retry)
+
+    plain_median, plain_times, plain_run = _time(lambda: run(None), repeats)
+    safe_median, safe_times, safe_run = _time(
+        lambda: run(DEFAULT_RETRY), repeats
+    )
+    plain_payload = plain_run.result.to_payload()
+    safe_payload = safe_run.result.to_payload()
+    plain_payload.pop("runtimes_ms", None)
+    safe_payload.pop("runtimes_ms", None)
+    overhead = min(safe_times) / min(plain_times)
+    return {
+        "benchmarks": {
+            "fig7_planned_plain_stream": _entry(plain_median, plain_times),
+            "fault_recovery_overhead": _entry(
+                safe_median, safe_times, overhead_ratio=overhead
+            ),
+        },
+        "speedups": {"fault_plumbing_overhead_ratio": overhead},
+        "checks": {
+            "fault_plumbing_identical": plain_payload == safe_payload,
+            "fault_plumbing_under_5pct": (
+                overhead <= 1.05
+                or min(safe_times) - min(plain_times) < 0.005
+            ),
+        },
+    }
+
+
 def bench_fem3d(repeats: int) -> dict[str, Any]:
     """The builtin 3-D FEM power sweep, cold — the expensive, cache-
     sensitive workload the matrix-batched plane was built for."""
@@ -620,6 +667,7 @@ def run_benchmarks(
         bench_batch_dedup(repeats),
         bench_multi_rhs(jobs, repeats),
         bench_physics(repeats),
+        bench_fault_recovery(repeats),
         bench_fem3d(repeats),
     ):
         payload["benchmarks"].update(section["benchmarks"])

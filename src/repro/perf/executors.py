@@ -26,6 +26,15 @@ model solve is deterministic, and batched solves are bit-identical to
 per-point solves, so serial, parallel, grouped and ungrouped execution
 all produce numerically identical results regardless of how tasks land
 on workers.
+
+Fault tolerance: :meth:`SweepExecutor.submit_stream_safe` is the
+capture-mode stream — worker exceptions come back as picklable
+:class:`~repro.perf.retry.TaskFailure` results instead of unwinding the
+iterator, per-task wall-clock deadlines are enforced worker-side, and
+:class:`ParallelExecutor` survives a broken pool by rebuilding it and
+resubmitting only unacknowledged tasks (degrading to in-parent execution
+after repeated pool deaths).  The plain :meth:`~SweepExecutor.submit_stream`
+keeps its historical raise-on-failure contract.
 """
 
 from __future__ import annotations
@@ -41,7 +50,15 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Any, Union
 
+from .. import faults
 from ..errors import ValidationError
+from .retry import (
+    PROPAGATE_TYPES,
+    TaskFailure,
+    failure_from_exception,
+    node_deadline,
+)
+from .stats import increment
 
 
 @dataclass(frozen=True)
@@ -50,7 +67,9 @@ class PointTask:
 
     ``index`` is the point's position in the sweep (used by the caller to
     merge results back); ``models`` holds only the models whose results
-    were not already cached.
+    were not already cached.  ``attempt`` is the retry round that
+    dispatched this task — it does not affect the solve, but gives every
+    retry an independent fault-injection draw (see :mod:`repro.faults`).
     """
 
     index: int
@@ -59,6 +78,7 @@ class PointTask:
     via: Any
     power: Any
     models: tuple[Any, ...]
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -83,6 +103,7 @@ class MatrixGroupTask:
     model: Any
     powers: tuple[Any, ...]
     offset: int = 0
+    attempt: int = 0
 
 
 #: anything an executor can be handed
@@ -91,14 +112,21 @@ SweepTask = Union[PointTask, MatrixGroupTask]
 
 def solve_task(task: PointTask) -> dict[str, Any]:
     """Solve every model of one point task; runs in the parent or a worker."""
-    return {
-        m.name: m.solve(task.stack, task.via, task.power) for m in task.models
-    }
+    results: dict[str, Any] = {}
+    for m in task.models:
+        if faults.active():
+            faults.inject("solve", f"{task.index}/{m.name}#a{task.attempt}")
+        results[m.name] = m.solve(task.stack, task.via, task.power)
+    return results
 
 
 def solve_work(task: SweepTask) -> Any:
     """Solve any task shape: a result dict (point) or list (matrix group)."""
     if isinstance(task, MatrixGroupTask):
+        if faults.active():
+            faults.inject(
+                "group-solve", f"g{task.index}+{task.offset}#a{task.attempt}"
+            )
         return task.model.solve_batch(task.stack, task.via, task.powers)
     return solve_task(task)
 
@@ -106,6 +134,34 @@ def solve_work(task: SweepTask) -> Any:
 def solve_task_chunk(tasks: list[SweepTask]) -> list[Any]:
     """Solve a chunk of tasks in one dispatch message (worker side)."""
     return [solve_work(t) for t in tasks]
+
+
+def solve_work_safe(task: SweepTask, timeout_s: float | None = None) -> Any:
+    """Solve one task, capturing failures as :class:`TaskFailure` results.
+
+    The wall-clock deadline is enforced here — in the worker's main
+    thread under parallel dispatch — and is scaled by member count for
+    matrix groups, which legitimately do many nodes' work in one
+    dispatch.  Configuration mistakes (:data:`PROPAGATE_TYPES`) still
+    raise: quarantining a bad spec would hide the diagnostic.
+    """
+    budget = timeout_s
+    if budget and isinstance(task, MatrixGroupTask):
+        budget = budget * len(task.powers)
+    try:
+        with node_deadline(budget):
+            return solve_work(task)
+    except PROPAGATE_TYPES:
+        raise
+    except Exception as exc:
+        return failure_from_exception(exc)
+
+
+def solve_task_chunk_safe(
+    tasks: list[SweepTask], timeout_s: float | None = None
+) -> list[Any]:
+    """Capture-mode chunk dispatch: one result-or-failure per task."""
+    return [solve_work_safe(t, timeout_s) for t in tasks]
 
 
 class SweepExecutor(abc.ABC):
@@ -131,6 +187,35 @@ class SweepExecutor(abc.ABC):
         tasks = list(tasks)
         yield from zip(tasks, self.run_tasks(tasks))
 
+    def submit_stream_safe(
+        self, tasks: Iterable[SweepTask], *, timeout_s: float | None = None
+    ) -> Iterator[tuple[SweepTask, Any]]:
+        """Capture-mode stream: failures arrive as :class:`TaskFailure`.
+
+        Same contract as :meth:`submit_stream`, except a failed task
+        yields ``(task, TaskFailure)`` instead of raising, and
+        ``timeout_s`` bounds each task's solve wall-clock.  The default
+        implementation streams through :meth:`submit_stream` and — if the
+        underlying stream dies mid-iteration — finishes every
+        unacknowledged task in-parent, one at a time, so a single bad
+        task can only fail itself.  Subclasses with a native capture path
+        (:class:`SerialExecutor`, :class:`ParallelExecutor`) override.
+        """
+        tasks = list(tasks)
+        remaining = {id(t): t for t in tasks}
+        try:
+            for task, result in self.submit_stream(tasks):
+                remaining.pop(id(task), None)
+                yield task, result
+        except PROPAGATE_TYPES:
+            raise
+        except Exception:
+            # blame is ambiguous mid-stream — the failing task is still
+            # unacknowledged, so re-running the remainder individually
+            # captures its failure and completes the innocents
+            for task in remaining.values():
+                yield task, solve_work_safe(task, timeout_s)
+
 
 class SerialExecutor(SweepExecutor):
     """The default in-process loop — identical to the historical sweep."""
@@ -143,6 +228,12 @@ class SerialExecutor(SweepExecutor):
     ) -> Iterator[tuple[SweepTask, Any]]:
         for task in tasks:
             yield task, solve_work(task)
+
+    def submit_stream_safe(
+        self, tasks: Iterable[SweepTask], *, timeout_s: float | None = None
+    ) -> Iterator[tuple[SweepTask, Any]]:
+        for task in tasks:
+            yield task, solve_work_safe(task, timeout_s)
 
 
 class ParallelExecutor(SweepExecutor):
@@ -158,6 +249,9 @@ class ParallelExecutor(SweepExecutor):
         A :class:`MatrixGroupTask` counts as one task but carries a whole
         group — its shared payload is pickled once however the chunks
         fall.
+    max_pool_rebuilds:
+        How many broken pools :meth:`submit_stream_safe` rebuilds before
+        degrading to in-parent execution of whatever is left.
 
     Worker exceptions (bad geometry, singular systems) propagate to the
     caller exactly as in serial mode.  A broken pool or unpicklable work
@@ -165,13 +259,24 @@ class ParallelExecutor(SweepExecutor):
     sweep.
     """
 
-    def __init__(self, jobs: int | None = None, *, chunksize: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunksize: int | None = None,
+        max_pool_rebuilds: int = 3,
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValidationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs or os.cpu_count() or 1
         if chunksize is not None and chunksize < 1:
             raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
         self.chunksize = chunksize
+        if max_pool_rebuilds < 0:
+            raise ValidationError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
+        self.max_pool_rebuilds = max_pool_rebuilds
 
     def run_tasks(self, tasks: list[SweepTask]) -> list[Any]:
         if self.jobs == 1 or len(tasks) <= 1:
@@ -261,6 +366,85 @@ class ParallelExecutor(SweepExecutor):
                 if i not in done:
                     for task in c:
                         yield task, solve_work(task)
+
+    def submit_stream_safe(
+        self, tasks: Iterable[SweepTask], *, timeout_s: float | None = None
+    ) -> Iterator[tuple[SweepTask, Any]]:
+        """Capture-mode stream that survives worker death.
+
+        Tasks dispatch in the same chunks as :meth:`submit_stream`, but a
+        broken pool (a worker ``os._exit``/OOM-kill takes every pending
+        future down with it) no longer unwinds the stream: results that
+        already landed are kept, the pool is rebuilt, and only the
+        *unacknowledged* chunks are resubmitted — one task per dispatch on
+        the rebuilt pool, so a deterministic crasher can take down at most
+        one task's worth of innocents per death.  After
+        ``max_pool_rebuilds`` deaths the remainder runs in-parent, where a
+        crash becomes a capturable
+        :class:`~repro.errors.WorkerCrashError` instead of a dead pool.
+        Pool deaths are counted as ``pool_rebuilds`` in
+        :func:`repro.perf.stats`.
+        """
+        tasks = list(tasks)
+        if self.jobs > 1:
+            tasks = self._split_groups(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            yield from SerialExecutor().submit_stream_safe(
+                tasks, timeout_s=timeout_s
+            )
+            return
+        workers = min(self.jobs, len(tasks))
+        chunk = self.chunksize or max(1, math.ceil(len(tasks) / (workers * 2)))
+        pending: dict[int, list[SweepTask]] = {
+            i: tasks[start : start + chunk]
+            for i, start in enumerate(range(0, len(tasks), chunk))
+        }
+        deaths = 0
+        while pending:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(solve_task_chunk_safe, c, timeout_s): i
+                        for i, c in pending.items()
+                    }
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        results = future.result()  # raises if the pool died
+                        chunk_tasks = pending.pop(index)
+                        yield from zip(chunk_tasks, results)
+                return
+            except (pickle.PicklingError, BrokenProcessPool, OSError) as exc:
+                deaths += 1
+                increment("pool_rebuilds")
+                n_left = sum(len(c) for c in pending.values())
+                if (
+                    isinstance(exc, pickle.PicklingError)
+                    or deaths > self.max_pool_rebuilds
+                ):
+                    warnings.warn(
+                        f"worker pool died {deaths} time(s) ({exc}); running "
+                        f"the remaining {n_left} task(s) in-parent",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                warnings.warn(
+                    f"worker pool died ({exc}); rebuilding and resubmitting "
+                    f"{n_left} unacknowledged task(s)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                # isolate blame on the rebuilt pool: one task per dispatch,
+                # so the next death loses at most one task's result
+                pending = {
+                    i: [t]
+                    for i, t in enumerate(
+                        t for c in pending.values() for t in c
+                    )
+                }
+        for c in pending.values():
+            for task in c:
+                yield task, solve_work_safe(task, timeout_s)
 
 
 def get_executor(jobs: int | None) -> SweepExecutor:

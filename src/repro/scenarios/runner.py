@@ -27,7 +27,7 @@ from ..experiments.harness import (
     run_sweep_experiment,
 )
 from ..experiments.table1_segments import rows_from_fig5
-from ..perf import SweepExecutor
+from ..perf import DEFAULT_RETRY, NodeFailure, RetryPolicy, SweepExecutor
 from .physics import (
     result_from_store_payload,
     run_nonlinear_spec_direct,
@@ -63,13 +63,22 @@ class ScenarioRun:
     for sweeps (reconstructed from the payload on a store hit) or a
     :class:`~repro.experiments.case_study.CaseStudyExperiment` /
     :class:`StoredCaseStudy` for the case study; ``from_store`` says
-    whether anything was actually solved.
+    whether anything was actually solved.  When plan nodes this scenario
+    needs were quarantined (exhausted their retry budget), ``result`` is
+    None and ``failures`` holds their ledger records — the scenario is
+    *failed*, not silently absent, and a later ``--resume`` re-attempts
+    exactly those nodes.
     """
 
     spec: ScenarioSpec  # the resolved spec that keyed the run
     key: str  # spec.content_hash(); the RunStore address
     result: Any
     from_store: bool
+    failures: tuple[NodeFailure, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
 
 
 @dataclass(frozen=True)
@@ -78,11 +87,15 @@ class BatchRun:
 
     ``stats`` merges the compiler's node counts (``nodes_total``,
     ``nodes_deduped``, per-kind counts) with the scheduler's satisfaction
-    counts (``solved`` / ``cache`` / ``store``) and ``run_store_hits``.
+    counts (``solved`` / ``cache`` / ``store`` / ``failed``) and
+    ``run_store_hits``.  ``failures`` is the batch-wide quarantine
+    ledger — one record per failed plan node, deduplicated across the
+    scenarios that share it.
     """
 
     runs: tuple[ScenarioRun, ...]
     stats: dict[str, int] = field(default_factory=dict)
+    failures: tuple[NodeFailure, ...] = ()
 
 
 def _run_sweep_eager(
@@ -166,6 +179,7 @@ def run_batch(
     calibrate: bool | None = None,
     progress: ProgressFn | None = None,
     group_matrices: bool = True,
+    retry: RetryPolicy | None = DEFAULT_RETRY,
 ) -> BatchRun:
     """Run many scenarios as one merged, deduplicated execution plan.
 
@@ -179,7 +193,11 @@ def run_batch(
     ``group_matrices`` (default on) lets the scheduler dispatch nodes
     that share a system matrix — power sweeps, shared geometries — as
     matrix groups: one factorization, one RHS per point, bit-identical
-    results.
+    results.  ``retry`` is the fault-tolerance policy (see
+    :func:`~repro.scenarios.scheduler.execute_plan`): failures retry,
+    then quarantine — a scenario whose nodes exhausted their budget comes
+    back as a *failed* :class:`ScenarioRun` (``result=None`` plus the
+    ledger records) while every other scenario completes normally.
     """
     resolved: list[ScenarioSpec] = []
     for spec in specs:
@@ -252,10 +270,31 @@ def run_batch(
             progress=progress,
             on_node=on_node,
             group_matrices=group_matrices,
+            retry=retry,
         )
         stats.update(plan.stats)
         stats.update(outcome.counts)
+        all_failures = tuple(outcome.failures.values())
+        # scenarios whose needed nodes were quarantined never assembled in
+        # on_node: surface them as failed runs carrying their ledger slice
+        for i, spec, entry, needed in pending:
+            if runs[i] is None:
+                related = tuple(
+                    outcome.failures[k]
+                    for k in sorted(needed)
+                    if k in outcome.failures
+                )
+                runs[i] = ScenarioRun(
+                    spec=spec,
+                    key=entry.run_key,
+                    result=None,
+                    from_store=False,
+                    failures=related,
+                )
         assert all(run is not None for run in runs)
+        return BatchRun(
+            runs=tuple(runs), stats=stats, failures=all_failures
+        )  # type: ignore[arg-type]
     return BatchRun(runs=tuple(runs), stats=stats)  # type: ignore[arg-type]
 
 
@@ -270,6 +309,7 @@ def run_scenario(
     resume: bool = False,
     progress: ProgressFn | None = None,
     group_matrices: bool = True,
+    retry: RetryPolicy | None = DEFAULT_RETRY,
 ) -> ScenarioRun:
     """Run one scenario (a spec, or a registered scenario id).
 
@@ -294,5 +334,6 @@ def run_scenario(
         calibrate=calibrate,
         progress=progress,
         group_matrices=group_matrices,
+        retry=retry,
     )
     return batch.runs[0]

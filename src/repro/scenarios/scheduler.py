@@ -38,7 +38,20 @@
   ``calibration_fit_hits`` / ``calibration_fit_misses``);
 * every completed node is written into the store's point space
   (``points/<key>.json``) so a killed batch resumes from its solved
-  points.
+  points;
+* failures are *results*, not scheduler-unwinding exceptions: tasks
+  stream over the executor's capture-mode
+  :meth:`~repro.perf.SweepExecutor.submit_stream_safe`, a failed
+  multi-node task (a matrix group, a multi-model point bucket) degrades
+  to per-member solo dispatch so one bad RHS cannot sink its group, solo
+  failures retry under the :class:`~repro.perf.RetryPolicy` (exponential
+  backoff with deterministic jitter; each attempt is an independent
+  fault-injection draw), and whatever exhausts its budget is
+  *quarantined*: recorded as a :class:`~repro.perf.NodeFailure` in
+  ``ScheduleOutcome.failures`` (and the store's ``failures/`` space)
+  while the rest of the plan completes.  Nodes depending on a
+  quarantined node cascade into the ledger instead of deadlocking the
+  walk.  ``retry=None`` restores the historical raise-on-failure path.
 
 Every solve is deterministic and batched solves are bit-identical to
 per-point solves, so cache hits, store hits, fresh solves and group
@@ -48,7 +61,10 @@ changes the assembled results.  Counters land in
 dispatched), ``plan_transient_solves`` / ``plan_nonlinear_solves`` (the
 physics-kind subsets), ``plan_matrix_groups`` / ``plan_grouped_solves``
 (matrix groups dispatched and the nodes they carried),
-``plan_calibrations``, ``point_store_hits`` / ``point_store_misses``.
+``plan_calibrations``, ``point_store_hits`` / ``point_store_misses``,
+``plan_retries`` (failed dispatches re-attempted),
+``plan_group_degradations`` (multi-node tasks split after a failure) and
+``plan_quarantined`` (nodes that exhausted their budget).
 """
 
 from __future__ import annotations
@@ -78,6 +94,14 @@ from ..perf import (
     solve_key,
 )
 from ..perf.memo import memoized_fit
+from ..perf.retry import (
+    DEFAULT_RETRY,
+    PROPAGATE_TYPES,
+    NodeFailure,
+    RetryPolicy,
+    TaskFailure,
+    failure_from_exception,
+)
 from ..resistances import FittingCoefficients
 from .physics import NonlinearModel
 from .plan import (
@@ -108,12 +132,19 @@ OnNodeFn = Callable[[str, Any], None]
 
 @dataclass
 class ScheduleOutcome:
-    """Executed node results plus how each unit of work was satisfied."""
+    """Executed node results plus how each unit of work was satisfied.
+
+    ``failures`` is the failure ledger: one
+    :class:`~repro.perf.NodeFailure` per quarantined node (a node that
+    exhausted its retry budget, failed non-transiently, or depends on one
+    that did).  Quarantined keys never appear in ``results``.
+    """
 
     results: dict[str, Any]
     counts: dict[str, int] = field(
         default_factory=lambda: {"solved": 0, "cache": 0, "store": 0}
     )
+    failures: dict[str, NodeFailure] = field(default_factory=dict)
 
 
 def execute_plan(
@@ -125,6 +156,7 @@ def execute_plan(
     progress: ProgressFn | None = None,
     on_node: OnNodeFn | None = None,
     group_matrices: bool = True,
+    retry: RetryPolicy | None = DEFAULT_RETRY,
 ) -> ScheduleOutcome:
     """Execute every node of ``plan`` and return the per-key results.
 
@@ -134,11 +166,20 @@ def execute_plan(
     ``group_matrices`` controls the matrix-batched dispatch: ready nodes
     sharing an ``assembly_key`` are solved as one group (factor once, one
     RHS per node) unless disabled — results are bit-identical either way.
+    ``retry`` is the fault-tolerance policy: transient task failures are
+    retried up to ``retry.max_attempts`` dispatches (solo, with backoff),
+    multi-node tasks degrade to per-member dispatch on failure, and
+    exhausted nodes land in ``ScheduleOutcome.failures`` instead of
+    raising; ``retry=None`` disables capture entirely — the historical
+    behaviour where the first worker exception unwinds the scheduler.
     """
     executor = executor or SerialExecutor()
     nodes = plan.nodes
     outcome = ScheduleOutcome(results={})
     results = outcome.results
+    failures = outcome.failures
+    attempts: dict[str, int] = {}  # failed dispatches per node key
+    solo: set[str] = set()  # keys that must dispatch alone (post-failure)
 
     indegree: dict[str, int] = {}
     dependents: dict[str, list[str]] = defaultdict(list)
@@ -166,21 +207,24 @@ def execute_plan(
     done = 0
     last_completion = time.perf_counter()
 
-    def finish(node: Any, value: Any, source: str) -> None:
+    def complete(node: Any, source: str) -> None:
+        """Shared bookkeeping for a node leaving the graph (success or
+        quarantine): counts, dependent unlocking — with failed-dependency
+        cascade — and the progress event."""
         nonlocal done, last_completion
-        results[node.key] = value
         done += 1
         outcome.counts[source] = outcome.counts.get(source, 0) + 1
         for dep_key in dependents[node.key]:
             indegree[dep_key] -= 1
             if indegree[dep_key] == 0:
                 dep = nodes[dep_key]
-                if isinstance(dep, DISPATCH_NODE_TYPES):
+                failed_deps = sorted(set(dep.deps) & failures.keys())
+                if failed_deps:
+                    quarantine_dependency(dep, failed_deps)
+                elif isinstance(dep, DISPATCH_NODE_TYPES):
                     ready_solve.append(dep)
                 else:
                     ready_other.append(dep)
-        if on_node is not None:
-            on_node(node.key, value)
         now = time.perf_counter()
         elapsed, last_completion = now - last_completion, now
         if progress is not None:
@@ -195,15 +239,69 @@ def execute_plan(
                 }
             )
 
+    def finish(node: Any, value: Any, source: str) -> None:
+        results[node.key] = value
+        if store is not None and is_content_key(node.key):
+            # a success supersedes any quarantine record from an earlier run
+            store.clear_failure(node.key)
+        if on_node is not None:
+            on_node(node.key, value)
+        complete(node, source)
+
+    def quarantine(node: Any, failure: NodeFailure) -> None:
+        """Retire ``node`` into the failure ledger; the plan keeps going."""
+        failures[node.key] = failure
+        increment("plan_quarantined")
+        if store is not None and is_content_key(node.key):
+            store.put_failure(node.key, failure)
+        complete(node, "failed")
+
+    def quarantine_task_failure(
+        node: Any, failure: TaskFailure, n_attempts: int
+    ) -> None:
+        quarantine(
+            node,
+            NodeFailure(
+                key=node.key,
+                kind=node.kind,
+                error_class=failure.error_class,
+                message=failure.message,
+                traceback_digest=failure.traceback_digest,
+                attempts=n_attempts,
+            ),
+        )
+
+    def quarantine_dependency(dep: Any, failed_deps: list[str]) -> None:
+        quarantine(
+            dep,
+            NodeFailure(
+                key=dep.key,
+                kind=dep.kind,
+                error_class="DependencyError",
+                message=(
+                    "depends on quarantined node(s): "
+                    + ", ".join(failed_deps)
+                ),
+                traceback_digest="",
+                attempts=0,
+            ),
+        )
+
     def run_calibration(node: CalibrationNode) -> None:
         if resume and store is not None and is_content_key(node.key):
             payload = store.get_point(node.key)
             if payload is not None:
-                coefficients = FittingCoefficients(
-                    payload["k1"], payload["k2"], payload["c_bond"]
-                )
-                finish(node, coefficients, "store")
-                return
+                try:
+                    coefficients = FittingCoefficients(
+                        payload["k1"], payload["k2"], payload["c_bond"]
+                    )
+                except (KeyError, TypeError, ValueError):
+                    # readable JSON but not a calibration payload: heal it
+                    # away and re-fit rather than resume a poisoned point
+                    store.heal_point(node.key)
+                else:
+                    finish(node, coefficients, "store")
+                    return
         # the node key IS the fit identity (reference config + sample solve
         # keys), so the finished CalibrationResult memoizes under a key
         # derived from it — repeated in-process batches skip the
@@ -218,7 +316,17 @@ def execute_plan(
             increment("plan_calibrations")
             return fit
 
-        fit, from_cache = memoized_fit(fit_key, compute)
+        try:
+            fit, from_cache = memoized_fit(fit_key, compute)
+        except PROPAGATE_TYPES:
+            raise
+        except Exception as exc:
+            if retry is None:
+                raise
+            # parent-side nodes get no retries: a deterministic fit that
+            # failed once will fail again, so it goes straight to the ledger
+            quarantine_task_failure(node, failure_from_exception(exc), 1)
+            return
         source = "cache" if from_cache else "solved"
         coefficients = fit.coefficients
         if store is not None and is_content_key(node.key):
@@ -240,7 +348,15 @@ def execute_plan(
             if payload is not None:
                 finish(node, StoredCaseStudy(payload), "store")
                 return
-        result = run_case_study_spec(node.spec)
+        try:
+            result = run_case_study_spec(node.spec)
+        except PROPAGATE_TYPES:
+            raise
+        except Exception as exc:
+            if retry is None:
+                raise
+            quarantine_task_failure(node, failure_from_exception(exc), 1)
+            return
         if store is not None and is_content_key(node.key):
             store.put_point(node.key, result.to_payload())
         finish(node, result, "solved")
@@ -318,11 +434,17 @@ def execute_plan(
             if resume and store is not None and is_content_key(node.key):
                 payload = store.get_point(node.key)
                 if payload is not None:
-                    result = node_payload_result(node, payload)
-                    if cache_key is not None:
-                        result_cache.put(cache_key, result)
-                    finish(node, result, "store")
-                    continue
+                    try:
+                        result = node_payload_result(node, payload)
+                    except (KeyError, TypeError, ValueError):
+                        # valid JSON, wrong shape (e.g. a healed-over write
+                        # from an older schema): treat as a miss and re-solve
+                        store.heal_point(node.key)
+                    else:
+                        if cache_key is not None:
+                            result_cache.put(cache_key, result)
+                        finish(node, result, "store")
+                        continue
             dispatch.append((node, model, cache_key))
 
         # matrix groups first: nodes sharing an assembly_key solve the
@@ -331,6 +453,12 @@ def execute_plan(
         # back-substitute per member; the shared payload crosses the
         # process boundary once).  Singleton "groups" gain nothing and
         # fall back to per-point batching with everything else.
+        # nodes that already failed once dispatch *solo*: out of any matrix
+        # group or multi-model bucket, so the retry's blame is unambiguous
+        # and one repeat offender cannot sink innocents again
+        solo_entries = [e for e in dispatch if e[0].key in solo]
+        dispatch = [e for e in dispatch if e[0].key not in solo]
+
         grouped: dict[str, list[tuple[Any, Any, str | None]]] = {}
         ungrouped: list[tuple[Any, Any, str | None]] = []
         if group_matrices:
@@ -370,6 +498,9 @@ def execute_plan(
                 by_point[point_key].append(bucket)
                 buckets.append(bucket)
 
+        for entry in solo_entries:
+            buckets.append({entry[0].model_name: entry})
+
         tasks: list[SweepTask] = []
         for i, bucket in enumerate(buckets):
             node, _, _ = next(iter(bucket.values()))
@@ -381,6 +512,10 @@ def execute_plan(
                     via=node.via,
                     power=node.power,
                     models=tuple(model for _, model, _ in bucket.values()),
+                    # retries draw fresh fault-injection decisions
+                    attempt=(
+                        attempts.get(node.key, 0) if len(bucket) == 1 else 0
+                    ),
                 )
             )
         groups = list(grouped.values())
@@ -408,14 +543,52 @@ def execute_plan(
                 store.put_point(node.key, result.to_payload())
             finish(node, result, "solved")
 
-        for task, solved in executor.submit_stream(tasks):
+        def task_members(task: SweepTask) -> list[tuple[Any, Any, str | None]]:
             if isinstance(task, MatrixGroupTask):
                 # a parallel executor may have split the group into RHS
                 # sub-blocks; task.offset realigns them with the members
-                members = groups[task.index][
+                return groups[task.index][
                     task.offset : task.offset + len(task.powers)
                 ]
-                for (node, _, cache_key), result in zip(members, solved):
+            return list(buckets[task.index].values())
+
+        def handle_failure(task: SweepTask, failure: TaskFailure) -> None:
+            members = task_members(task)
+            if len(members) > 1:
+                # blame inside a multi-node dispatch is unknowable from the
+                # outside (one bad RHS column, one crashing model) — degrade
+                # to per-member solo dispatch instead of charging anyone an
+                # attempt, so innocents complete and the culprit identifies
+                # itself on its own retry
+                increment("plan_group_degradations")
+                for node, _, _ in members:
+                    solo.add(node.key)
+                    ready_solve.append(node)
+                return
+            node = members[0][0]
+            n = attempts.get(node.key, 0) + 1
+            attempts[node.key] = n
+            if failure.transient and n < retry.max_attempts:
+                increment("plan_retries")
+                solo.add(node.key)
+                time.sleep(retry.delay_s(n, node.key))
+                ready_solve.append(node)
+                return
+            quarantine_task_failure(node, failure, n)
+
+        if retry is None:
+            stream = executor.submit_stream(tasks)
+        else:
+            stream = executor.submit_stream_safe(
+                tasks, timeout_s=retry.node_timeout_s
+            )
+        for task, solved in stream:
+            if isinstance(solved, TaskFailure):
+                handle_failure(task, solved)
+            elif isinstance(task, MatrixGroupTask):
+                for (node, _, cache_key), result in zip(
+                    task_members(task), solved
+                ):
                     land(node, cache_key, result)
             else:
                 for node, _, cache_key in buckets[task.index].values():

@@ -1,6 +1,6 @@
 """Content-addressed storage of finished scenario runs and solved points.
 
-A :class:`RunStore` is a directory holding two object spaces:
+A :class:`RunStore` is a directory holding three object spaces:
 
 * **runs** — one JSON artifact per completed scenario, addressed by the
   :meth:`~repro.scenarios.spec.ScenarioSpec.content_hash` of the
@@ -13,43 +13,76 @@ A :class:`RunStore` is a directory holding two object spaces:
   :mod:`~repro.scenarios.scheduler` writes each point as it completes and
   (under ``--resume``) reads them back, so an interrupted batch resumes
   from its solved points instead of re-solving them.
+* **failures** — the quarantine ledger: one JSON record per plan node
+  that exhausted its retry budget (error class, message, attempts,
+  traceback digest — the
+  :class:`~repro.perf.NodeFailure` payload).  A later successful solve
+  of the same key clears the record, so ``--resume`` naturally
+  re-attempts exactly the quarantined/missing points.
 
-All writes are atomic (tmp file + rename), so a killed process never
-leaves a half-written artifact; a corrupt or unreadable object is treated
-as a miss (and healed out of the manifest) rather than an error.
+All writes are atomic *and durable*: the payload is fsynced to the tmp
+file before the rename, so neither a killed process nor a machine crash
+leaves a half-written artifact behind the rename.  A corrupt or
+unreadable object is treated as a miss (and healed out of the manifest)
+rather than an error.
 
 Hits and misses are counted into :func:`repro.perf.stats` under
 ``run_store_hits`` / ``run_store_misses`` and ``point_store_hits`` /
 ``point_store_misses``.
+
+Fault injection: every run/point write passes through the
+:mod:`repro.faults` ``store-write`` site, so CI can exercise the
+reader-side healing paths (truncated payloads, slow disks) with
+deterministic, seedable failures.
 
 Layout::
 
     <root>/manifest.json
     <root>/objects/<key>.json     (whole runs)
     <root>/points/<key>.json      (individual plan nodes)
+    <root>/failures/<key>.json    (quarantined plan nodes)
 """
 
 from __future__ import annotations
 
 import json
+import os
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
+from .. import faults
 from ..errors import ValidationError
 from ..perf import increment
+from ..perf.retry import NodeFailure
 from .spec import ScenarioSpec
 
 MANIFEST_NAME = "manifest.json"
 OBJECTS_DIR = "objects"
 POINTS_DIR = "points"
+FAILURES_DIR = "failures"
 MANIFEST_VERSION = 1
 
 
-def _write_json_atomic(path: Path, payload: Any) -> None:
-    """Write JSON via tmp + rename so readers never see a partial file."""
+def _write_json_atomic(path: Path, payload: Any, fault_key: str | None = None) -> None:
+    """Write JSON durably: serialise, fsync the tmp file, then rename.
+
+    The fsync-before-rename matters: without it a machine crash shortly
+    after the rename can surface the *new name with old (empty) contents*
+    on some filesystems — exactly the truncated-artifact shape the
+    readers heal, but better never to write it.  ``fault_key`` routes the
+    write through the ``store-write`` fault-injection site (delay or
+    payload corruption) when the :mod:`repro.faults` registry is armed.
+    """
+    text = json.dumps(payload, indent=2) + "\n"
+    if fault_key is not None and faults.active():
+        faults.inject("store-write", fault_key)
+        text = faults.corrupt_text("store-write", fault_key, text)
     tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
     tmp.replace(path)
 
 
@@ -62,6 +95,11 @@ class RunStore:
         self.objects.mkdir(parents=True, exist_ok=True)
         self.points = self.root / POINTS_DIR
         self.points.mkdir(parents=True, exist_ok=True)
+        self.failures = self.root / FAILURES_DIR
+        self.failures.mkdir(parents=True, exist_ok=True)
+        # tracks "might any failure record exist?" so the per-point clear
+        # on the happy path costs a boolean, not an unlink syscall
+        self._has_failures = any(self.failures.glob("*.json"))
         self._manifest_path = self.root / MANIFEST_NAME
         self._manifest = self._load_manifest()
 
@@ -116,7 +154,7 @@ class RunStore:
     ) -> Path:
         """Store ``payload`` under ``key`` and index it in the manifest."""
         path = self.objects / f"{key}.json"
-        _write_json_atomic(path, payload)
+        _write_json_atomic(path, payload, fault_key=f"run:{key}")
         self._manifest["runs"][key] = {
             "scenario_id": spec.scenario_id,
             "path": str(path.relative_to(self.root)),
@@ -153,15 +191,54 @@ class RunStore:
         unserialisable payload metadata — the point is just not resumable)."""
         path = self.points / f"{key}.json"
         try:
-            _write_json_atomic(path, payload)
+            _write_json_atomic(path, payload, fault_key=f"point:{key}")
         except (TypeError, ValueError):
             increment("point_store_skipped")
             return None
         return path
 
+    def heal_point(self, key: str) -> None:
+        """Drop a stored point whose payload turned out to be unusable.
+
+        :meth:`get_point` already heals *unreadable* JSON; this is the
+        hook for payloads that parse but decode to the wrong shape —
+        the scheduler deletes them so the node re-solves cleanly.
+        """
+        (self.points / f"{key}.json").unlink(missing_ok=True)
+
     def point_keys(self) -> list[str]:
         """Keys of every stored point object."""
         return sorted(p.stem for p in self.points.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # the failure ledger: quarantined plan nodes
+    # ------------------------------------------------------------------
+    def put_failure(self, key: str, failure: NodeFailure) -> Path:
+        """Record a quarantined node in the ``failures/`` space."""
+        path = self.failures / f"{key}.json"
+        _write_json_atomic(path, failure.to_payload())
+        self._has_failures = True
+        return path
+
+    def get_failure(self, key: str) -> NodeFailure | None:
+        """The quarantine record for ``key``, or None (corruption = None)."""
+        path = self.failures / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return NodeFailure.from_payload(json.loads(path.read_text()))
+        except (json.JSONDecodeError, OSError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def clear_failure(self, key: str) -> None:
+        """Erase ``key``'s quarantine record (a later solve succeeded)."""
+        if self._has_failures:
+            (self.failures / f"{key}.json").unlink(missing_ok=True)
+
+    def failure_keys(self) -> list[str]:
+        """Keys of every quarantined node, sorted."""
+        return sorted(p.stem for p in self.failures.glob("*.json"))
 
     # ------------------------------------------------------------------
     # introspection

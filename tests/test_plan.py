@@ -283,11 +283,54 @@ class TestPartialBatchFailure:
         monkeypatch.setattr(Model1D, "solve", failing_solve)
         perf.reset()  # the poisoned point must not be served from cache
         store = RunStore(tmp_path / "store")
+        # retry=None restores the historical contract: the first worker
+        # exception unwinds the whole batch
         with pytest.raises(SolverError):
-            run_batch([ok, bad], store=store)
+            run_batch([ok, bad], store=store, retry=None)
         # the scenario that finished before the failure kept its artifact
         assert ok.resolved().content_hash() in store
         assert bad.resolved().content_hash() not in store
+
+    def test_persistent_failure_quarantines_instead_of_unwinding(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core.model_1d import Model1D
+        from repro.errors import SolverError
+        from repro.perf import RetryPolicy
+
+        ok = tiny_spec(scenario_id="ok_first")
+        bad = tiny_spec(
+            scenario_id="fails_second",
+            axis=AxisSpec(parameter="radius_um", values=(3.0, 7.0)),
+        )
+        real_solve = Model1D.solve
+
+        def failing_solve(self, stack, via, power):
+            if abs(via.radius - 7e-6) < 1e-12:
+                raise SolverError("injected failure at r=7um")
+            return real_solve(self, stack, via, power)
+
+        monkeypatch.setattr(Model1D, "solve", failing_solve)
+        perf.reset()
+        store = RunStore(tmp_path / "store")
+        batch = run_batch(
+            [ok, bad],
+            store=store,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+        )
+        good, failed = batch.runs
+        assert not good.failed and good.result is not None
+        assert failed.failed and failed.result is None
+        assert {f.error_class for f in failed.failures} == {"SolverError"}
+        assert all(f.attempts == 2 for f in failed.failures)
+        # the healthy scenario's artifact landed; the failed one did not,
+        # and its quarantine records are in the store's ledger
+        assert ok.resolved().content_hash() in store
+        assert bad.resolved().content_hash() not in store
+        assert set(store.failure_keys()) == {f.key for f in failed.failures}
+        counters = perf.stats()["counters"]
+        assert counters["plan_quarantined"] == len(failed.failures)
+        assert counters["plan_retries"] >= 1
 
 
 class TestSingleScenarioStore:
