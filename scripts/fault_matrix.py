@@ -18,6 +18,12 @@ The ``crash`` kind runs under a 2-worker process pool so the injected
 ``os._exit`` kills a real worker and exercises the pool-rebuild path;
 the other kinds run serially (faster, and the capture path is shared).
 
+A final cell arms *only* the ``stacked-solve`` site with crashes at rate
+1.0: every cross-matrix stacked batch dies on dispatch, so a completing,
+byte-identical run proves crashed stacked batches degrade to per-point
+solo dispatch (the PR-6 contract) rather than retrying forever or
+failing the scenario.
+
 Usage::
 
     PYTHONPATH=src python scripts/fault_matrix.py [--rate 0.2] [--seed 0]
@@ -56,14 +62,22 @@ def normalized_point(payload: dict) -> dict:
     return payload
 
 
-def run_once(kind: str | None, rate: float, seed: int, store_dir: Path):
+def run_once(
+    kind: str | None,
+    rate: float,
+    seed: int,
+    store_dir: Path,
+    sites: tuple[str, ...] | None = None,
+):
     """One matrix cell: ``kind`` armed (or a fault-free baseline for None)."""
     perf.reset()
     faults.reset()
     store = RunStore(store_dir)
     executor = ParallelExecutor(2) if kind == "crash" else None
     if kind is not None:
-        faults.configure(rate=rate, kinds=(kind,), seed=seed)
+        if sites is None:
+            sites = faults.SITES
+        faults.configure(rate=rate, kinds=(kind,), sites=sites, seed=seed)
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
@@ -83,9 +97,11 @@ def run_once(kind: str | None, rate: float, seed: int, store_dir: Path):
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rate", type=float, default=0.2)
-    # seed 1: every kind (including store-write corruption) fires at
-    # least once on this scenario at the default rate
-    parser.add_argument("--seed", type=int, default=1)
+    # seed 5: every kind (including store-write corruption) fires at
+    # least once on this scenario at the default rate — re-picked for the
+    # stacked dispatch shape, whose batches replace the old per-point
+    # fault-draw keys
+    parser.add_argument("--seed", type=int, default=5)
     args = parser.parse_args(argv)
 
     root = Path(tempfile.mkdtemp(prefix="fault_matrix_"))
@@ -126,6 +142,44 @@ def main(argv: list[str] | None = None) -> int:
                 f"points={len(store.point_keys()):<3} {status}"
             )
             failures.extend(f"{kind}: {v}" for v in verdicts)
+
+        # stacked-degradation cell: every stacked batch crashes (rate 1.0,
+        # only the stacked-solve site armed), so the only way the run can
+        # complete — let alone byte-identically — is the PR-6 degradation
+        # contract: the crashed batch splits into per-point solo dispatches
+        # whose "solve" site is NOT armed.  plan_group_degradations > 0 with
+        # only stacked-solve armed proves the degradations came from
+        # stacked batches.
+        run, store, injected = run_once(
+            "crash", 1.0, args.seed, root / "stacked", sites=("stacked-solve",)
+        )
+        verdicts = []
+        if injected == 0:
+            verdicts.append("no stacked-solve crash fired at rate 1.0")
+        if counter("plan_stacked_batches") == 0:
+            verdicts.append("no stacked batch was dispatched")
+        if counter("plan_group_degradations") == 0:
+            verdicts.append("crashed stacked batch did not degrade")
+        if run.failed:
+            verdicts.append(
+                f"scenario failed ({len(run.failures)} quarantined node(s))"
+            )
+        elif normalized_run(run.result) != baseline_payload:
+            verdicts.append("assembled payload differs from fault-free run")
+        for key in store.point_keys():
+            payload = store.get_point(key)
+            if payload is None:
+                continue
+            if normalized_point(payload) != baseline_points.get(key):
+                verdicts.append(f"point {key[:16]}... differs")
+                break
+        status = "FAIL: " + "; ".join(verdicts) if verdicts else "ok"
+        print(
+            f"[fault-matrix] site=stacked-solve (crash@1.0) "
+            f"injected={injected:<3} "
+            f"degradations={counter('plan_group_degradations'):<3} {status}"
+        )
+        failures.extend(f"stacked-solve: {v}" for v in verdicts)
     finally:
         shutil.rmtree(root, ignore_errors=True)
 

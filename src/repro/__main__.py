@@ -99,6 +99,13 @@ def _add_run_flags(parser: argparse.ArgumentParser, *, legacy: bool) -> None:
             "RHS per point; results are identical either way)",
         )
         parser.add_argument(
+            "--no-stacked-batches",
+            action="store_true",
+            help="disable the cross-matrix stacked solve tier (ungrouped "
+            "nodes sharing a system structure are otherwise solved as one "
+            "batched dense call; results are identical either way)",
+        )
+        parser.add_argument(
             "--store",
             type=Path,
             default=None,
@@ -228,19 +235,21 @@ class _JsonProgress:
 
     def __call__(self, event: dict) -> None:
         self._counts[event["source"]] = self._counts.get(event["source"], 0) + 1
+        payload = {
+            "event": "node",
+            "kind": event["kind"],
+            "key": event["key"],
+            "source": event["source"],
+            "done": event["done"],
+            "total": event["total"],
+            "elapsed_s": event.get("elapsed_s"),
+        }
+        if "dispatch" in event:
+            # freshly solved nodes carry their dispatch shape:
+            # point | group (multi-RHS) | stacked (cross-matrix batch)
+            payload["dispatch"] = event["dispatch"]
         print(
-            json.dumps(
-                {
-                    "event": "node",
-                    "kind": event["kind"],
-                    "key": event["key"],
-                    "source": event["source"],
-                    "done": event["done"],
-                    "total": event["total"],
-                    "elapsed_s": event.get("elapsed_s"),
-                },
-                sort_keys=False,
-            ),
+            json.dumps(payload, sort_keys=False),
             file=sys.stderr,
             flush=True,
         )
@@ -343,6 +352,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         calibrate=False if args.no_calibrate else None,
         progress=progress,
         group_matrices=not args.no_matrix_groups,
+        stack_batches=not args.no_stacked_batches,
         retry=_retry_policy(args),
     )
     progress.close()
@@ -427,6 +437,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         calibrate=False if args.no_calibrate else None,
         progress=progress,
         group_matrices=not args.no_matrix_groups,
+        stack_batches=not args.no_stacked_batches,
         retry=_retry_policy(args),
     )
     progress.close()

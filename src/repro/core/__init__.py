@@ -1,6 +1,6 @@
 """Core analytical models: Model A, Model B, the 1-D baseline, sweeps."""
 
-from .base import ThermalTSVModel
+from .base import AssembledSystem, ThermalTSVModel, solve_stacked
 from .factory import make_model
 from .model_1d import Model1D
 from .model_a import ModelA, build_model_a_circuit, solve_three_plane_closed_form
@@ -11,6 +11,8 @@ from .sweep import SweepPoint, SweepResult, sweep
 
 __all__ = [
     "ThermalTSVModel",
+    "AssembledSystem",
+    "solve_stacked",
     "ModelResult",
     "ModelA",
     "ModelB",

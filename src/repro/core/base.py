@@ -3,11 +3,30 @@
 from __future__ import annotations
 
 import abc
-from collections.abc import Sequence
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import numpy as np
 
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
 from ..geometry.tsv import as_cluster
 from .result import ModelResult
+
+
+@dataclasses.dataclass(frozen=True)
+class AssembledSystem:
+    """One point's linear system, detached from its model for stacking.
+
+    ``matrix`` (``(n, n)`` dense) and ``rhs`` (``(n,)``) are exactly what
+    the model's own solve would pass to the dense back-end; ``finish``
+    turns the solved temperature vector back into the model's
+    :class:`~repro.core.result.ModelResult`, bit-identical to a solo
+    :meth:`ThermalTSVModel.solve` (wall-clock ``solve_time`` excepted).
+    """
+
+    matrix: np.ndarray
+    rhs: np.ndarray
+    finish: Callable[[np.ndarray], ModelResult]
 
 
 class ThermalTSVModel(abc.ABC):
@@ -54,6 +73,35 @@ class ThermalTSVModel(abc.ABC):
         """
         return None
 
+    def batch_class_key(
+        self, stack: Stack3D, via: TSV | TSVCluster
+    ) -> str | None:
+        """Content hash of the system's *structure*, or None.
+
+        Coarser than :meth:`assembly_key`: two points returning the same
+        non-None key assemble systems with the same node count and
+        topology — possibly with entirely different coefficient values —
+        and may be *stacked* into one batched dense solve
+        (:func:`repro.network.solve.solve_dense_stacked`) via
+        :meth:`assemble_system`.  The default ``None`` opts the model out
+        of stacking (FEM models, whose systems are large and sparse,
+        stay on the multi-RHS matrix-group plane instead).
+        """
+        return None
+
+    def assemble_system(
+        self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
+    ) -> AssembledSystem | None:
+        """Assemble this point's dense system for the stacked solve tier.
+
+        Models returning a non-None :meth:`batch_class_key` must return an
+        :class:`AssembledSystem` whose ``finish`` reproduces
+        :meth:`solve`'s result bit-for-bit from the solved vector.  The
+        default ``None`` means the point cannot be stacked and falls back
+        to a solo :meth:`solve`.
+        """
+        return None
+
     def solve_batch(
         self,
         stack: Stack3D,
@@ -79,3 +127,46 @@ class ThermalTSVModel(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: one stacked-batch member: (model, stack, via, power)
+StackedMember = tuple[
+    "ThermalTSVModel", Stack3D, "TSV | TSVCluster", PowerSpec
+]
+
+
+def solve_stacked(members: Sequence[StackedMember]) -> list[ModelResult]:
+    """Solve many structurally-congruent points as one batched dense solve.
+
+    Each member assembles its system via
+    :meth:`ThermalTSVModel.assemble_system`; the matrices and right-hand
+    sides are stacked into ``(m, n, n)`` / ``(m, n)`` arrays and solved by
+    one :func:`repro.network.solve.solve_dense_stacked` call, then each
+    member's ``finish`` rebuilds its :class:`ModelResult`.  Results are
+    positionally aligned with ``members`` and bit-identical to per-member
+    ``model.solve`` calls (wall-clock ``solve_time`` excepted).
+
+    Any member that declines to assemble (``assemble_system`` returning
+    None) drops the whole batch back to per-member solo solves — the
+    scheduler only stacks members whose models advertised a
+    :meth:`~ThermalTSVModel.batch_class_key`, so this is a safety net,
+    not a hot path.
+    """
+    from ..network.solve import solve_dense_stacked  # local: avoid import cycle
+
+    if not members:
+        return []
+    systems = []
+    for model, stack, via, power in members:
+        system = model.assemble_system(stack, via, power)
+        if system is None:
+            return [
+                model.solve(stack, via, power)
+                for model, stack, via, power in members
+            ]
+        systems.append(system)
+    temps = solve_dense_stacked(
+        np.stack([s.matrix for s in systems]),
+        np.stack([s.rhs for s in systems]),
+    )
+    return [system.finish(temps[i]) for i, system in enumerate(systems)]

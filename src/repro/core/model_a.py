@@ -17,15 +17,17 @@ import time
 import numpy as np
 
 from ..errors import GeometryError
-from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster
+from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
 from ..geometry.tsv import as_cluster
 from ..network import GROUND, ThermalCircuit
+from ..network.solve import DENSE_CUTOFF
+from ..perf import content_key
 from ..resistances import (
     FittingCoefficients,
     ModelAResistances,
     compute_model_a_resistances,
 )
-from .base import ThermalTSVModel
+from .base import AssembledSystem, ThermalTSVModel
 from .result import ModelResult
 
 
@@ -96,6 +98,88 @@ class ModelA(ThermalTSVModel):
         return compute_model_a_resistances(
             stack, via, self.fit, exact_area=self.exact_area
         )
+
+    def batch_class_key(self, stack: Stack3D, via: TSV | TSVCluster) -> str | None:
+        """Stack any same-plane-count Model A points, whatever their fit.
+
+        The network topology depends only on the plane count, so every
+        point with ``n_planes`` planes — across radii, liner thicknesses,
+        even across differently calibrated Model A instances — assembles
+        a congruent ``2·n_planes + 1`` node system and may ride one
+        batched dense solve.
+        """
+        if 2 * stack.n_planes + 1 > DENSE_CUTOFF:
+            return None  # pragma: no cover - would need a ~100-plane stack
+        return content_key("stacked_class/model_a/v1", stack.n_planes)
+
+    def assemble_system(
+        self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
+    ) -> AssembledSystem:
+        """Stamp the Fig. 2 system directly, skipping the circuit object.
+
+        The dense matrix is stamped in exactly
+        :func:`build_model_a_circuit`'s edge order with the same
+        ``g = 1/R`` accumulation, so it is bit-identical to
+        ``circuit.conductance_matrix(sparse=False)`` — and therefore the
+        stacked solve reproduces :meth:`solve`'s temperatures bit-for-bit
+        (asserted by the identity tests) while avoiding the per-point
+        circuit build and sparse-COO round-trip on the hot sweep path.
+        """
+        cluster = as_cluster(via)
+        validate_tsv_in_stack(stack, cluster.member)
+        heats = tuple(power.plane_heat(stack, j) for j in range(stack.n_planes))
+        start = time.perf_counter()
+        resistances = self.resistances(stack, cluster)
+        n_planes = stack.n_planes
+        n = 2 * n_planes + 1
+        matrix = np.zeros((n, n))
+        rhs = np.zeros(n)
+
+        def stamp(ia: int, ib: int | None, resistance: float) -> None:
+            g = 1.0 / resistance
+            matrix[ia, ia] += g
+            if ib is not None:
+                matrix[ib, ib] += g
+                matrix[ia, ib] -= g
+                matrix[ib, ia] -= g
+
+        # node order matches circuit insertion: t0=0, bulk_j=2j+1, metal_j=2j+2
+        stamp(0, None, resistances.rs)  # Rs: t0 — ground
+        for j, triple in enumerate(resistances.planes):
+            bulk, metal = 2 * j + 1, 2 * j + 2
+            stamp(bulk, 0 if j == 0 else bulk - 2, triple.bulk)
+            stamp(metal, 0 if j == 0 else metal - 2, triple.metal)
+            stamp(bulk, metal, triple.liner)
+            rhs[bulk] += heats[j]
+
+        node_names = [T0_NODE]
+        for j in range(n_planes):
+            node_names.extend((bulk_node(j), metal_node(j)))
+
+        def finish(temps: np.ndarray) -> ModelResult:
+            elapsed = time.perf_counter() - start
+            temperatures = {
+                name: float(temps[i]) for i, name in enumerate(node_names)
+            }
+            return ModelResult(
+                model_name=self.name,
+                max_rise=max(temperatures.values()),
+                plane_rises=tuple(
+                    temperatures[bulk_node(j)] for j in range(n_planes)
+                ),
+                sink_temperature=stack.sink_temperature,
+                solve_time=elapsed,
+                n_unknowns=n,
+                node_temperatures=temperatures,
+                metadata={
+                    "k1": self.fit.k1,
+                    "k2": self.fit.k2,
+                    "c_bond": self.fit.c_bond,
+                    "cluster_count": cluster.count,
+                },
+            )
+
+        return AssembledSystem(matrix=matrix, rhs=rhs, finish=finish)
 
     def _solve(
         self, stack: Stack3D, via: TSVCluster, power: PowerSpec

@@ -36,11 +36,12 @@ from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stac
 from ..geometry.stack import LayerInterval
 from ..geometry.tsv import as_cluster
 from ..network import GROUND, NetworkSolution, ThermalCircuit
+from ..network.solve import DENSE_CUTOFF
 from ..perf import content_key, model_key
 from ..resistances import compute_model_b_resistances
 from ..resistances.model_a_set import _liner_lateral
 from ..units import require_positive_int
-from .base import ThermalTSVModel
+from .base import AssembledSystem, ThermalTSVModel
 from .result import ModelResult
 
 #: name of the via-bottom node shared with Model A
@@ -373,6 +374,63 @@ class ModelB(ThermalTSVModel):
         """
         return content_key(
             "model_b_assembly/v1", model_key(self), stack, as_cluster(via)
+        )
+
+    def batch_class_key(self, stack: Stack3D, via: TSV | TSVCluster) -> str | None:
+        """Stack paper-scheme ladders with the same segment counts.
+
+        Under the ``"paper"`` scheme every segment carries a metal column,
+        so the ladder topology — and hence the ``1 + 2·n_A`` system
+        structure — is fixed by the per-plane segment counts alone; points
+        differing in geometry (and so in every resistance value) still
+        stack into one batched dense solve.  The ``"uniform"`` scheme's
+        topology depends on where the via span ends, so it opts out, as do
+        ladders too large for the dense cutoff (the default 100-segment
+        model: those ride the multi-RHS plane via :meth:`assembly_key`
+        instead).
+        """
+        if self.scheme != "paper":
+            return None
+        try:
+            scheme = self.segment_scheme(stack)
+        except ValidationError:
+            return None
+        if 1 + 2 * scheme.total > DENSE_CUTOFF:
+            return None
+        return content_key("stacked_class/model_b/v1", scheme.plane_segments)
+
+    def assemble_system(
+        self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
+    ) -> AssembledSystem | None:
+        """Lift one ladder's dense system out for the stacked solve tier.
+
+        The circuit is assembled exactly as :meth:`solve` would (same
+        stamping, same dense matrix below the cutoff), so the stacked
+        solve — per-item identical to ``numpy.linalg.solve`` — reproduces
+        the solo result bit-for-bit.
+        """
+        if self.batch_class_key(stack, via) is None:
+            return None
+        cluster = as_cluster(via)
+        validate_tsv_in_stack(stack, cluster.member)
+        start = time.perf_counter()
+        circuit, top_nodes, scheme = self._build(stack, cluster, power)
+        matrix, rhs = circuit.assemble()
+
+        def finish(temps: np.ndarray) -> ModelResult:
+            elapsed = time.perf_counter() - start
+            return self._result(
+                stack,
+                cluster,
+                scheme,
+                circuit.solution_from(temps),
+                top_nodes,
+                circuit.n_nodes,
+                elapsed,
+            )
+
+        return AssembledSystem(
+            matrix=np.asarray(matrix, dtype=float), rhs=rhs, finish=finish
         )
 
     def solve_batch(

@@ -15,6 +15,9 @@ Sites (each guards one seam of the execute path):
 
 * ``solve`` — one model solve inside a :class:`~repro.perf.PointTask`;
 * ``group-solve`` — one :class:`~repro.perf.MatrixGroupTask` batch solve;
+* ``stacked-solve`` — one :class:`~repro.perf.StackedBatchTask` stacked
+  batch solve (the cross-matrix tier; a crashed batch must degrade to
+  per-point dispatch exactly like a failed matrix group);
 * ``store-write`` — a :class:`~repro.scenarios.store.RunStore` artifact
   write (corruption simulates data lost between write and fsync).
 
@@ -66,7 +69,7 @@ __all__ = [
 KINDS = ("crash", "delay", "error", "corrupt")
 
 #: every instrumented site
-SITES = ("solve", "group-solve", "store-write")
+SITES = ("solve", "group-solve", "stacked-solve", "store-write")
 
 #: which kinds are meaningful at which site: execution sites take the
 #: execution faults, the store site takes the data faults (a crash inside
@@ -74,6 +77,7 @@ SITES = ("solve", "group-solve", "store-write")
 SITE_KINDS = {
     "solve": ("crash", "delay", "error"),
     "group-solve": ("crash", "delay", "error"),
+    "stacked-solve": ("crash", "delay", "error"),
     "store-write": ("delay", "corrupt"),
 }
 

@@ -30,19 +30,32 @@ power) plus their keyword arguments through
 sub-configuration (and repeated sweeps under multi-scenario traffic) skip
 the voxelisation entirely.  Grid building is deterministic, so a cache hit
 returns arrays identical to a fresh build.
+
+The geometry half splits once more, along the conductivity boundary: the
+*frame* (mesh edges, via coverage fractions, plane bands) depends only on
+geometric dimensions — thicknesses, radii, positions — never on any
+material's conductivity.  Frames are cached under conductivity-*neutralised*
+(stack, via) keys, so the k(T) fixed-point loop of
+:class:`~repro.core.nonlinear.NonlinearSolver` around an FEM model — which
+re-evaluates every layer's conductivity each iteration but never moves an
+interface — rebuilds only the cheap conductivity stamping and reuses the
+frame (including the expensive Cartesian coverage loops) across all
+iterations.  ``voxel_frame_hits`` / ``voxel_frame_misses`` in
+:func:`repro.perf.stats` count the reuse.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..errors import GeometryError
 from ..geometry import PowerSpec, Stack3D, TSV
 from ..geometry.stack import LayerInterval
-from ..perf import assembly_cache, content_key
+from ..materials import Material
+from ..perf import assembly_cache, content_key, increment
 from .mesh import centers, layered_mesh
 
 
@@ -98,6 +111,74 @@ class CartesianGeometry:
     conductivity: np.ndarray
     outer_frac: np.ndarray
     plane_bands: list[tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class AxisymFrame:
+    """The conductivity-free half of :class:`AxisymGeometry`.
+
+    Mesh edges and plane bands depend only on geometric dimensions, so two
+    stacks differing solely in material conductivities — successive k(T)
+    fixed-point iterates, say — share one frame bit-for-bit.
+    """
+
+    r_edges: np.ndarray
+    z_edges: np.ndarray
+    plane_bands: list[tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class CartesianFrame:
+    """The conductivity-free half of :class:`CartesianGeometry`.
+
+    Carries the per-cell via coverage fractions — the expensive part of
+    the 3-D voxelisation — which are pure functions of mesh and via
+    placement.
+    """
+
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+    z_edges: np.ndarray
+    metal_frac: np.ndarray
+    outer_frac: np.ndarray
+    plane_bands: list[tuple[float, float]]
+
+
+def _neutral_material(material: Material) -> Material:
+    """The material with its conductivity data wiped (frame-key helper)."""
+    return replace(material, thermal_conductivity=1.0, conductivity_slope=0.0)
+
+
+def _conductivity_free(stack: Stack3D, via: TSV) -> tuple[Stack3D, TSV]:
+    """(stack, via) with every material conductivity neutralised.
+
+    Keys the frame caches: the frame is a pure function of this pair plus
+    the mesh targets, so any two inputs that agree here — no matter how
+    their conductivities differ — may share a cached frame.  Densities and
+    specific heats are left alone; they never change within a solve.
+    """
+    planes = tuple(
+        replace(
+            plane,
+            substrate=replace(
+                plane.substrate,
+                material=_neutral_material(plane.substrate.material),
+            ),
+            ild=replace(
+                plane.ild, material=_neutral_material(plane.ild.material)
+            ),
+        )
+        for plane in stack.planes
+    )
+    bonds = tuple(
+        replace(bond, material=_neutral_material(bond.material))
+        for bond in stack.bonds
+    )
+    neutral_stack = replace(stack, planes=planes, bonds=bonds)
+    neutral_via = replace(
+        via, fill=_neutral_material(via.fill), liner=_neutral_material(via.liner)
+    )
+    return neutral_stack, neutral_via
 
 
 def _z_breakpoints(stack: Stack3D, via: TSV) -> list[float]:
@@ -247,6 +328,33 @@ def build_axisym_geometry(
     return geometry
 
 
+def _axisym_frame(
+    stack: Stack3D, via: TSV, *, area: float, nr: int, nz: int
+) -> AxisymFrame:
+    """The cached conductivity-free axisymmetric mesh (see module docs)."""
+    neutral_stack, neutral_via = _conductivity_free(stack, via)
+    key = content_key("axisym_frame", neutral_stack, neutral_via, area, nr, nz)
+    if key is not None:
+        cached = assembly_cache.get(key)
+        if cached is not None:
+            increment("voxel_frame_hits")
+            return cached
+        increment("voxel_frame_misses")
+    r_edges = layered_mesh(
+        [0.0, via.radius, via.outer_radius, math.sqrt(area / math.pi)],
+        nr,
+        min_per_layer=3,
+        weights=[0.25, 0.15, 0.6],
+    )
+    z_edges = layered_mesh(_z_breakpoints(stack, via), nz, min_per_layer=2)
+    frame = AxisymFrame(
+        r_edges=r_edges, z_edges=z_edges, plane_bands=_plane_bands(stack)
+    )
+    if key is not None:
+        assembly_cache.put(key, frame)
+    return frame
+
+
 def _build_axisym_geometry(
     stack: Stack3D,
     via: TSV,
@@ -258,15 +366,8 @@ def _build_axisym_geometry(
     area = cell_area if cell_area is not None else stack.footprint_area
     if via.occupied_area >= area:
         raise GeometryError("via (incl. liner) does not fit the unit cell")
-    r0 = math.sqrt(area / math.pi)
-    r_edges = layered_mesh(
-        [0.0, via.radius, via.outer_radius, r0],
-        nr,
-        min_per_layer=3,
-        weights=[0.25, 0.15, 0.6],
-    )
-    z_edges = layered_mesh(_z_breakpoints(stack, via), nz, min_per_layer=2)
-    rc, zc = centers(r_edges), centers(z_edges)
+    frame = _axisym_frame(stack, via, area=area, nr=nr, nz=nz)
+    rc, zc = centers(frame.r_edges), centers(frame.z_edges)
 
     z_bottom, z_top = stack.tsv_span(via.extension)
     # layer conductivity broadcast down each column, via/liner masks on top
@@ -278,10 +379,10 @@ def _build_axisym_geometry(
     inside_liner = (rc >= via.radius) & (rc < via.outer_radius)
     conductivity[np.ix_(inside_liner, span)] = via.liner.thermal_conductivity
     return AxisymGeometry(
-        r_edges=r_edges,
-        z_edges=z_edges,
+        r_edges=frame.r_edges,
+        z_edges=frame.z_edges,
         conductivity=conductivity,
-        plane_bands=_plane_bands(stack),
+        plane_bands=frame.plane_bands,
     )
 
 
@@ -485,7 +586,7 @@ def build_cartesian_geometry(
     return geometry
 
 
-def _build_cartesian_geometry(
+def _cartesian_frame(
     stack: Stack3D,
     via: TSV,
     *,
@@ -494,9 +595,20 @@ def _build_cartesian_geometry(
     ny: int,
     nz: int,
     via_style: str,
-) -> CartesianGeometry:
-    if via_style not in ("squared", "round"):
-        raise GeometryError(f"via_style must be 'squared' or 'round', got {via_style!r}")
+) -> CartesianFrame:
+    """The cached conductivity-free Cartesian mesh + coverage fractions."""
+    neutral_stack, neutral_via = _conductivity_free(stack, via)
+    key = content_key(
+        "cartesian_frame", neutral_stack, neutral_via,
+        tuple(via_positions) if via_positions is not None else None,
+        nx, ny, nz, via_style,
+    )
+    if key is not None:
+        cached = assembly_cache.get(key)
+        if cached is not None:
+            increment("voxel_frame_hits")
+            return cached
+        increment("voxel_frame_misses")
     side = stack.footprint_side
     positions = via_positions or [(side / 2.0, side / 2.0)]
     if via_style == "squared":
@@ -519,8 +631,7 @@ def _build_cartesian_geometry(
     x_edges = axis_mesh(nx)
     y_edges = axis_mesh(ny)
     z_edges = layered_mesh(_z_breakpoints(stack, via), nz, min_per_layer=2)
-    xc, yc, zc = centers(x_edges), centers(y_edges), centers(z_edges)
-    n_x, n_y, n_z = xc.size, yc.size, zc.size
+    n_x, n_y = x_edges.size - 1, y_edges.size - 1
 
     metal_frac = np.zeros((n_x, n_y))
     outer_frac = np.zeros((n_x, n_y))
@@ -531,8 +642,39 @@ def _build_cartesian_geometry(
         else:
             metal_frac += _coverage(x_edges, y_edges, cx, cy, half_metal)
             outer_frac += _coverage(x_edges, y_edges, cx, cy, half_outer)
-    metal_frac = np.clip(metal_frac, 0.0, 1.0)
-    outer_frac = np.clip(outer_frac, 0.0, 1.0)
+    frame = CartesianFrame(
+        x_edges=x_edges,
+        y_edges=y_edges,
+        z_edges=z_edges,
+        metal_frac=np.clip(metal_frac, 0.0, 1.0),
+        outer_frac=np.clip(outer_frac, 0.0, 1.0),
+        plane_bands=_plane_bands(stack),
+    )
+    if key is not None:
+        assembly_cache.put(key, frame)
+    return frame
+
+
+def _build_cartesian_geometry(
+    stack: Stack3D,
+    via: TSV,
+    *,
+    via_positions: list[tuple[float, float]] | None,
+    nx: int,
+    ny: int,
+    nz: int,
+    via_style: str,
+) -> CartesianGeometry:
+    if via_style not in ("squared", "round"):
+        raise GeometryError(f"via_style must be 'squared' or 'round', got {via_style!r}")
+    frame = _cartesian_frame(
+        stack, via,
+        via_positions=via_positions, nx=nx, ny=ny, nz=nz, via_style=via_style,
+    )
+    zc = centers(frame.z_edges)
+    n_x, n_y = frame.metal_frac.shape
+    n_z = zc.size
+    metal_frac, outer_frac = frame.metal_frac, frame.outer_frac
     liner_frac = np.clip(outer_frac - metal_frac, 0.0, 1.0)
 
     z_bottom, z_top = stack.tsv_span(via.extension)
@@ -548,12 +690,12 @@ def _build_cartesian_geometry(
         via_mix[:, :, None] + (1.0 - outer_frac)[:, :, None] * k_z[span][None, None, :]
     )
     return CartesianGeometry(
-        x_edges=x_edges,
-        y_edges=y_edges,
-        z_edges=z_edges,
+        x_edges=frame.x_edges,
+        y_edges=frame.y_edges,
+        z_edges=frame.z_edges,
         conductivity=conductivity,
         outer_frac=outer_frac,
-        plane_bands=_plane_bands(stack),
+        plane_bands=frame.plane_bands,
     )
 
 

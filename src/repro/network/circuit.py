@@ -229,6 +229,23 @@ class ThermalCircuit:
             q[self._nodes[s.node]] += s.power
         return q
 
+    def assemble(self):
+        """Validate and return ``(matrix, source_vector)`` without solving.
+
+        The stacked execution tier uses this to lift a circuit's system
+        out for a batched cross-matrix solve; the matrix is exactly what
+        :meth:`solve` would assemble (same sparse/dense policy).
+        """
+        self.validate()  # also primes the node→resistor adjacency index
+        return self.conductance_matrix(), self.source_vector()
+
+    def solution_from(self, temps: np.ndarray) -> NetworkSolution:
+        """Wrap an externally solved temperature vector, as :meth:`solve` would."""
+        return NetworkSolution(
+            temperatures={node: float(temps[i]) for node, i in self._nodes.items()},
+            circuit=self,
+        )
+
     def solve(self) -> NetworkSolution:
         """Solve G·ΔT = q and return node temperature rises."""
         self.validate()  # also primes the node→resistor adjacency index

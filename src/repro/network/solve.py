@@ -22,12 +22,20 @@ operations, and the matrix-batched execution plane requires column ``j``
 of a batched solve to be bit-for-bit identical to the corresponding
 single-RHS solve.  The finite-temperature guard is applied column-wise,
 naming the offending columns.
+
+Stacked entry points (:func:`solve_dense_stacked`,
+:func:`solve_sparse_stacked`) solve *many independent systems* at once —
+the tier below multi-RHS: ``m`` different matrices with one RHS each,
+hoisted into a single ``(m, n, n)`` batched LAPACK call (dense) or one
+block-diagonal SuperLU factorisation (sparse).  The dense path is
+bit-for-bit identical per item to :func:`solve_dense`; guards name the
+offending stacked item.
 """
 
 from __future__ import annotations
 
 import warnings
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -149,6 +157,134 @@ def _check_finite_columns(solution: np.ndarray, what: str) -> np.ndarray:
             f"{what} produced non-finite temperatures in RHS column(s) {bad}"
         )
     return arr
+
+
+def _check_finite_items(solution: np.ndarray, what: str) -> np.ndarray:
+    """Item-wise finite-temperature guard for the stacked-solve paths.
+
+    ``solution`` is ``(m, n)`` — one row per stacked system.  Non-finite
+    temperatures name the offending item indices so a degraded re-dispatch
+    (or a human) can find the bad point.
+    """
+    arr = np.asarray(solution, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        bad = sorted(
+            np.nonzero(~np.isfinite(arr.reshape(arr.shape[0], -1)).all(axis=1))[
+                0
+            ].tolist()
+        )
+        raise SolverError(
+            f"{what} produced non-finite temperatures in stacked item(s) {bad}"
+        )
+    return arr
+
+
+def solve_dense_stacked(matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``m`` independent dense systems in one batched LAPACK call.
+
+    ``matrices`` is ``(m, n, n)``, ``rhs`` is ``(m, n)``; row ``i`` of the
+    result solves ``matrices[i] @ x = rhs[i]``.  numpy broadcasts the solve
+    through the same ``gesv`` gufunc a single :func:`solve_dense` call
+    uses, so each row is bit-for-bit identical to
+    ``solve_dense(matrices[i], rhs[i])`` — the stacked execution tier
+    relies on this (asserted by the identity tests).
+
+    A singular item fails the whole batched call, so on failure each item
+    is probed individually to *name* the singular point(s); a non-finite
+    row likewise names its item.
+    """
+    stack = np.asarray(matrices, dtype=float)
+    block = np.asarray(rhs, dtype=float)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise SolverError(
+            f"stacked dense solves need an (m, n, n) matrix stack, got "
+            f"shape {stack.shape}"
+        )
+    if block.shape != stack.shape[:2]:
+        raise SolverError(
+            f"stacked dense solves need an (m, n) RHS stack matching the "
+            f"matrices, got {block.shape} against {stack.shape}"
+        )
+    if stack.shape[0] == 0:
+        return block.copy()
+    try:
+        # rhs must broadcast as a stack of column vectors: (m, n) -> (m, n, 1)
+        solution = np.linalg.solve(stack, block[..., None])[..., 0]
+    except np.linalg.LinAlgError as exc:
+        bad = []
+        for i in range(stack.shape[0]):
+            try:
+                np.linalg.solve(stack[i], block[i])
+            except np.linalg.LinAlgError:
+                bad.append(i)
+        raise SingularNetworkError(
+            f"conductance matrix is singular in stacked item(s) {bad} — "
+            "some node has no path to ground"
+        ) from exc
+    return _check_finite_items(solution, "stacked dense solve")
+
+
+def solve_sparse_stacked(
+    matrices: Sequence[sp.spmatrix], rhs_list: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Solve independent sparse systems through one block-diagonal factor.
+
+    The systems are assembled into one ``scipy.sparse.block_diag`` matrix
+    and factorised by a single SuperLU call with *natural* ordering
+    (``permc_spec="NATURAL"``): the block-diagonal structure makes natural
+    ordering batch-size invariant — item ``i``'s slice of the solution is
+    identical whether it is factorised alone or inside any batch — which
+    the identity tests assert.  (The default COLAMD ordering is *not*
+    batch-size invariant, and natural ordering differs from
+    :func:`solve_sparse`'s COLAMD factor in the last ulps, so this path
+    trades exact equality with the solo sparse path for batch-size
+    invariance; use it where the batch itself is the reference.)
+
+    A singular item fails the combined factorisation, so on failure each
+    item is factorised individually to name the singular point(s); the
+    finite-temperature guard likewise names bad items.
+    """
+    mats = [_as_csr(m) for m in matrices]
+    if len(mats) != len(rhs_list):
+        raise SolverError(
+            f"stacked sparse solves need matching matrices and RHS lists, "
+            f"got {len(mats)} matrices against {len(rhs_list)} RHS"
+        )
+    if not mats:
+        return []
+    sizes = [m.shape[0] for m in mats]
+    for i, (m, b) in enumerate(zip(mats, rhs_list)):
+        if m.shape[0] != m.shape[1] or np.shape(b) != (m.shape[0],):
+            raise SolverError(
+                f"stacked item {i} is not a square system with a matching "
+                f"RHS: matrix {m.shape}, rhs {np.shape(b)}"
+            )
+    block = sp.block_diag(mats, format="csc")
+    try:
+        lu = spla.splu(block, permc_spec="NATURAL")
+    except RuntimeError as exc:
+        bad = []
+        for i, m in enumerate(mats):
+            try:
+                spla.splu(m.tocsc(), permc_spec="NATURAL")
+            except RuntimeError:
+                bad.append(i)
+        raise SingularNetworkError(
+            f"sparse conductance matrix is singular in stacked item(s) "
+            f"{bad} — some node has no path to ground"
+        ) from exc
+    joined = lu.solve(np.concatenate([np.asarray(b, dtype=float) for b in rhs_list]))
+    offsets = np.cumsum([0] + sizes)
+    out = []
+    for i in range(len(mats)):
+        piece = np.asarray(joined[offsets[i] : offsets[i + 1]], dtype=float)
+        if not np.all(np.isfinite(piece)):
+            raise SolverError(
+                f"stacked sparse solve produced non-finite temperatures in "
+                f"stacked item(s) [{i}]"
+            )
+        out.append(piece)
+    return out
 
 
 def _as_rhs_block(rhs_block: np.ndarray) -> np.ndarray:

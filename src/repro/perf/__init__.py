@@ -8,9 +8,10 @@ Public surface:
 * :func:`configure` — resize or disable the assembly/result/factor caches;
 * :class:`SerialExecutor` / :class:`ParallelExecutor` /
   :func:`get_executor` — the sweep execution strategies behind ``--jobs``;
-* :class:`PointTask` / :class:`MatrixGroupTask` — the two dispatch
-  shapes: per-point solves and matrix groups (one model, one geometry,
-  many right-hand sides);
+* :class:`PointTask` / :class:`MatrixGroupTask` / :class:`StackedBatchTask`
+  — the three dispatch shapes: per-point solves, matrix groups (one
+  model, one geometry, many right-hand sides) and stacked batches (many
+  congruent systems in one batched dense solve);
 * :func:`cached_solve` — a model solve through the global result cache;
 * :func:`calibration_key` / :func:`calibration_fit_key` — the shared
   identity of a coefficient fit (plan node key and fit-cache key);
@@ -36,6 +37,7 @@ from .executors import (
     ParallelExecutor,
     PointTask,
     SerialExecutor,
+    StackedBatchTask,
     SweepExecutor,
     SweepTask,
     get_executor,
@@ -69,6 +71,7 @@ __all__ = [
     "PointTask",
     "RetryPolicy",
     "SerialExecutor",
+    "StackedBatchTask",
     "SweepExecutor",
     "SweepTask",
     "TaskFailure",

@@ -413,6 +413,79 @@ def bench_multi_rhs(jobs: int, repeats: int) -> dict[str, Any]:
     }
 
 
+def _stacked_plan(k: int = 1000):
+    """A structurally congruent Model A geometry sweep: ``k`` liner points.
+
+    Every point assembles a *different* conductance matrix (the liner
+    resistance changes with the swept thickness), so the multi-RHS plane
+    cannot group them; all of them share Model A's ``batch_class_key``, so
+    the stacked tier rides the whole sweep in one batched dense solve.
+    This is the distilled shape of Fig. 4/5-style geometry sweeps.
+    """
+    from ..core.model_a import ModelA
+    from ..experiments.params import fig5_config
+    from ..scenarios.plan import ExecutionPlan, SolveNode
+    from .memo import solve_key
+
+    cfg = fig5_config(1.0)
+    model = ModelA()
+    plan = ExecutionPlan()
+    for i in range(k):
+        via = cfg.via.with_liner_thickness(0.5e-6 + 2e-9 * i)
+        plan.add(
+            SolveNode(
+                key=solve_key(model, cfg.stack, via, cfg.power),
+                value=None,
+                stack=cfg.stack,
+                via=via,
+                power=cfg.power,
+                model_name=model.name,
+                model=model,
+                assembly_key=model.assembly_key(cfg.stack, via),
+            )
+        )
+    return plan
+
+
+def bench_stacked(repeats: int) -> dict[str, Any]:
+    """Cross-matrix stacked dispatch of a geometry sweep vs per-point solves.
+
+    ``stacked_per_point`` executes the plan with stacking disabled (the
+    pre-PR-7 scheduler: one content-key + assemble + LU solve per point);
+    ``stacked_vs_per_point`` dispatches the same plan as stacked batches —
+    one ``numpy.linalg.solve`` over the whole (k, n, n) stack.  The paths
+    are bit-identical (``checks.stacked_identical``), and the same-run
+    ratio gates the win (``checks.stacked_batched_wins``) immune to
+    machine-load drift.
+    """
+    from ..scenarios.scheduler import execute_plan
+
+    plan = _stacked_plan()
+
+    def run(stack_batches: bool):
+        perf_cache.reset()
+        return execute_plan(plan, stack_batches=stack_batches)
+
+    point_median, point_times, point_out = _time(lambda: run(False), repeats)
+    stack_median, stack_times, stack_out = _time(lambda: run(True), repeats)
+    n_points = len(plan.nodes)
+    return {
+        "benchmarks": {
+            "stacked_per_point": _entry(point_median, point_times, points=n_points),
+            "stacked_vs_per_point": _entry(
+                stack_median, stack_times, points=n_points
+            ),
+        },
+        "speedups": {
+            "stacked_batched_vs_per_point": point_median / stack_median,
+        },
+        "checks": {
+            "stacked_identical": _outcomes_identical(point_out, stack_out),
+            "stacked_batched_wins": point_median / stack_median >= 3.0,
+        },
+    }
+
+
 def _nonlinear_payloads_match(a: dict[str, Any], b: dict[str, Any]) -> bool:
     """Bitwise equality of two nonlinear payloads' deterministic content.
 
@@ -666,6 +739,7 @@ def run_benchmarks(
         bench_fem_reuse(repeats),
         bench_batch_dedup(repeats),
         bench_multi_rhs(jobs, repeats),
+        bench_stacked(repeats),
         bench_physics(repeats),
         bench_fault_recovery(repeats),
         bench_fem3d(repeats),

@@ -1,7 +1,7 @@
 """Pluggable sweep execution: serial today, process-parallel when asked.
 
 The sweep engine hands an executor a list of work specs and expects the
-solved results back *in task order*.  Two task shapes exist:
+solved results back *in task order*.  Three task shapes exist:
 
 * :class:`PointTask` — one sweep point's worth of solves (one geometry,
   several models), the historical unit of dispatch;
@@ -12,7 +12,12 @@ solved results back *in task order*.  Two task shapes exist:
   solved through the model's ``solve_batch`` — voxelise/assemble/factor
   once, back-substitute per member — and, under parallel dispatch, the
   shared geometry/model payload is pickled *once per group* instead of
-  once per point.
+  once per point;
+* :class:`StackedBatchTask` — one *stacked batch*: many structurally
+  congruent points (same node count/topology, different matrices — see
+  :meth:`repro.core.base.ThermalTSVModel.batch_class_key`) solved by a
+  single batched ``(m, n, n)`` LAPACK call instead of m Python-level
+  round-trips.
 
 :class:`SerialExecutor` is the default and reproduces the historical
 strictly-serial loop bit-for-bit; :class:`ParallelExecutor` fans tasks out
@@ -106,8 +111,32 @@ class MatrixGroupTask:
     attempt: int = 0
 
 
+@dataclass(frozen=True)
+class StackedBatchTask:
+    """A stacked batch: many congruent systems solved as one array call.
+
+    The tier below :class:`MatrixGroupTask`: members share a
+    :meth:`~repro.core.base.ThermalTSVModel.batch_class_key` — same node
+    count and topology — but *not* a matrix, so there is nothing to
+    factor once; instead every member's dense system is assembled and all
+    of them are solved by one batched LAPACK call
+    (:func:`repro.core.base.solve_stacked`).  ``members`` holds
+    ``(model, stack, via, power)`` tuples in member order starting at
+    ``offset`` (non-zero when :class:`ParallelExecutor` chunks a large
+    batch across workers — stacking has no shared factor, so chunking
+    costs nothing but keeps every worker busy).  Results align
+    positionally with ``members`` and are bit-identical to per-member
+    solo solves.
+    """
+
+    index: int
+    members: tuple[tuple[Any, Any, Any, Any], ...]
+    offset: int = 0
+    attempt: int = 0
+
+
 #: anything an executor can be handed
-SweepTask = Union[PointTask, MatrixGroupTask]
+SweepTask = Union[PointTask, MatrixGroupTask, StackedBatchTask]
 
 
 def solve_task(task: PointTask) -> dict[str, Any]:
@@ -121,13 +150,21 @@ def solve_task(task: PointTask) -> dict[str, Any]:
 
 
 def solve_work(task: SweepTask) -> Any:
-    """Solve any task shape: a result dict (point) or list (matrix group)."""
+    """Solve any task shape: a result dict (point) or list (batch)."""
     if isinstance(task, MatrixGroupTask):
         if faults.active():
             faults.inject(
                 "group-solve", f"g{task.index}+{task.offset}#a{task.attempt}"
             )
         return task.model.solve_batch(task.stack, task.via, task.powers)
+    if isinstance(task, StackedBatchTask):
+        if faults.active():
+            faults.inject(
+                "stacked-solve", f"s{task.index}+{task.offset}#a{task.attempt}"
+            )
+        from ..core.base import solve_stacked  # local: avoid import cycle
+
+        return solve_stacked(task.members)
     return solve_task(task)
 
 
@@ -148,6 +185,8 @@ def solve_work_safe(task: SweepTask, timeout_s: float | None = None) -> Any:
     budget = timeout_s
     if budget and isinstance(task, MatrixGroupTask):
         budget = budget * len(task.powers)
+    elif budget and isinstance(task, StackedBatchTask):
+        budget = budget * len(task.members)
     try:
         with node_deadline(budget):
             return solve_work(task)
@@ -295,7 +334,7 @@ class ParallelExecutor(SweepExecutor):
             return SerialExecutor().run_tasks(tasks)
 
     def _split_groups(self, tasks: list[SweepTask]) -> list[SweepTask]:
-        """Split large matrix groups into per-worker RHS sub-blocks.
+        """Split large batch tasks into per-worker sub-blocks.
 
         A single indivisible group would serialise a whole shared-matrix
         sweep onto one worker, so each group is split into roughly
@@ -304,9 +343,12 @@ class ParallelExecutor(SweepExecutor):
         is split: every extra sub-block costs a redundant factorization
         in its worker (sub-blocks of one group land on different
         processes with cold factor caches), which only pays off while
-        workers would otherwise sit idle.  Splitting is deterministic
-        and each sub-block carries its ``offset``, so results stay
-        bit-identical and realignable with the original member order.
+        workers would otherwise sit idle.  Stacked batches chunk by the
+        same rule (their members share no factor, so sub-blocks cost
+        nothing beyond the smaller batched calls).  Splitting is
+        deterministic and each sub-block carries its ``offset``, so
+        results stay bit-identical and realignable with the original
+        member order.
         """
         per_task = self.jobs // max(1, len(tasks))
         if per_task <= 1:
@@ -321,6 +363,18 @@ class ParallelExecutor(SweepExecutor):
                         replace(
                             task,
                             powers=task.powers[start : start + size],
+                            offset=task.offset + start,
+                        )
+                    )
+                continue
+            if isinstance(task, StackedBatchTask) and len(task.members) > 1:
+                n_sub = min(per_task, len(task.members))
+                size = math.ceil(len(task.members) / n_sub)
+                for start in range(0, len(task.members), size):
+                    expanded.append(
+                        replace(
+                            task,
+                            members=task.members[start : start + size],
                             offset=task.offset + start,
                         )
                     )

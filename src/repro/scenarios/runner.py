@@ -179,6 +179,7 @@ def run_batch(
     calibrate: bool | None = None,
     progress: ProgressFn | None = None,
     group_matrices: bool = True,
+    stack_batches: bool = True,
     retry: RetryPolicy | None = DEFAULT_RETRY,
 ) -> BatchRun:
     """Run many scenarios as one merged, deduplicated execution plan.
@@ -193,7 +194,10 @@ def run_batch(
     ``group_matrices`` (default on) lets the scheduler dispatch nodes
     that share a system matrix — power sweeps, shared geometries — as
     matrix groups: one factorization, one RHS per point, bit-identical
-    results.  ``retry`` is the fault-tolerance policy (see
+    results.  ``stack_batches`` (default on) additionally stacks nodes
+    with structurally congruent but *different* matrices — geometry
+    sweeps over the small network models — into single batched dense
+    solves, also bit-identical.  ``retry`` is the fault-tolerance policy (see
     :func:`~repro.scenarios.scheduler.execute_plan`): failures retry,
     then quarantine — a scenario whose nodes exhausted their budget comes
     back as a *failed* :class:`ScenarioRun` (``result=None`` plus the
@@ -270,6 +274,7 @@ def run_batch(
             progress=progress,
             on_node=on_node,
             group_matrices=group_matrices,
+            stack_batches=stack_batches,
             retry=retry,
         )
         stats.update(plan.stats)
@@ -309,6 +314,7 @@ def run_scenario(
     resume: bool = False,
     progress: ProgressFn | None = None,
     group_matrices: bool = True,
+    stack_batches: bool = True,
     retry: RetryPolicy | None = DEFAULT_RETRY,
 ) -> ScenarioRun:
     """Run one scenario (a spec, or a registered scenario id).
@@ -334,6 +340,7 @@ def run_scenario(
         calibrate=calibrate,
         progress=progress,
         group_matrices=group_matrices,
+        stack_batches=stack_batches,
         retry=retry,
     )
     return batch.runs[0]

@@ -13,13 +13,21 @@
   :class:`~repro.perf.MatrixGroupTask` solved through the model's
   ``solve_batch``: voxelise/assemble/factorise once, back-substitute per
   member, with the shared payload shipped once under parallel dispatch.
-  Everything else falls back to per-point
+  Of what remains, solve nodes sharing a non-None ``batch_class_key`` —
+  structurally congruent systems with *different* matrices (geometry
+  sweeps over the small network models) — become one
+  :class:`~repro.perf.StackedBatchTask` solved via
+  :func:`repro.core.base.solve_stacked`: every member's dense system is
+  assembled and all of them go through one batched ``(m, n, n)`` LAPACK
+  call instead of m Python-level solver round-trips.  Everything else
+  falls back to per-point
   :class:`~repro.perf.PointTask`\\ s (one dispatch per geometry, not per
-  model — the same batching the eager sweep used).  Both shapes stream
+  model — the same batching the eager sweep used).  All shapes stream
   over the executor's :meth:`~repro.perf.SweepExecutor.submit_stream`
-  as-completed interface; ``group_matrices=False`` disables the
-  regrouping (the two paths are bit-identical — asserted by tests and
-  the ``multi_rhs_identical`` bench check);
+  as-completed interface; ``group_matrices=False`` /
+  ``stack_batches=False`` disable the regroupings (the paths are
+  bit-identical — asserted by tests and the ``multi_rhs_identical`` /
+  ``stacked_identical`` bench checks);
 * the physics kinds flow through the same machinery:
   :class:`~repro.scenarios.plan.TransientNode`\\ s dispatch like solve
   nodes (their adapter's ``solve``/``solve_batch`` integrate the
@@ -61,6 +69,8 @@ changes the assembled results.  Counters land in
 dispatched), ``plan_transient_solves`` / ``plan_nonlinear_solves`` (the
 physics-kind subsets), ``plan_matrix_groups`` / ``plan_grouped_solves``
 (matrix groups dispatched and the nodes they carried),
+``plan_stacked_batches`` / ``plan_stacked_solves`` (stacked batches
+dispatched and the nodes they carried),
 ``plan_calibrations``, ``point_store_hits`` / ``point_store_misses``,
 ``plan_retries`` (failed dispatches re-attempted),
 ``plan_group_degradations`` (multi-node tasks split after a failure) and
@@ -85,6 +95,7 @@ from ..perf import (
     MatrixGroupTask,
     PointTask,
     SerialExecutor,
+    StackedBatchTask,
     SweepExecutor,
     SweepTask,
     calibration_fit_key,
@@ -121,7 +132,10 @@ from .store import RunStore
 #: progress callback: one event dict per completed node
 #: ``{"done", "total", "key", "kind", "source", "elapsed_s"}`` with source
 #: in ``{"solved", "cache", "store"}``; ``elapsed_s`` is the wall-clock
-#: time since the previous completion (the stream's per-node cadence)
+#: time since the previous completion (the stream's per-node cadence).
+#: Freshly solved nodes additionally carry ``"dispatch"`` — how the solve
+#: was dispatched: ``"point"`` (solo/per-point bucket), ``"group"``
+#: (multi-RHS matrix group) or ``"stacked"`` (cross-matrix stacked batch)
 ProgressFn = Callable[[dict[str, Any]], None]
 
 #: completion hook: ``(node key, node result)`` the moment a node finishes
@@ -156,6 +170,7 @@ def execute_plan(
     progress: ProgressFn | None = None,
     on_node: OnNodeFn | None = None,
     group_matrices: bool = True,
+    stack_batches: bool = True,
     retry: RetryPolicy | None = DEFAULT_RETRY,
 ) -> ScheduleOutcome:
     """Execute every node of ``plan`` and return the per-key results.
@@ -166,6 +181,9 @@ def execute_plan(
     ``group_matrices`` controls the matrix-batched dispatch: ready nodes
     sharing an ``assembly_key`` are solved as one group (factor once, one
     RHS per node) unless disabled — results are bit-identical either way.
+    ``stack_batches`` controls the cross-matrix stacked tier below it:
+    ungrouped solve nodes sharing a ``batch_class_key`` are solved as one
+    batched dense call unless disabled — also bit-identical either way.
     ``retry`` is the fault-tolerance policy: transient task failures are
     retried up to ``retry.max_attempts`` dispatches (solo, with backoff),
     multi-node tasks degrade to per-member dispatch on failure, and
@@ -207,7 +225,7 @@ def execute_plan(
     done = 0
     last_completion = time.perf_counter()
 
-    def complete(node: Any, source: str) -> None:
+    def complete(node: Any, source: str, dispatch: str | None = None) -> None:
         """Shared bookkeeping for a node leaving the graph (success or
         quarantine): counts, dependent unlocking — with failed-dependency
         cascade — and the progress event."""
@@ -228,25 +246,28 @@ def execute_plan(
         now = time.perf_counter()
         elapsed, last_completion = now - last_completion, now
         if progress is not None:
-            progress(
-                {
-                    "done": done,
-                    "total": total,
-                    "key": node.key,
-                    "kind": node.kind,
-                    "source": source,
-                    "elapsed_s": elapsed,
-                }
-            )
+            event = {
+                "done": done,
+                "total": total,
+                "key": node.key,
+                "kind": node.kind,
+                "source": source,
+                "elapsed_s": elapsed,
+            }
+            if dispatch is not None:
+                event["dispatch"] = dispatch
+            progress(event)
 
-    def finish(node: Any, value: Any, source: str) -> None:
+    def finish(
+        node: Any, value: Any, source: str, dispatch: str | None = None
+    ) -> None:
         results[node.key] = value
         if store is not None and is_content_key(node.key):
             # a success supersedes any quarantine record from an earlier run
             store.clear_failure(node.key)
         if on_node is not None:
             on_node(node.key, value)
-        complete(node, source)
+        complete(node, source, dispatch)
 
     def quarantine(node: Any, failure: NodeFailure) -> None:
         """Retire ``node`` into the failure ledger; the plan keeps going."""
@@ -477,6 +498,35 @@ def execute_plan(
         else:
             ungrouped = list(dispatch)
 
+        # stacked batches second: leftover solve nodes sharing a
+        # batch_class_key assemble structurally congruent systems with
+        # *different* matrices (a geometry sweep over a small network
+        # model), so there is no factor to share — instead every member's
+        # dense system is assembled and the whole class solves as one
+        # batched (m, n, n) LAPACK call.  Singletons gain nothing and
+        # fall through to per-point batching.
+        stacks: list[list[tuple[Any, Any, str | None]]] = []
+        if stack_batches:
+            by_class: dict[str, list] = defaultdict(list)
+            rest: list[tuple[Any, Any, str | None]] = []
+            for entry in ungrouped:
+                node, model, _ = entry
+                bkey = (
+                    model.batch_class_key(node.stack, node.via)
+                    if isinstance(node, SolveNode)
+                    else None
+                )
+                if bkey is not None:
+                    by_class[bkey].append(entry)
+                else:
+                    rest.append(entry)
+            for members in by_class.values():
+                if len(members) > 1:
+                    stacks.append(members)
+                else:
+                    rest.extend(members)
+            ungrouped = rest
+
         # the rest regroups into per-point tasks, so one dispatch message
         # carries every model of a sweep point (the same batching — and
         # pickling cost — as the eager sweep); two nodes only share a
@@ -532,8 +582,22 @@ def execute_plan(
                     powers=tuple(m[0].power for m in members),
                 )
             )
+        for i, members in enumerate(stacks):
+            increment("plan_stacked_batches")
+            increment("plan_stacked_solves", len(members))
+            tasks.append(
+                StackedBatchTask(
+                    index=i,
+                    members=tuple(
+                        (model, node.stack, node.via, node.power)
+                        for node, model, _ in members
+                    ),
+                )
+            )
 
-        def land(node: Any, cache_key: str | None, result: Any) -> None:
+        def land(
+            node: Any, cache_key: str | None, result: Any, dispatch: str
+        ) -> None:
             increment("plan_point_solves")
             if isinstance(node, (TransientNode, NonlinearNode)):
                 increment(f"plan_{node.kind}_solves")
@@ -541,7 +605,7 @@ def execute_plan(
                 result_cache.put(cache_key, result)
             if store is not None and is_content_key(node.key):
                 store.put_point(node.key, result.to_payload())
-            finish(node, result, "solved")
+            finish(node, result, "solved", dispatch)
 
         def task_members(task: SweepTask) -> list[tuple[Any, Any, str | None]]:
             if isinstance(task, MatrixGroupTask):
@@ -549,6 +613,10 @@ def execute_plan(
                 # sub-blocks; task.offset realigns them with the members
                 return groups[task.index][
                     task.offset : task.offset + len(task.powers)
+                ]
+            if isinstance(task, StackedBatchTask):
+                return stacks[task.index][
+                    task.offset : task.offset + len(task.members)
                 ]
             return list(buckets[task.index].values())
 
@@ -585,14 +653,15 @@ def execute_plan(
         for task, solved in stream:
             if isinstance(solved, TaskFailure):
                 handle_failure(task, solved)
-            elif isinstance(task, MatrixGroupTask):
+            elif isinstance(task, (MatrixGroupTask, StackedBatchTask)):
+                shape = "group" if isinstance(task, MatrixGroupTask) else "stacked"
                 for (node, _, cache_key), result in zip(
                     task_members(task), solved
                 ):
-                    land(node, cache_key, result)
+                    land(node, cache_key, result, shape)
             else:
                 for node, _, cache_key in buckets[task.index].values():
-                    land(node, cache_key, solved[node.model_name])
+                    land(node, cache_key, solved[node.model_name], "point")
             # calibrations whose samples just landed run immediately,
             # unlocking their calibrated solves for the next wave
             drain_parent_nodes()

@@ -206,9 +206,10 @@ class TestAssemblyMemoization:
         before = perf.assembly_cache.stats()
         build_axisym_grids(block_stack, block_tsv, block_power, nr=22, nz=40)
         after = perf.assembly_cache.stats()
-        # a changed mesh misses both cache levels (full grids + the
-        # power-free geometry half) and hits neither
-        assert after["misses"] == before["misses"] + 2
+        # a changed mesh misses all three cache levels (full grids, the
+        # power-free geometry half, the conductivity-free frame) and
+        # hits none
+        assert after["misses"] == before["misses"] + 3
         assert after["hits"] == before["hits"]
 
     def test_changed_power_shares_geometry(
