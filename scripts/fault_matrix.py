@@ -18,11 +18,17 @@ The ``crash`` kind runs under a 2-worker process pool so the injected
 ``os._exit`` kills a real worker and exercises the pool-rebuild path;
 the other kinds run serially (faster, and the capture path is shared).
 
-A final cell arms *only* the ``stacked-solve`` site with crashes at rate
-1.0: every cross-matrix stacked batch dies on dispatch, so a completing,
-byte-identical run proves crashed stacked batches degrade to per-point
-solo dispatch (the PR-6 contract) rather than retrying forever or
-failing the scenario.
+A further cell arms *only* the ``stacked-solve`` site with crashes at
+rate 1.0: every cross-matrix stacked batch dies on dispatch, so a
+completing, byte-identical run proves crashed stacked batches degrade to
+per-point solo dispatch (the PR-6 contract) rather than retrying forever
+or failing the scenario.
+
+The final cell kills a fleet worker: one worker of a 3-worker fleet is
+armed (via per-rank environment) to crash the moment it holds a lease
+claim.  The gate asserts the armed worker dies with the injected exit
+code, the survivors steal its expired claims, the shared store finishes
+byte-identical to the fault-free run, and no completed point is lost.
 
 Usage::
 
@@ -40,7 +46,8 @@ from pathlib import Path
 
 from repro import faults, perf
 from repro.perf import ParallelExecutor, RetryPolicy, counter
-from repro.scenarios import RunStore, run_scenario
+from repro.scenarios import SCENARIOS, RunStore, run_scenario
+from repro.scenarios.fleet import run_fleet
 
 SCENARIO = "fig7"
 
@@ -180,6 +187,71 @@ def main(argv: list[str] | None = None) -> int:
             f"degradations={counter('plan_group_degradations'):<3} {status}"
         )
         failures.extend(f"stacked-solve: {v}" for v in verdicts)
+
+        # fleet worker-kill cell: worker 0 of a 3-worker fleet is armed to
+        # crash (rate 1.0) the moment it holds a lease claim — os._exit,
+        # no cleanup, no report.  The survivors must steal its expired
+        # claims, finish the store byte-identically, and lose none of the
+        # points any worker completed.
+        perf.reset()
+        faults.reset()
+        outcome = run_fleet(
+            [SCENARIO],
+            store=root / "fleet",
+            workers=3,
+            fast=True,
+            ttl_s=1.0,
+            retry=MATRIX_RETRY,
+            timeout_s=600.0,
+            extra_env={
+                0: {
+                    faults.ENV_RATE: "1.0",
+                    faults.ENV_SITES: "lease",
+                    faults.ENV_KINDS: "crash",
+                    faults.ENV_SEED: "1",
+                }
+            },
+        )
+        verdicts = []
+        if outcome.exit_codes[0] != faults.CRASH_EXIT_CODE:
+            verdicts.append(
+                f"armed worker exited {outcome.exit_codes[0]}, "
+                f"expected {faults.CRASH_EXIT_CODE}"
+            )
+        if any(code != 0 for code in outcome.exit_codes[1:]):
+            verdicts.append(f"survivor exit codes {outcome.exit_codes[1:]}")
+        if not outcome.complete:
+            verdicts.append("fleet store incomplete after worker kill")
+        fleet_store = RunStore(root / "fleet")
+        fleet_key = SCENARIOS.get(SCENARIO).resolved(fast=True).content_hash()
+        stored = fleet_store.get(fleet_key)
+        # compare stored-to-stored: both sides went through one JSON
+        # round-trip, unlike the in-memory baseline_payload
+        reference = baseline_store.get(fleet_key)
+        if stored is None or reference is None:
+            verdicts.append("run artifact missing from the fleet store")
+        else:
+            stored.pop("runtimes_ms", None)
+            reference.pop("runtimes_ms", None)
+            if stored != reference:
+                verdicts.append("fleet payload differs from fault-free run")
+        for key in fleet_store.point_keys():
+            payload = fleet_store.get_point(key)
+            if payload is None:
+                continue
+            if normalized_point(payload) != baseline_points.get(key):
+                verdicts.append(f"point {key[:16]}... differs")
+                break
+        missing = set(baseline_points) - set(fleet_store.point_keys())
+        if missing:
+            verdicts.append(f"{len(missing)} completed point(s) lost")
+        status = "FAIL: " + "; ".join(verdicts) if verdicts else "ok"
+        steals = outcome.counters.get("lease_steals", 0)
+        print(
+            f"[fault-matrix] fleet worker-kill (lease crash@1.0) "
+            f"exits={list(outcome.exit_codes)} steals={steals:<3} {status}"
+        )
+        failures.extend(f"fleet-kill: {v}" for v in verdicts)
     finally:
         shutil.rmtree(root, ignore_errors=True)
 

@@ -14,7 +14,16 @@ Scenario subcommands (the declarative path — :mod:`repro.scenarios`):
   merged execution plan (shared calibration/reference/sweep points are
   solved once; sweep points fan out over ``--jobs`` workers), skipping
   runs already in the store; ``--resume`` continues an interrupted batch
-  from its stored points.
+  from its stored points;
+* ``fleet <id|file.json> [...]`` — run scenarios across ``--workers N``
+  cooperating OS processes sharing one ``--store``: every node is solved
+  exactly once under a lease claim, peers read each other's results back
+  from the point space, and a killed worker's leases expire and its
+  nodes reschedule on the survivors (see
+  :mod:`repro.scenarios.fleet`);
+* ``migrate <dir>`` — move a legacy flat-layout run store into the
+  sharded ``<space>/<xx>/<key>.json`` layout (reads understand both, so
+  migrating is optional).
 
 Legacy aliases keep working: ``python -m repro fig4 …`` (also ``fig5``,
 ``fig6``, ``fig7``, ``table1``, ``case_study``, ``all``) runs the paper
@@ -38,8 +47,10 @@ from .scenarios import (
     RunStore,
     ScenarioSpec,
     run_batch,
+    run_fleet,
     run_scenario,
 )
+from .scenarios.lease import DEFAULT_TTL_S
 from .scenarios.store import MANIFEST_NAME
 
 #: legacy experiment names that accept --jobs (they run parameter sweeps)
@@ -189,6 +200,89 @@ def build_parser() -> argparse.ArgumentParser:
         "directory", type=Path, help="directory containing scenario *.json files"
     )
     _add_run_flags(batch_p, legacy=False)
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="run scenarios across N cooperating worker processes",
+        description=(
+            "Run scenarios across --workers cooperating OS processes sharing "
+            "one --store.  Workers claim plan nodes through lease files, "
+            "read each other's results back from the point space, and steal "
+            "a dead worker's expired claims — every node is solved exactly "
+            "once, byte-identically to a single-process run."
+        ),
+    )
+    fleet_p.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target",
+        help="registered scenario ids (see 'list') and/or JSON spec files",
+    )
+    fleet_p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="cooperating worker processes (default 4)",
+    )
+    fleet_p.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="the shared run store (the fleet's coordination plane); more "
+        "fleets/processes may point at the same directory concurrently",
+    )
+    fleet_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_TTL_S,
+        metavar="SECONDS",
+        help="claim lifetime before an unrenewed lease is considered dead "
+        f"and stolen (default {DEFAULT_TTL_S:g}s)",
+    )
+    fleet_p.add_argument(
+        "--fast", action="store_true", help="reduced sweeps (CI-speed)"
+    )
+    fleet_p.add_argument(
+        "--fem-resolution",
+        default=None,
+        choices=["coarse", "medium", "fine"],
+        help="mesh preset for the FEM reference (default: the spec's own)",
+    )
+    fleet_p.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip the recalibrated Model A variant",
+    )
+    fleet_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-worker transient-failure retries before quarantine "
+        "(default 2)",
+    )
+    fleet_p.add_argument(
+        "--node-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-node wall-clock budget (default: unbounded)",
+    )
+
+    migrate_p = sub.add_parser(
+        "migrate",
+        help="move a legacy flat run store into the sharded layout",
+        description=(
+            "Move every artifact of a flat-layout run store into the sharded "
+            "<space>/<xx>/<key>.json layout.  Idempotent; reads understand "
+            "both layouts, so this only matters for very large stores."
+        ),
+    )
+    migrate_p.add_argument(
+        "directory", type=Path, help="the run-store directory to migrate"
+    )
 
     for exp_id in (*REGISTRY, "all"):
         legacy_p = sub.add_parser(
@@ -481,6 +575,71 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    specs: list[ScenarioSpec] = []
+    for target in args.targets:
+        if target in SCENARIOS:
+            specs.append(SCENARIOS.get(target))
+            continue
+        path = Path(target)
+        if not path.exists():
+            print(
+                f"error: {target!r} is neither a registered scenario id nor "
+                f"an existing file; see 'python -m repro list'",
+                file=sys.stderr,
+            )
+            return 2
+        specs.append(ScenarioSpec.load(path))
+    outcome = run_fleet(
+        specs,
+        store=args.store,
+        workers=args.workers,
+        fast=args.fast,
+        fem_resolution=args.fem_resolution,
+        calibrate=False if args.no_calibrate else None,
+        ttl_s=args.lease_ttl,
+        retry=_retry_policy(args),
+    )
+    by_rank = {report.rank: report for report in outcome.reports}
+    for rank, code in enumerate(outcome.exit_codes):
+        report = by_rank.get(rank)
+        if report is None:
+            print(f"[worker {rank}] died (exit {code}); claims rescheduled")
+            continue
+        solves = report.counters.get("plan_point_solves", 0)
+        steals = report.counters.get("lease_steals", 0)
+        detail = f"{solves} node(s) solved"
+        if steals:
+            detail += f", {steals} claim(s) stolen from dead peers"
+        status = "ok" if report.ok else (report.error or "quarantined nodes")
+        print(f"[worker {rank}] exit {code}: {detail} ({status})")
+    total = outcome.counters.get("plan_point_solves", 0)
+    print(
+        f"\nfleet of {args.workers}: {total} node(s) solved exactly once; "
+        f"store {'complete' if outcome.complete else 'INCOMPLETE'} at "
+        f"{outcome.store_root}"
+    )
+    if not outcome.complete:
+        print(
+            "re-run the same command to resume from the stored points",
+            file=sys.stderr,
+        )
+        return 3
+    return 0 if outcome.ok else 3
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    directory: Path = args.directory
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    moved = RunStore(directory).migrate()
+    total = sum(moved.values())
+    detail = ", ".join(f"{space}: {n}" for space, n in moved.items())
+    print(f"migrated {total} artifact(s) into shards ({detail})")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # legacy experiment aliases
 # ---------------------------------------------------------------------------
@@ -537,6 +696,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
+    if args.command == "migrate":
+        return _cmd_migrate(args)
     return _cmd_legacy(args)
 
 

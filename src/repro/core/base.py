@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -17,14 +18,17 @@ from .result import ModelResult
 class AssembledSystem:
     """One point's linear system, detached from its model for stacking.
 
-    ``matrix`` (``(n, n)`` dense) and ``rhs`` (``(n,)``) are exactly what
-    the model's own solve would pass to the dense back-end; ``finish``
-    turns the solved temperature vector back into the model's
-    :class:`~repro.core.result.ModelResult`, bit-identical to a solo
-    :meth:`ThermalTSVModel.solve` (wall-clock ``solve_time`` excepted).
+    ``matrix`` (``(n, n)`` — dense ndarray or scipy.sparse) and ``rhs``
+    (``(n,)``) are exactly what the model's own solve would pass to the
+    matching back-end; ``finish`` turns the solved temperature vector
+    back into the model's :class:`~repro.core.result.ModelResult`,
+    bit-identical to a solo :meth:`ThermalTSVModel.solve` (wall-clock
+    ``solve_time`` excepted).  A batch class is all-dense or all-sparse:
+    dense systems ride the batched LAPACK call, sparse ones the
+    block-diagonal natural-ordering factorisation.
     """
 
-    matrix: np.ndarray
+    matrix: Any
     rhs: np.ndarray
     finish: Callable[[np.ndarray], ModelResult]
 
@@ -81,18 +85,22 @@ class ThermalTSVModel(abc.ABC):
         Coarser than :meth:`assembly_key`: two points returning the same
         non-None key assemble systems with the same node count and
         topology — possibly with entirely different coefficient values —
-        and may be *stacked* into one batched dense solve
-        (:func:`repro.network.solve.solve_dense_stacked`) via
-        :meth:`assemble_system`.  The default ``None`` opts the model out
-        of stacking (FEM models, whose systems are large and sparse,
-        stay on the multi-RHS matrix-group plane instead).
+        and may be *stacked* into one batched solve via
+        :meth:`assemble_system`: one batched dense LAPACK call
+        (:func:`repro.network.solve.solve_dense_stacked`) for dense
+        systems, one block-diagonal natural-ordering factorisation
+        (:func:`repro.network.solve.solve_sparse_stacked`) for sparse
+        ones.  A class must be homogeneous — all its members assemble
+        dense or all sparse.  The default ``None`` opts the model out of
+        stacking (models too large for either tier stay on the multi-RHS
+        matrix-group plane instead).
         """
         return None
 
     def assemble_system(
         self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
     ) -> AssembledSystem | None:
-        """Assemble this point's dense system for the stacked solve tier.
+        """Assemble this point's linear system for the stacked solve tier.
 
         Models returning a non-None :meth:`batch_class_key` must return an
         :class:`AssembledSystem` whose ``finish`` reproduces
@@ -136,23 +144,31 @@ StackedMember = tuple[
 
 
 def solve_stacked(members: Sequence[StackedMember]) -> list[ModelResult]:
-    """Solve many structurally-congruent points as one batched dense solve.
+    """Solve many structurally-congruent points as one batched solve.
 
     Each member assembles its system via
-    :meth:`ThermalTSVModel.assemble_system`; the matrices and right-hand
-    sides are stacked into ``(m, n, n)`` / ``(m, n)`` arrays and solved by
-    one :func:`repro.network.solve.solve_dense_stacked` call, then each
-    member's ``finish`` rebuilds its :class:`ModelResult`.  Results are
-    positionally aligned with ``members`` and bit-identical to per-member
-    ``model.solve`` calls (wall-clock ``solve_time`` excepted).
+    :meth:`ThermalTSVModel.assemble_system`.  An all-dense batch stacks
+    into ``(m, n, n)`` / ``(m, n)`` arrays solved by one
+    :func:`repro.network.solve.solve_dense_stacked` call; an all-sparse
+    batch (small FEM meshes) runs through one block-diagonal
+    :func:`repro.network.solve.solve_sparse_stacked` factorisation.
+    Either way each member's ``finish`` rebuilds its
+    :class:`ModelResult`; results are positionally aligned with
+    ``members`` and bit-identical to per-member ``model.solve`` calls
+    (wall-clock ``solve_time`` excepted).
 
     Any member that declines to assemble (``assemble_system`` returning
-    None) drops the whole batch back to per-member solo solves — the
-    scheduler only stacks members whose models advertised a
-    :meth:`~ThermalTSVModel.batch_class_key`, so this is a safety net,
-    not a hot path.
+    None) — or a dense/sparse mix, which a single
+    :meth:`~ThermalTSVModel.batch_class_key` never produces — drops the
+    whole batch back to per-member solo solves: a safety net, not a hot
+    path.
     """
-    from ..network.solve import solve_dense_stacked  # local: avoid import cycle
+    import scipy.sparse as sp
+
+    from ..network.solve import (  # local: avoid import cycle
+        solve_dense_stacked,
+        solve_sparse_stacked,
+    )
 
     if not members:
         return []
@@ -165,8 +181,19 @@ def solve_stacked(members: Sequence[StackedMember]) -> list[ModelResult]:
                 for model, stack, via, power in members
             ]
         systems.append(system)
-    temps = solve_dense_stacked(
-        np.stack([s.matrix for s in systems]),
-        np.stack([s.rhs for s in systems]),
-    )
+    sparse_count = sum(sp.issparse(s.matrix) for s in systems)
+    if sparse_count == len(systems):
+        temps = solve_sparse_stacked(
+            [s.matrix for s in systems], [s.rhs for s in systems]
+        )
+    elif sparse_count:
+        return [
+            model.solve(stack, via, power)
+            for model, stack, via, power in members
+        ]
+    else:
+        temps = solve_dense_stacked(
+            np.stack([s.matrix for s in systems]),
+            np.stack([s.rhs for s in systems]),
+        )
     return [system.finish(temps[i]) for i, system in enumerate(systems)]

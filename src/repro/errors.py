@@ -61,6 +61,17 @@ class NodeTimeoutError(ReproError):
     """
 
 
+class LeaseLostError(ReproError):
+    """A fleet worker's node lease expired (or was stolen) mid-solve.
+
+    Raised by the :mod:`repro.scenarios.lease` write guard when a worker
+    tries to commit a result for a node whose claim it no longer holds —
+    another worker decided this one was dead and took the node over.
+    Transient: the node itself is fine, and the retry loop will either
+    re-acquire the lease or observe the usurper's stored result.
+    """
+
+
 class CalibrationError(ReproError):
     """Fitting-coefficient calibration failed or was given unusable data."""
 

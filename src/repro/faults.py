@@ -19,7 +19,10 @@ Sites (each guards one seam of the execute path):
   batch solve (the cross-matrix tier; a crashed batch must degrade to
   per-point dispatch exactly like a failed matrix group);
 * ``store-write`` — a :class:`~repro.scenarios.store.RunStore` artifact
-  write (corruption simulates data lost between write and fsync).
+  write (corruption simulates data lost between write and fsync);
+* ``lease`` — a :mod:`repro.scenarios.lease` claim acquisition (a crash
+  here kills a fleet worker while it *holds* leases — the shape that
+  exercises expiry and takeover on the surviving workers).
 
 Kinds (not every kind makes sense at every site — see
 :data:`SITE_KINDS`):
@@ -69,7 +72,7 @@ __all__ = [
 KINDS = ("crash", "delay", "error", "corrupt")
 
 #: every instrumented site
-SITES = ("solve", "group-solve", "stacked-solve", "store-write")
+SITES = ("solve", "group-solve", "stacked-solve", "store-write", "lease")
 
 #: which kinds are meaningful at which site: execution sites take the
 #: execution faults, the store site takes the data faults (a crash inside
@@ -79,6 +82,7 @@ SITE_KINDS = {
     "group-solve": ("crash", "delay", "error"),
     "stacked-solve": ("crash", "delay", "error"),
     "store-write": ("delay", "corrupt"),
+    "lease": ("crash", "delay"),
 }
 
 ENV_RATE = "REPRO_FAULT_RATE"

@@ -1,6 +1,12 @@
 """Finite-volume heat solvers — the library's COMSOL substitute."""
 
-from .axisym import AxisymField, solve_axisymmetric, solve_axisymmetric_multi
+from .axisym import (
+    NATURAL_ORDERING_CUTOFF,
+    AxisymField,
+    assemble_axisymmetric,
+    solve_axisymmetric,
+    solve_axisymmetric_multi,
+)
 from .cartesian import CartesianField, solve_cartesian, solve_cartesian_multi
 from .mesh import centers, graded_mesh, layered_mesh, refine, unique_breakpoints
 from .reference import AXISYM_PRESETS, CARTESIAN_PRESETS, FEMReference
@@ -19,6 +25,8 @@ from .voxelize import (
 )
 
 __all__ = [
+    "NATURAL_ORDERING_CUTOFF",
+    "assemble_axisymmetric",
     "solve_axisymmetric",
     "solve_axisymmetric_multi",
     "AxisymField",

@@ -19,6 +19,14 @@ source-density grids against one (mesh, conductivity) pair assemble and
 factorise the system exactly once and back-substitute per right-hand
 side — each returned field is bit-for-bit identical to the corresponding
 :func:`solve_axisymmetric` call.
+
+Systems up to :data:`NATURAL_ORDERING_CUTOFF` unknowns factorise with
+SuperLU's *natural* column ordering instead of the default COLAMD.
+Natural ordering is what makes a solo solve bit-for-bit identical to its
+slice of a block-diagonal stacked solve
+(:func:`repro.network.solve.solve_sparse_stacked`), which is how coarse
+FEM geometry sweeps ride the cross-matrix stacked tier; the cutoff keeps
+the fill-in premium confined to meshes small enough not to care.
 """
 
 from __future__ import annotations
@@ -32,6 +40,17 @@ import scipy.sparse as sp
 
 from ..errors import SolverError, ValidationError
 from ..network.solve import solve_sparse, solve_sparse_multi
+
+#: up to this many unknowns the axisymmetric factorisation uses natural
+#: ordering (batch-size invariant, hence stackable); the coarse preset
+#: (24×60 = 1440) is under it, medium (36×90 = 3240) and above keep
+#: COLAMD's cheaper fill-in
+NATURAL_ORDERING_CUTOFF = 2048
+
+
+def _permc_spec(n_unknowns: int) -> str | None:
+    """Column ordering for an axisymmetric system of ``n_unknowns``."""
+    return "NATURAL" if n_unknowns <= NATURAL_ORDERING_CUTOFF else None
 
 
 @dataclass(frozen=True)
@@ -187,7 +206,9 @@ def solve_axisymmetric(
     start = time.perf_counter()
     matrix, volume = _assemble_axisym_system(r_edges, z_edges, k)
     rhs = (q * volume).ravel()
-    temps = solve_sparse(matrix, rhs).reshape(nr, nz)
+    temps = solve_sparse(matrix, rhs, permc_spec=_permc_spec(rhs.size)).reshape(
+        nr, nz
+    )
     elapsed = time.perf_counter() - start
     return AxisymField(
         r_edges=r_edges,
@@ -222,7 +243,9 @@ def solve_axisymmetric_multi(
     start = time.perf_counter()
     matrix, volume = _assemble_axisym_system(r_edges, z_edges, k)
     rhs_block = np.column_stack([(q * volume).ravel() for q in sources])
-    temps_block = solve_sparse_multi(matrix, rhs_block)
+    temps_block = solve_sparse_multi(
+        matrix, rhs_block, permc_spec=_permc_spec(rhs_block.shape[0])
+    )
     elapsed = (time.perf_counter() - start) / len(sources)
     return [
         AxisymField(
@@ -234,6 +257,21 @@ def solve_axisymmetric_multi(
         )
         for i in range(len(sources))
     ]
+
+
+def assemble_axisymmetric(
+    r_edges: np.ndarray, z_edges: np.ndarray, conductivity: np.ndarray
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Validate and assemble one axisymmetric system without solving it.
+
+    Returns the (conductance matrix, cell volumes) pair
+    :func:`solve_axisymmetric` would build internally — the RHS of a
+    source grid ``q`` is ``(q * volume).ravel()``.  The cross-matrix
+    stacked tier uses this to lift many same-topology systems out of
+    their models and solve them through one block-diagonal factor.
+    """
+    r_edges, z_edges, k = _check_axisym_inputs(r_edges, z_edges, conductivity)
+    return _assemble_axisym_system(r_edges, z_edges, k)
 
 
 def _assemble_axisym_system(

@@ -19,17 +19,33 @@ identity to the matrix-batched scheduler and
 :meth:`FEMReference.solve_batch` exploits it: a group of points sharing
 one geometry voxelises, assembles and factorises once and back-substitutes
 per point, bit-for-bit identical to per-point solves.
+
+One tier below, :meth:`FEMReference.batch_class_key` declares small
+axisymmetric meshes *stackable*: points whose matrices differ (geometry
+sweeps) but share a mesh topology assemble via
+:meth:`FEMReference.assemble_system` and solve as one block-diagonal
+natural-ordering factorisation — see
+:func:`repro.network.solve.solve_sparse_stacked`.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
+
+import numpy as np
 
 from ..errors import ValidationError
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
 from ..geometry.tsv import as_cluster
 from ..perf import content_key, model_key
-from .axisym import solve_axisymmetric, solve_axisymmetric_multi
+from .axisym import (
+    NATURAL_ORDERING_CUTOFF,
+    AxisymField,
+    assemble_axisymmetric,
+    solve_axisymmetric,
+    solve_axisymmetric_multi,
+)
 from .cartesian import solve_cartesian, solve_cartesian_multi
 from .voxelize import (
     axisym_source_density,
@@ -40,7 +56,7 @@ from .voxelize import (
     cartesian_source_density,
     grid_via_positions,
 )
-from ..core.base import ThermalTSVModel
+from ..core.base import AssembledSystem, ThermalTSVModel
 from ..core.result import ModelResult
 
 #: resolution presets: (nr, nz) for axisym, (nx, ny, nz) for cartesian
@@ -140,6 +156,92 @@ class FEMReference(ThermalTSVModel):
         if self.solver == "axisym":
             return self._solve_axisym_batch(stack, cluster, powers)
         return self._solve_cartesian_batch(stack, cluster, powers)
+
+    def batch_class_key(
+        self, stack: Stack3D, via: TSV | TSVCluster
+    ) -> str | None:
+        """Stack axisymmetric meshes of identical topology.
+
+        The finite-volume matrix's sparsity pattern is fixed by the cell
+        counts alone — geometry and materials only change the coefficient
+        values — so points whose *voxelised* meshes (which refine past
+        the nominal resolution to honour layer breakpoints) end up with
+        the same (nr, nz) share a structure and may ride the
+        block-diagonal stacked sparse tier.  That tier factorises with
+        natural ordering, whose fill-in premium is only acceptable on
+        small meshes: systems past
+        :data:`~repro.fem.axisym.NATURAL_ORDERING_CUTOFF` unknowns (the
+        ``medium`` preset and up) opt out and stay on the multi-RHS
+        matrix-group plane, as does the Cartesian back-end (3-D
+        fill-in).  The mesh frame comes from the voxel-frame cache, so
+        repeated key probes cost a cache hit, not a meshing pass.
+        """
+        if self.solver != "axisym":
+            return None
+        try:
+            cluster = as_cluster(via)
+            validate_tsv_in_stack(stack, cluster.member)
+            nr, nz = self.resolution
+            geometry = build_axisym_geometry(
+                stack,
+                cluster.member,
+                cell_area=stack.footprint_area / cluster.count,
+                nr=nr,
+                nz=nz,
+            )
+        except ValidationError:
+            return None
+        shape = (geometry.r_edges.size - 1, geometry.z_edges.size - 1)
+        if shape[0] * shape[1] > NATURAL_ORDERING_CUTOFF:
+            return None
+        return content_key("stacked_class/fem_axisym/v1", shape)
+
+    def assemble_system(
+        self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
+    ) -> AssembledSystem | None:
+        """Lift one point's sparse system out for the stacked solve tier.
+
+        Voxelises and assembles exactly as :meth:`solve` would; the
+        stacked solve's natural-ordering factor matches the solo path's
+        (both sides of :data:`~repro.fem.axisym.NATURAL_ORDERING_CUTOFF`
+        agree by construction), so ``finish`` reproduces the solo
+        :class:`~repro.core.result.ModelResult` bit-for-bit.
+        """
+        if self.batch_class_key(stack, via) is None:
+            return None
+        cluster = as_cluster(via)
+        validate_tsv_in_stack(stack, cluster.member)
+        nr, nz = self.resolution
+        n = cluster.count
+        start = time.perf_counter()
+        grids = build_axisym_grids(
+            stack,
+            cluster.member,
+            power,
+            cell_area=stack.footprint_area / n,
+            power_scale=1.0 / n,
+            nr=nr,
+            nz=nz,
+        )
+        matrix, volume = assemble_axisymmetric(
+            grids.r_edges, grids.z_edges, grids.conductivity
+        )
+        rhs = (grids.source_density * volume).ravel()
+        mesh_nr, mesh_nz = grids.r_edges.size - 1, grids.z_edges.size - 1
+
+        def finish(temps: np.ndarray) -> ModelResult:
+            field = AxisymField(
+                r_edges=grids.r_edges,
+                z_edges=grids.z_edges,
+                temperatures=np.asarray(temps, dtype=float).reshape(
+                    mesh_nr, mesh_nz
+                ),
+                solve_time=time.perf_counter() - start,
+                conductivity=grids.conductivity,
+            )
+            return self._axisym_result(stack, n, field, grids.plane_bands)
+
+        return AssembledSystem(matrix=matrix, rhs=rhs, finish=finish)
 
     # ------------------------------------------------------------------
     # axisymmetric back-end

@@ -8,7 +8,13 @@ machinery the paper's Eqs. (1)–(6) and (17)–(19) describe.
 from .circuit import NetworkSolution, ThermalCircuit
 from .elements import GROUND, Capacitor, HeatSource, Resistor
 from .graph import dominant_paths, effective_resistance, to_networkx
-from .transient import TransientResult, step_response, time_constants, transient_lhs
+from .transient import (
+    TransientResult,
+    pulse_train_scales,
+    step_response,
+    time_constants,
+    transient_lhs,
+)
 
 __all__ = [
     "GROUND",
@@ -21,6 +27,7 @@ __all__ = [
     "effective_resistance",
     "dominant_paths",
     "TransientResult",
+    "pulse_train_scales",
     "step_response",
     "time_constants",
     "transient_lhs",

@@ -71,7 +71,9 @@ def _as_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
     return matrix.tocsr()
 
 
-def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
+def solve_sparse(
+    matrix: sp.spmatrix, rhs: np.ndarray, *, permc_spec: str | None = None
+) -> np.ndarray:
     """Solve a sparse SPD system.
 
     Direct factorisation (SuperLU, cached) up to :data:`ITERATIVE_CUTOFF`
@@ -79,6 +81,11 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
     preconditioner — the conductance matrices here are symmetric positive
     definite, for which CG is the method of choice and avoids 3-D fill-in
     blow-up.
+
+    ``permc_spec`` overrides SuperLU's column ordering (default COLAMD).
+    Callers whose solves must slot bit-for-bit into the block-diagonal
+    stacked tier (:func:`solve_sparse_stacked`) pass ``"NATURAL"`` so solo
+    and stacked factors agree exactly.
     """
     csr = _as_csr(matrix)
     n = rhs.shape[0]
@@ -87,7 +94,7 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
         if solution is not None:
             return solution
     try:
-        solution = factor_cache.solver(csr)(rhs)
+        solution = factor_cache.solver(csr, permc_spec)(rhs)
     except RuntimeError as exc:  # superlu signals singularity this way
         raise SingularNetworkError(
             "sparse conductance matrix is singular — some node has no path to ground"
@@ -296,12 +303,18 @@ def _as_rhs_block(rhs_block: np.ndarray) -> np.ndarray:
     return block
 
 
-def solve_sparse_multi(matrix: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray:
+def solve_sparse_multi(
+    matrix: sp.spmatrix,
+    rhs_block: np.ndarray,
+    *,
+    permc_spec: str | None = None,
+) -> np.ndarray:
     """Solve a sparse SPD system against an ``(n, k)`` RHS block.
 
     One SuperLU factorisation (through the global factor cache) plus one
     back-substitution per column; column ``j`` of the result is bit-for-bit
-    identical to ``solve_sparse(matrix, rhs_block[:, j])``.  Above
+    identical to ``solve_sparse(matrix, rhs_block[:, j])`` under the same
+    ``permc_spec`` (see :func:`solve_sparse`).  Above
     :data:`ITERATIVE_CUTOFF` unknowns the ILU preconditioner is built once
     and shared across the per-column CG solves (identical iterates);
     columns that fail to converge fall back to the shared direct factor,
@@ -320,7 +333,7 @@ def solve_sparse_multi(matrix: sp.spmatrix, rhs_block: np.ndarray) -> np.ndarray
                 columns[j] = _cg_iterate(csr, block[:, j], preconditioner)
     if any(c is None for c in columns):
         try:
-            solve = factor_cache.solver(csr)
+            solve = factor_cache.solver(csr, permc_spec)
         except RuntimeError as exc:
             raise SingularNetworkError(
                 "sparse conductance matrix is singular — some node has no "

@@ -141,12 +141,35 @@ def capacitance_vector(circuit: ThermalCircuit) -> np.ndarray:
     return c
 
 
+def pulse_train_scales(
+    t_end: float, n_steps: int, period_s: float, duty: float
+) -> np.ndarray:
+    """Per-step source scales of a rectangular pulse train (duty cycle).
+
+    The square wave is sampled with a zero-order hold at each step's
+    start: step ``k`` (covering ``(t_{k-1}, t_k]``) drives the sources at
+    full power when ``t_{k-1}`` falls in the on-phase of its period —
+    ``(t_{k-1} mod period_s) < duty * period_s`` — and at zero otherwise.
+    ``duty`` is the on-fraction of each period; ``duty == 1.0`` keeps the
+    drive on continuously, reproducing :func:`step_response`'s constant
+    sources exactly (scaling by 1.0 is bitwise exact).
+    """
+    require_positive("t_end", t_end)
+    require_positive_int("n_steps", n_steps)
+    require_positive("period_s", period_s)
+    if not 0.0 < duty <= 1.0:
+        raise ValidationError(f"duty must be in (0, 1], got {duty!r}")
+    starts = np.arange(n_steps) * (t_end / n_steps)
+    return np.where(np.mod(starts, period_s) < duty * period_s, 1.0, 0.0)
+
+
 def step_response(
     circuit: ThermalCircuit,
     *,
     t_end: float,
     n_steps: int = 200,
     step_solver: Callable[[np.ndarray], np.ndarray] | None = None,
+    drive: Sequence[float] | np.ndarray | None = None,
 ) -> TransientResult:
     """Integrate the network from ΔT = 0 with the sources switched on at t=0.
 
@@ -161,6 +184,15 @@ def step_response(
     (``factorized_solver(transient_lhs(circuit, dt))``) so even the single
     factorization is shared — factorization is deterministic, so the
     trajectory is bit-identical either way.
+
+    ``drive`` optionally shapes the sources in time: an ``(n_steps,)``
+    array of non-negative scales, where step ``k`` integrates with
+    sources ``drive[k-1] * q`` (zero-order hold per step; see
+    :func:`pulse_train_scales` for the duty-cycle square wave).  The
+    matrix is drive-independent — only the right-hand side changes — so
+    every drive shape of one network shares the same factor.  ``None``
+    is the constant step drive, and an all-ones array reproduces it
+    bitwise.
     """
     require_positive("t_end", t_end)
     require_positive_int("n_steps", n_steps)
@@ -168,6 +200,16 @@ def step_response(
     q = circuit.source_vector()
     c = capacitance_vector(circuit)
     dt = t_end / n_steps
+    scales: np.ndarray | None = None
+    if drive is not None:
+        scales = np.asarray(drive, dtype=float)
+        if scales.shape != (n_steps,):
+            raise ValidationError(
+                f"drive must have one scale per step ({n_steps},), got "
+                f"shape {scales.shape}"
+            )
+        if not np.all(np.isfinite(scales)) or np.any(scales < 0.0):
+            raise ValidationError("drive scales must be finite and >= 0")
     step_solve = (
         step_solver
         if step_solver is not None
@@ -178,7 +220,8 @@ def step_response(
     temps = np.zeros((n_steps + 1, circuit.n_nodes))
     current = np.zeros(circuit.n_nodes)
     for k in range(1, n_steps + 1):
-        rhs = q + (c / dt) * current
+        q_k = q if scales is None else scales[k - 1] * q
+        rhs = q_k + (c / dt) * current
         current = step_solve(rhs)
         temps[k] = current
     if not np.all(np.isfinite(temps)):

@@ -2,8 +2,9 @@
 
 Times the performance-critical paths of the library — the Fig. 7 cluster
 sweep (serial cold / parallel cold / cache-warm), transient stepping with
-and without factorization reuse, and repeated FEM solves through the
-assembly/factor caches — then writes a ``BENCH_<date>.json`` trajectory
+and without factorization reuse, repeated FEM solves through the
+assembly/factor caches, and the fleet/sharded-store distributed-execution
+tier — then writes a ``BENCH_<date>.json`` trajectory
 point (machine info, per-benchmark medians, speedups, cache hit rates) and
 compares it against the most recent previous ``BENCH_*.json``, failing on
 regressions beyond a configurable tolerance.
@@ -552,7 +553,7 @@ def bench_physics(repeats: int) -> dict[str, Any]:
         store = RunStore(store_dir)
         perf_cache.reset()
         run_scenario(t_spec, store=store)  # populate points/<key>.json
-        run_object = store.objects / f"{t_spec.content_hash()}.json"
+        run_object = RunStore._sharded_path(store.objects, t_spec.content_hash())
 
         def t_resume():
             perf_cache.reset()
@@ -610,9 +611,19 @@ def bench_fault_recovery(repeats: int) -> dict[str, Any]:
     (the capture-mode stream: per-task failure capture, retry/quarantine
     bookkeeping, ledger checks).  With no faults armed the two paths must
     produce byte-identical payloads (modulo wall-clock ``runtimes_ms``)
-    and the plumbing must cost under 5% — gated as a same-run best-of-N
+    and the plumbing must cost under 5% — gated as a same-run paired
     ratio (``checks.fault_plumbing_under_5pct``) with the usual absolute
     floor so millisecond jitter on a loaded machine cannot trip it.
+
+    The two paths are timed *interleaved* (plain, safe, plain, safe, ...)
+    rather than as two back-to-back blocks, and the gated ratio is the
+    **median of per-pair ratios**, not min-vs-min: this is a near-1.0
+    paired comparison, and on a shared container the low-frequency drift
+    (CPU steal, frequency steps) that spans a whole multi-second block
+    biases block-vs-block statistics by up to ~10% in either direction.
+    Adjacent pairs see the same pressure, so their ratio stays honest —
+    while the two *minima* of an interleaved run can still come from
+    different load moments.
     """
     from ..scenarios import run_scenario
     from .retry import DEFAULT_RETRY
@@ -621,15 +632,24 @@ def bench_fault_recovery(repeats: int) -> dict[str, Any]:
         perf_cache.reset()
         return run_scenario("fig7", retry=retry)
 
-    plain_median, plain_times, plain_run = _time(lambda: run(None), repeats)
-    safe_median, safe_times, safe_run = _time(
-        lambda: run(DEFAULT_RETRY), repeats
-    )
+    plain_times: list[float] = []
+    safe_times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        plain_run = run(None)
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        safe_run = run(DEFAULT_RETRY)
+        safe_times.append(time.perf_counter() - start)
+    plain_median = statistics.median(plain_times)
+    safe_median = statistics.median(safe_times)
     plain_payload = plain_run.result.to_payload()
     safe_payload = safe_run.result.to_payload()
     plain_payload.pop("runtimes_ms", None)
     safe_payload.pop("runtimes_ms", None)
-    overhead = min(safe_times) / min(plain_times)
+    overhead = statistics.median(
+        s / p for s, p in zip(safe_times, plain_times)
+    )
     return {
         "benchmarks": {
             "fig7_planned_plain_stream": _entry(plain_median, plain_times),
@@ -642,7 +662,158 @@ def bench_fault_recovery(repeats: int) -> dict[str, Any]:
             "fault_plumbing_identical": plain_payload == safe_payload,
             "fault_plumbing_under_5pct": (
                 overhead <= 1.05
-                or min(safe_times) - min(plain_times) < 0.005
+                or statistics.median(
+                    s - p for s, p in zip(safe_times, plain_times)
+                )
+                < 0.005
+            ),
+        },
+    }
+
+
+def bench_fleet(repeats: int) -> dict[str, Any]:
+    """Fleet execution vs the single-process path, plus sharded lookups.
+
+    ``fleet_single_process`` runs a small radius sweep through
+    ``run_scenario`` against a fresh store; ``fleet_four_workers`` runs
+    the identical spec through :func:`~repro.scenarios.fleet.run_fleet`
+    with 4 cooperating processes (flagged noisy: 4 process spawns
+    dominate a sweep this small — the fleet tier pays off on plans whose
+    solve time dwarfs the fork cost, and on 1-CPU containers it is
+    honestly slower).  The structural guarantees ride the same-run
+    checks: the fleet store is byte-identical to the single-process
+    store modulo wall-clock metadata (``fleet_identical``), and the
+    fleet-wide solve counter equals the single-process solve count — no
+    node solved twice despite 4 contending workers
+    (``fleet_no_double_solve``).
+
+    ``flat_lookup_10k`` / ``sharded_lookup_10k`` time 10 000
+    :meth:`~repro.scenarios.store.RunStore.get_point` reads against a
+    flat (legacy) and a sharded store of 10 000 points each (artifacts
+    written directly, no solver in the loop).
+    ``sharded_lookup_no_slower`` gates the layout change: sharding must
+    not tax the read path (ratio ≤ 1.25, with the usual absolute floor
+    for sub-millisecond jitter).
+    """
+    import shutil
+
+    from ..scenarios import AxisSpec, RunStore, ScenarioSpec, run_scenario
+    from ..scenarios.fleet import run_fleet
+    from .stats import counter
+
+    spec = ScenarioSpec(
+        scenario_id="bench_fleet",
+        title="Fleet bench sweep",
+        axis=AxisSpec(parameter="radius_um", values=(2.0, 3.0, 4.0, 5.0)),
+        models=("a:paper", "1d"),
+        calibrate=False,
+    ).resolved()
+    root = Path(tempfile.mkdtemp(prefix="bench_fleet_"))
+    runs = iter(range(10_000))
+
+    def single():
+        perf_cache.reset()
+        store = RunStore(root / f"single-{next(runs)}")
+        return run_scenario(spec, store=store), store
+
+    def fleet():
+        return run_fleet(
+            [spec],
+            store=root / f"fleet-{next(runs)}",
+            workers=4,
+            timeout_s=600.0,
+        )
+
+    def normalized_store(store: RunStore) -> dict[str, Any]:
+        run_payload = store.get(spec.content_hash()) or {}
+        run_payload.pop("runtimes_ms", None)
+        points = {}
+        for key in store.point_keys():
+            payload = dict(store.get_point(key))
+            payload.pop("solve_time", None)
+            points[key] = payload
+        return {"run": run_payload, "points": points}
+
+    try:
+        single_median, single_times, (single_run, single_store) = _time(
+            single, repeats
+        )
+        single_solves = counter("plan_point_solves")
+        fleet_median, fleet_times, outcome = _time(fleet, repeats)
+        identical = (
+            outcome.ok
+            and normalized_store(RunStore(outcome.store_root))
+            == normalized_store(single_store)
+        )
+        no_double_solve = (
+            outcome.counters.get("plan_point_solves") == single_solves
+        )
+
+        # sharded vs flat lookups at 10k points: artifacts written
+        # directly so only the read path is measured
+        n_points = 10_000
+        flat_store = RunStore(root / "flat")
+        sharded_store = RunStore(root / "sharded")
+        keys = [f"{i:064x}" for i in range(n_points)]
+        for i, key in enumerate(keys):
+            text = f'{{"i": {i}}}'
+            (flat_store.points / f"{key}.json").write_text(text)
+            target = RunStore._sharded_path(sharded_store.points, key)
+            target.parent.mkdir(exist_ok=True)
+            target.write_text(text)
+
+        def lookup(store: RunStore):
+            for key in keys:
+                store.get_point(key)
+
+        # interleaved pairs, like bench_fault_recovery: this is a
+        # near-1.0 paired comparison and the 10k stat() calls make both
+        # sides hostage to dcache/page-cache pressure from the rest of
+        # the machine — adjacent pairs see the same pressure
+        flat_times: list[float] = []
+        sharded_times: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            lookup(flat_store)
+            flat_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            lookup(sharded_store)
+            sharded_times.append(time.perf_counter() - start)
+        flat_median = statistics.median(flat_times)
+        sharded_median = statistics.median(sharded_times)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    lookup_ratio = statistics.median(
+        s / f for s, f in zip(sharded_times, flat_times)
+    )
+    return {
+        "benchmarks": {
+            "fleet_single_process": _entry(single_median, single_times),
+            "fleet_four_workers": _entry(
+                fleet_median, fleet_times, workers=4, noisy=True
+            ),
+            # filesystem-bound entries: 10k per-key lookups swing with
+            # ambient dcache pressure far beyond solver-entry jitter
+            "flat_lookup_10k": _entry(
+                flat_median, flat_times, points=n_points, noisy=True
+            ),
+            "sharded_lookup_10k": _entry(
+                sharded_median, sharded_times, points=n_points, noisy=True
+            ),
+        },
+        "speedups": {
+            "fleet_vs_single": single_median / fleet_median,
+            "sharded_vs_flat_lookup": flat_median / sharded_median,
+        },
+        "checks": {
+            "fleet_identical": identical,
+            "fleet_no_double_solve": no_double_solve,
+            "sharded_lookup_no_slower": (
+                lookup_ratio <= 1.25
+                or statistics.median(
+                    s - f for s, f in zip(sharded_times, flat_times)
+                )
+                < 0.005
             ),
         },
     }
@@ -742,6 +913,7 @@ def run_benchmarks(
         bench_stacked(repeats),
         bench_physics(repeats),
         bench_fault_recovery(repeats),
+        bench_fleet(repeats),
         bench_fem3d(repeats),
     ):
         payload["benchmarks"].update(section["benchmarks"])

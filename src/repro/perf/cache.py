@@ -156,6 +156,12 @@ class FactorizationCache(LRUCache):
 
     Factorisation is deterministic, so results are identical whether the
     factor came from the cache or was computed fresh.
+
+    Sparse factors can request a specific SuperLU column ordering via
+    ``permc_spec`` (the stacked FEM tier needs ``"NATURAL"`` for its
+    batch-size-invariance guarantee); the ordering is part of the cache
+    key, so a NATURAL factor never masquerades as a COLAMD one.  Dense
+    matrices ignore the ordering (LAPACK LU has no analogue).
     """
 
     def __init__(
@@ -168,21 +174,25 @@ class FactorizationCache(LRUCache):
         super().__init__(name, maxsize)
         self.max_unknowns = int(max_unknowns)
 
-    def solver(self, matrix: Any) -> Callable[[np.ndarray], np.ndarray]:
+    def solver(
+        self, matrix: Any, permc_spec: str | None = None
+    ) -> Callable[[np.ndarray], np.ndarray]:
         if matrix.shape[0] > self.max_unknowns:
-            return self._factorize(matrix)
-        key = matrix_fingerprint(matrix)
+            return self._factorize(matrix, permc_spec)
+        key = (matrix_fingerprint(matrix), permc_spec)
         cached = self.get(key)
         if cached is not None:
             return cached
-        solve = self._factorize(matrix)
+        solve = self._factorize(matrix, permc_spec)
         self.put(key, solve)
         return solve
 
     @staticmethod
-    def _factorize(matrix: Any) -> Callable[[np.ndarray], np.ndarray]:
+    def _factorize(
+        matrix: Any, permc_spec: str | None = None
+    ) -> Callable[[np.ndarray], np.ndarray]:
         if sp.issparse(matrix):
-            lu = spla.splu(matrix.tocsc())
+            lu = spla.splu(matrix.tocsc(), permc_spec=permc_spec)
             return lu.solve
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", la.LinAlgWarning)

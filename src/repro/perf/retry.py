@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import (
+    LeaseLostError,
     NodeTimeoutError,
     SolverError,
     ValidationError,
@@ -54,6 +55,7 @@ TRANSIENT_TYPES = (
     SolverError,
     WorkerCrashError,
     NodeTimeoutError,
+    LeaseLostError,
     TimeoutError,
     OSError,
     MemoryError,

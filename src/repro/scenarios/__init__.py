@@ -27,6 +27,8 @@ from .physics import (
     run_nonlinear_spec_direct,
     run_transient_spec_direct,
 )
+from .fleet import FleetOutcome, WorkerReport, run_fleet
+from .lease import LeaseManager
 from .plan import ExecutionPlan, ScenarioPlan, compile_plan
 from .registry import SCENARIOS, ScenarioRegistry
 from .runner import BatchRun, ScenarioRun, StoredCaseStudy, run_batch, run_scenario
@@ -53,8 +55,10 @@ __all__ = [
     "AxisSpec",
     "BatchRun",
     "ExecutionPlan",
+    "FleetOutcome",
     "GeometryParams",
     "GeometryRule",
+    "LeaseManager",
     "NonlinearExperiment",
     "NonlinearModel",
     "NonlinearParams",
@@ -69,10 +73,12 @@ __all__ = [
     "TransientExperiment",
     "TransientModel",
     "TransientParams",
+    "WorkerReport",
     "build_transient_circuit",
     "compile_plan",
     "execute_plan",
     "run_batch",
+    "run_fleet",
     "run_nonlinear_spec_direct",
     "run_scenario",
     "run_transient_spec_direct",

@@ -1,0 +1,298 @@
+"""The fleet driver: N cooperating worker processes on one shared store.
+
+:func:`run_fleet` forks ``workers`` OS processes, each of which runs the
+full :func:`~repro.scenarios.runner.run_batch` against the same
+:class:`~repro.scenarios.store.RunStore` under a
+:class:`~repro.scenarios.lease.LeaseManager`.  No work queue and no
+coordinator process exist: the *store* is the coordination plane.  Every
+worker compiles the identical plan, claims dispatch units through the
+``leases/`` space, reads peers' results back from the ``points/`` space,
+and assembles every scenario's run-level artifact (deterministic, so
+concurrent writes are idempotent).  That makes the driver optional —
+pointing N independent ``python -m repro fleet`` (or even ``run
+--resume``) invocations at one store directory cooperates exactly the
+same way — and makes worker death a non-event: a dead worker's leases
+expire, survivors steal its nodes, and nothing it completed is lost or
+re-solved.
+
+Each worker writes a report (``<store>/fleet/worker-<rank>.json``) with
+its perf counters and per-scenario outcomes; :func:`run_fleet` aggregates
+them into a :class:`FleetOutcome`.  The summed ``plan_point_solves``
+across reports equals the plan's node count when no worker died — the
+``fleet_no_double_solve`` bench check and the fleet tests assert exactly
+that.
+
+``extra_env`` injects per-rank environment overrides into the children
+before any work starts; the fault matrix uses it to arm a
+``lease``-site crash in one worker only (rate 1.0), killing it the
+moment it holds claims — the canonical expiry-and-takeover drill.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .. import perf
+from ..errors import ValidationError
+from ..perf.retry import DEFAULT_RETRY, RetryPolicy
+from .lease import DEFAULT_TTL_S, LeaseManager
+from .registry import SCENARIOS
+from .runner import run_batch
+from .spec import ScenarioSpec
+from .store import RunStore
+
+__all__ = ["FleetOutcome", "WorkerReport", "run_fleet"]
+
+FLEET_DIR = "fleet"
+
+#: exit codes a worker reports through its process status
+EXIT_OK = 0
+EXIT_FAILED_NODES = 3  # the batch completed but quarantined nodes
+EXIT_ERROR = 4  # the worker's run_batch raised
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One worker's self-report, read back from its JSON artifact."""
+
+    rank: int
+    pid: int
+    owner: str
+    ok: bool
+    error: str | None
+    counters: dict[str, int]
+    elapsed_s: float
+    runs: tuple[dict[str, Any], ...]
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "WorkerReport":
+        return cls(
+            rank=int(payload["rank"]),
+            pid=int(payload["pid"]),
+            owner=str(payload["owner"]),
+            ok=bool(payload["ok"]),
+            error=payload.get("error"),
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            runs=tuple(payload.get("runs", ())),
+        )
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """A finished fleet run: per-worker reports plus the aggregate view.
+
+    ``complete`` means every requested scenario's run-level artifact is
+    in the store — the fleet's actual contract; individual workers may
+    have died (``exit_codes``) without affecting it.  ``counters`` sums
+    the surviving workers' perf counters, so
+    ``counters["plan_point_solves"]`` is the fleet-wide solve count the
+    no-double-solve checks compare against the plan's node count.
+    """
+
+    store_root: Path
+    reports: tuple[WorkerReport, ...]
+    exit_codes: tuple[int | None, ...]
+    complete: bool
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and all(code == EXIT_OK for code in self.exit_codes)
+
+
+def _resolve_specs(
+    specs: list[ScenarioSpec | str],
+    *,
+    fast: bool,
+    fem_resolution: str | None,
+    calibrate: bool | None,
+) -> list[ScenarioSpec]:
+    resolved = []
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = SCENARIOS.get(spec)
+        resolved.append(
+            spec.resolved(
+                fast=fast, fem_resolution=fem_resolution, calibrate=calibrate
+            )
+        )
+    return resolved
+
+
+def _report_path(root: Path, rank: int) -> Path:
+    return root / FLEET_DIR / f"worker-{rank}.json"
+
+
+def _worker_main(
+    rank: int,
+    store_root: str,
+    spec_dicts: list[dict[str, Any]],
+    *,
+    resume: bool,
+    fast: bool,
+    ttl_s: float,
+    poll_s: float,
+    retry: RetryPolicy | None,
+    env: Mapping[str, str] | None,
+) -> None:
+    """One fleet worker: claim, solve, read back, report, exit.
+
+    Runs in a child process.  The exit code mirrors the CLI contract
+    (0 ok, 3 quarantined nodes, 4 the run itself raised); the report
+    JSON carries the details either way.
+    """
+    if env:
+        os.environ.update(env)
+    start = time.perf_counter()
+    specs = [ScenarioSpec.from_dict(d) for d in spec_dicts]
+    store = RunStore(store_root)
+    claims = LeaseManager(
+        store, owner=f"w{rank}.pid{os.getpid()}", ttl_s=ttl_s
+    )
+    perf.reset()
+    ok, error, runs = False, None, []
+    try:
+        # the specs are pre-resolved by the parent; ``fast`` is passed
+        # anyway so the assembled metadata matches a single-process
+        # ``run_batch(..., fast=...)`` byte for byte
+        batch = run_batch(
+            list(specs),
+            store=store,
+            resume=resume,
+            fast=fast,
+            claims=claims,
+            poll_s=poll_s,
+            retry=retry,
+        )
+        ok = not any(run.failed for run in batch.runs)
+        runs = [
+            {
+                "scenario_id": run.spec.scenario_id,
+                "key": run.key,
+                "from_store": run.from_store,
+                "failed": run.failed,
+            }
+            for run in batch.runs
+        ]
+    except Exception as exc:  # noqa: BLE001 — the report is the channel
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        claims.release_all()
+        payload = {
+            "rank": rank,
+            "pid": os.getpid(),
+            "owner": claims.owner,
+            "ok": ok,
+            "error": error,
+            "counters": perf.stats()["counters"],
+            "elapsed_s": time.perf_counter() - start,
+            "runs": runs,
+        }
+        path = _report_path(store.root, rank)
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    raise SystemExit(
+        EXIT_ERROR if error else (EXIT_OK if ok else EXIT_FAILED_NODES)
+    )
+
+
+def run_fleet(
+    specs: list[ScenarioSpec | str],
+    *,
+    store: RunStore | str | Path,
+    workers: int = 4,
+    resume: bool = True,
+    fast: bool = False,
+    fem_resolution: str | None = None,
+    calibrate: bool | None = None,
+    ttl_s: float = DEFAULT_TTL_S,
+    poll_s: float = 0.05,
+    retry: RetryPolicy | None = DEFAULT_RETRY,
+    extra_env: Mapping[int, Mapping[str, str]] | None = None,
+    timeout_s: float | None = None,
+) -> FleetOutcome:
+    """Run ``specs`` across ``workers`` cooperating processes.
+
+    Specs are resolved in the parent (so every worker compiles the
+    byte-identical plan) and shipped as dicts.  ``resume`` defaults to
+    True — the store read-back *is* the inter-worker result channel, and
+    it doubles as recovery from any earlier partial run.  ``extra_env``
+    maps worker rank to environment overrides applied in that child
+    before it starts (fault-injection cells use it to kill exactly one
+    worker).  ``timeout_s`` bounds each worker's join; workers still
+    alive afterwards are terminated and reported with their exit code.
+    """
+    if workers < 1:
+        raise ValidationError(f"fleet needs >= 1 worker, got {workers}")
+    resolved = _resolve_specs(
+        specs, fast=fast, fem_resolution=fem_resolution, calibrate=calibrate
+    )
+    root = store.root if isinstance(store, RunStore) else Path(store)
+    RunStore(root)  # materialise the layout before the children race on it
+    for rank in range(workers):
+        _report_path(root, rank).unlink(missing_ok=True)
+
+    spec_dicts = [spec.to_dict() for spec in resolved]
+    ctx = multiprocessing.get_context()
+    procs = []
+    for rank in range(workers):
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(rank, str(root), spec_dicts),
+            kwargs={
+                "resume": resume,
+                "fast": fast,
+                "ttl_s": ttl_s,
+                "poll_s": poll_s,
+                "retry": retry,
+                "env": dict((extra_env or {}).get(rank, {})),
+            },
+            name=f"repro-fleet-{rank}",
+        )
+        proc.start()
+        procs.append(proc)
+
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    exit_codes: list[int | None] = []
+    for proc in procs:
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        proc.join(remaining)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(5.0)
+        exit_codes.append(proc.exitcode)
+
+    reports = []
+    for rank in range(workers):
+        path = _report_path(root, rank)
+        try:
+            reports.append(
+                WorkerReport.from_payload(json.loads(path.read_text()))
+            )
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            continue  # a killed worker writes no report; its exit code tells
+    counters: dict[str, int] = {}
+    for report in reports:
+        for name, value in report.counters.items():
+            counters[name] = counters.get(name, 0) + value
+
+    # the fleet's contract is the store, not the processes: complete when
+    # every requested scenario's run-level artifact landed
+    final = RunStore(root)
+    complete = all(final.get(spec.content_hash()) is not None for spec in resolved)
+    return FleetOutcome(
+        store_root=root,
+        reports=tuple(reports),
+        exit_codes=tuple(exit_codes),
+        complete=complete,
+        counters=counters,
+    )

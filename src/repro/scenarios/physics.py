@@ -44,7 +44,13 @@ from ..core.result import ModelResult
 from ..errors import ExperimentError, ValidationError
 from ..geometry import PowerSpec, Stack3D, TSV, TSVCluster, validate_tsv_in_stack
 from ..geometry.tsv import as_cluster
-from ..network import ThermalCircuit, TransientResult, step_response, transient_lhs
+from ..network import (
+    ThermalCircuit,
+    TransientResult,
+    pulse_train_scales,
+    step_response,
+    transient_lhs,
+)
 from ..network.solve import factorized_solver
 from ..perf import content_key, model_key
 from .spec import NonlinearParams, ScenarioSpec, TransientParams
@@ -132,15 +138,16 @@ class TransientModel:
     ``solve(stack, via, power)`` integrates the backward-Euler trajectory
     of the inner Model A network under the given drive power and returns
     the :class:`~repro.network.TransientResult` restricted to the observed
-    nodes.  The adapter carries only the *matrix-relevant* configuration —
-    time grid, capacitance policy, observed nodes — never the drive level:
-    the plan bakes ``power_scale`` into each node's power, so the
-    left-hand matrix C/dt + G (and hence :meth:`assembly_key`) is shared
-    across drive levels and the adapter implements the matrix-group
-    contract: ``solve_batch`` factorises once and integrates one
-    trajectory per drive — bit-identical to per-point solves
-    (factorization is deterministic and shared through the factor cache
-    either way).
+    nodes.  The adapter carries only the *right-hand-side-invariant*
+    configuration plus the drive shape — time grid, capacitance policy,
+    observed nodes, pulse-train parameters — never the drive *level*:
+    the plan bakes ``power_scale`` into each node's power, and the drive
+    shape only rescales the per-step sources, so the left-hand matrix
+    C/dt + G (and hence :meth:`assembly_key`) is shared across drive
+    levels and the adapter implements the matrix-group contract:
+    ``solve_batch`` factorises once and integrates one trajectory per
+    drive — bit-identical to per-point solves (factorization is
+    deterministic and shared through the factor cache either way).
     """
 
     def __init__(
@@ -153,8 +160,19 @@ class TransientModel:
         self.t_end_s = params.t_end_s
         self.n_steps = params.n_steps
         self.capacitance = params.capacitance
+        self.drive = params.drive
+        self.period_s = params.period_s
+        self.duty = params.duty
         self.observe = tuple(observe)
         self.name = transient_model_name(model.name)
+
+    def _drive_scales(self) -> np.ndarray | None:
+        """Per-step source scales, or ``None`` for the constant step drive."""
+        if self.drive == "step":
+            return None
+        return pulse_train_scales(
+            self.t_end_s, self.n_steps, self.period_s, self.duty
+        )
 
     def _circuit(
         self, stack: Stack3D, via: TSV | TSVCluster, power: PowerSpec
@@ -170,6 +188,7 @@ class TransientModel:
             self._circuit(stack, via, power),
             t_end=self.t_end_s,
             n_steps=self.n_steps,
+            drive=self._drive_scales(),
         )
         return result.observed(self.observe)
 
@@ -206,12 +225,14 @@ class TransientModel:
         circuits = [self._circuit(stack, via, power) for power in powers]
         dt = self.t_end_s / self.n_steps
         step_solver = factorized_solver(transient_lhs(circuits[0], dt))
+        drive = self._drive_scales()
         return [
             step_response(
                 circuit,
                 t_end=self.t_end_s,
                 n_steps=self.n_steps,
                 step_solver=step_solver,
+                drive=drive,
             ).observed(self.observe)
             for circuit in circuits
         ]
@@ -482,6 +503,13 @@ def run_transient_spec_direct(
     params = spec.transient
     assert params is not None  # guaranteed by ScenarioSpec validation
     x_label, values, points = scenario_axis_points(spec)
+    drive = (
+        pulse_train_scales(
+            params.t_end_s, params.n_steps, params.period_s, params.duty
+        )
+        if params.drive == "pulse_train"
+        else None
+    )
     results: dict[str, list[TransientResult]] = {}
     for model_spec in spec.models:
         inner = make_model(model_spec)
@@ -494,7 +522,7 @@ def run_transient_spec_direct(
                 inner, stack, via, _drive_power(power, params), params.capacitance
             )
             full = step_response(
-                circuit, t_end=params.t_end_s, n_steps=params.n_steps
+                circuit, t_end=params.t_end_s, n_steps=params.n_steps, drive=drive
             )
             trajectories.append(
                 full.observed(params.observe or default_observed_nodes(stack))

@@ -41,6 +41,7 @@ from .plan import (
     compile_plan,
     run_case_study_spec,
 )
+from .lease import LeaseManager
 from .registry import SCENARIOS
 from .scheduler import ProgressFn, execute_plan
 from .spec import ScenarioSpec
@@ -181,6 +182,8 @@ def run_batch(
     group_matrices: bool = True,
     stack_batches: bool = True,
     retry: RetryPolicy | None = DEFAULT_RETRY,
+    claims: LeaseManager | None = None,
+    poll_s: float = 0.05,
 ) -> BatchRun:
     """Run many scenarios as one merged, deduplicated execution plan.
 
@@ -202,6 +205,12 @@ def run_batch(
     then quarantine — a scenario whose nodes exhausted their budget comes
     back as a *failed* :class:`ScenarioRun` (``result=None`` plus the
     ledger records) while every other scenario completes normally.
+    ``claims`` makes this invocation one cooperating member of a fleet of
+    workers sharing ``store`` (see :mod:`repro.scenarios.fleet`): nodes
+    are solved under lease, peer results are read back from the point
+    space (paced by ``poll_s``), and every worker assembles every
+    scenario — run-level artifacts are deterministic, so concurrent
+    writes are idempotent.
     """
     resolved: list[ScenarioSpec] = []
     for spec in specs:
@@ -276,6 +285,8 @@ def run_batch(
             group_matrices=group_matrices,
             stack_batches=stack_batches,
             retry=retry,
+            claims=claims,
+            poll_s=poll_s,
         )
         stats.update(plan.stats)
         stats.update(outcome.counts)

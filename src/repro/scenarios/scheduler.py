@@ -59,7 +59,19 @@
   ``ScheduleOutcome.failures`` (and the store's ``failures/`` space)
   while the rest of the plan completes.  Nodes depending on a
   quarantined node cascade into the ledger instead of deadlocking the
-  walk.  ``retry=None`` restores the historical raise-on-failure path.
+  walk.  ``retry=None`` restores the historical raise-on-failure path;
+* with a :class:`~repro.scenarios.lease.LeaseManager` (``claims=...``)
+  the scheduler runs as one member of a cooperating *fleet*
+  (:mod:`repro.scenarios.fleet`): content-keyed dispatch nodes are
+  claimed unit-at-a-time before solving (matrix groups and stacked
+  batches claim whole, so the batch tiers survive distribution), nodes
+  a peer holds are deferred and their results read back from the point
+  space, failures a peer quarantines during the run are adopted from
+  the ledger (counter ``plan_failures_adopted``), a dead peer's expired
+  claims are stolen, and every commit is fenced —
+  ``put_point``-before-release, with a
+  :class:`~repro.errors.LeaseLostError` check that keeps a usurped
+  worker from publishing over its successor.
 
 Every solve is deterministic and batched solves are bit-identical to
 per-point solves, so cache hits, store hits, fresh solves and group
@@ -79,6 +91,7 @@ dispatched and the nodes they carried),
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import defaultdict, deque
 from collections.abc import Callable
@@ -88,7 +101,7 @@ from typing import Any
 from ..calibration import fit_coefficients
 from ..core.nonlinear import NonlinearResult
 from ..core.result import ModelResult
-from ..errors import ExperimentError
+from ..errors import ExperimentError, LeaseLostError
 from ..experiments.harness import calibrated_model_from_fit
 from ..network.transient import TransientResult
 from ..perf import (
@@ -127,6 +140,7 @@ from .plan import (
     is_content_key,
     run_case_study_spec,
 )
+from .lease import LeaseManager
 from .store import RunStore
 
 #: progress callback: one event dict per completed node
@@ -172,6 +186,8 @@ def execute_plan(
     group_matrices: bool = True,
     stack_batches: bool = True,
     retry: RetryPolicy | None = DEFAULT_RETRY,
+    claims: LeaseManager | None = None,
+    poll_s: float = 0.05,
 ) -> ScheduleOutcome:
     """Execute every node of ``plan`` and return the per-key results.
 
@@ -190,14 +206,37 @@ def execute_plan(
     exhausted nodes land in ``ScheduleOutcome.failures`` instead of
     raising; ``retry=None`` disables capture entirely — the historical
     behaviour where the first worker exception unwinds the scheduler.
+
+    ``claims`` turns this scheduler into one cooperating member of a
+    *fleet*: every content-keyed dispatch node is solved only under an
+    acquired :mod:`~repro.scenarios.lease` claim, whole dispatch units
+    (matrix groups, stacked batches, point buckets) are claimed together
+    so the batch tiers survive distribution, nodes claimed by a peer are
+    *deferred* — their results are read back from the store when the
+    peer commits them (``poll_s`` paces that wait), a dead peer's claims
+    expire and its nodes are stolen, and results are committed
+    put-before-release with a fencing check so a worker that lost its
+    lease mid-solve never publishes over its usurper.  Requires
+    ``store`` (the point space is the inter-worker result channel).
+    Deterministic solves make any interleaving byte-identical to the
+    single-process path.
     """
     executor = executor or SerialExecutor()
+    if claims is not None and store is None:
+        raise ExperimentError(
+            "claim-aware execution needs a store: the point space is the "
+            "only channel through which cooperating workers exchange results"
+        )
     nodes = plan.nodes
     outcome = ScheduleOutcome(results={})
     results = outcome.results
     failures = outcome.failures
     attempts: dict[str, int] = {}  # failed dispatches per node key
     solo: set[str] = set()  # keys that must dispatch alone (post-failure)
+    #: nodes claimed by a cooperating worker: key -> (node, model, cache_key)
+    deferred: dict[str, tuple[Any, Any, str | None]] = {}
+    wall_start = time.time()  # gates peer-failure adoption to this run
+    last_renew = time.monotonic()
 
     indegree: dict[str, int] = {}
     dependents: dict[str, list[str]] = defaultdict(list)
@@ -274,7 +313,11 @@ def execute_plan(
         failures[node.key] = failure
         increment("plan_quarantined")
         if store is not None and is_content_key(node.key):
+            # ledger-before-release: peers observing the freed claim find
+            # the failure record and adopt it instead of re-attempting
             store.put_failure(node.key, failure)
+        if claims is not None:
+            claims.release(node.key)
         complete(node, "failed")
 
     def quarantine_task_failure(
@@ -430,10 +473,158 @@ def execute_plan(
             )
         return node.model
 
+    # ------------------------------------------------------------------
+    # fleet cooperation: lease claiming, peer read-back, failure adoption
+    # ------------------------------------------------------------------
+    def finish_from_store(entry: tuple[Any, Any, str | None]) -> bool:
+        """Finish a node from a peer's stored payload; False on miss."""
+        node, _, cache_key = entry
+        payload = store.get_point(node.key)
+        if payload is None:
+            return False
+        try:
+            result = node_payload_result(node, payload)
+        except (KeyError, TypeError, ValueError):
+            store.heal_point(node.key)
+            return False
+        if cache_key is not None:
+            result_cache.put(cache_key, result)
+        finish(node, result, "store")
+        return True
+
+    def adopt_peer_failure(node: Any) -> bool:
+        """Adopt a failure a peer quarantined *during this run*.
+
+        Records written before this run started are stale — ``--resume``
+        deliberately re-attempts them — so adoption is gated on the
+        ledger file's age: only a record younger than this execution is
+        a cooperating worker's verdict on the very plan we are running.
+        """
+        failure = store.get_failure(node.key)
+        if failure is None:
+            return False
+        age = store.failure_age_s(node.key)
+        if age is None or time.time() - age < wall_start:
+            return False
+        failures[node.key] = failure
+        increment("plan_failures_adopted")
+        complete(node, "failed")
+        return True
+
+    def claim_entry(entry: tuple[Any, Any, str | None]) -> bool:
+        """Secure ``entry`` for local dispatch; False removes it.
+
+        False means the node left this worker's hands: a peer holds its
+        lease (deferred — its result will be read back), a peer already
+        quarantined it (adopted), or a peer's result landed between our
+        store check and our claim (finished from store).  Nodes without
+        a content key cannot be shared through the store at all, so
+        every worker simply computes them locally.
+        """
+        node = entry[0]
+        if not is_content_key(node.key):
+            return True
+        if adopt_peer_failure(node):
+            return False
+        if not claims.acquire(node.key):
+            deferred[node.key] = entry
+            return False
+        # the claim is ours, but a peer may have completed-and-released
+        # this node since our resume check: the store is the arbiter
+        if finish_from_store(entry):
+            claims.release(node.key)
+            return False
+        return True
+
+    def claim_units(grouped, stacks, buckets) -> tuple[dict, list, list]:
+        """Claim whole dispatch units, rotated so workers spread out.
+
+        Units are claimed member-by-member but *visited* whole — a
+        worker that wins any member of a matrix group tends to win the
+        rest in the same pass, so the batch tiers survive distribution —
+        and the visiting order is rotated by a hash of this worker's
+        owner id, so N workers hitting the same ready wave start
+        claiming at different units instead of racing door-to-door in
+        lockstep.  (Batched solves are batch-size invariant, so a unit
+        split by a lost race is still byte-identical — just less
+        batched.)  An idle worker whose own share is exhausted keeps
+        visiting and takes whatever is still unclaimed: work stealing
+        falls out of the same loop.
+        """
+        units: list[tuple[str, Any]] = (
+            [("group", akey) for akey in grouped]
+            + [("stack", i) for i in range(len(stacks))]
+            + [("bucket", i) for i in range(len(buckets))]
+        )
+        if not units:
+            return grouped, stacks, buckets
+        seed = hashlib.blake2b(
+            claims.owner.encode(), digest_size=4
+        ).digest()
+        offset = int.from_bytes(seed, "big") % len(units)
+        kept_groups: dict[str, list] = {}
+        kept_stacks: list[list] = []
+        kept_buckets: list[dict] = []
+        for shape, ref in units[offset:] + units[:offset]:
+            if shape == "group":
+                members = [e for e in grouped[ref] if claim_entry(e)]
+                if members:
+                    kept_groups[ref] = members
+            elif shape == "stack":
+                members = [e for e in stacks[ref] if claim_entry(e)]
+                if members:
+                    kept_stacks.append(members)
+            else:
+                bucket = {
+                    name: e
+                    for name, e in buckets[ref].items()
+                    if claim_entry(e)
+                }
+                if bucket:
+                    kept_buckets.append(bucket)
+        return kept_groups, kept_stacks, kept_buckets
+
+    def poll_deferred() -> bool:
+        """Resolve deferred nodes; True when any left deferral.
+
+        A deferred node comes back three ways: its holder committed a
+        result (read back from the store), its holder quarantined it
+        (adopted from the ledger), or its holder died — the lease
+        expired, the steal succeeds, and the node returns to our own
+        ready set.
+        """
+        progressed = False
+        for key, entry in list(deferred.items()):
+            node = entry[0]
+            if finish_from_store(entry) or adopt_peer_failure(node):
+                del deferred[key]
+                progressed = True
+            elif claims.acquire(key):
+                del deferred[key]
+                ready_solve.append(node)
+                progressed = True
+        return progressed
+
+    def maybe_renew() -> None:
+        """Extend this worker's claims well before any can expire."""
+        nonlocal last_renew
+        now = time.monotonic()
+        if claims is not None and now - last_renew >= claims.ttl_s / 3.0:
+            claims.renew_all()
+            last_renew = now
+
     while done < total:
         progressed = drain_parent_nodes()
+        if claims is not None and deferred:
+            progressed = poll_deferred() or progressed
         if not ready_solve:
             if progressed:
+                continue
+            if claims is not None and deferred:
+                # every remaining node is in a peer's hands: wait for
+                # results (or expired claims) instead of busy-spinning
+                maybe_renew()
+                time.sleep(poll_s)
                 continue
             raise ExperimentError("execution plan has a dependency cycle")
 
@@ -551,23 +742,15 @@ def execute_plan(
         for entry in solo_entries:
             buckets.append({entry[0].model_name: entry})
 
+        if claims is not None:
+            grouped, stacks, buckets = claim_units(grouped, stacks, buckets)
+
+        # multi-node tiers dispatch before the point buckets: their
+        # results land (and unlock dependents inline) while the solo
+        # stream is still running, so a late solo failure under
+        # ``retry=None`` cannot unwind scenarios whose batched nodes
+        # already completed
         tasks: list[SweepTask] = []
-        for i, bucket in enumerate(buckets):
-            node, _, _ = next(iter(bucket.values()))
-            tasks.append(
-                PointTask(
-                    index=i,
-                    value=node.value,
-                    stack=node.stack,
-                    via=node.via,
-                    power=node.power,
-                    models=tuple(model for _, model, _ in bucket.values()),
-                    # retries draw fresh fault-injection decisions
-                    attempt=(
-                        attempts.get(node.key, 0) if len(bucket) == 1 else 0
-                    ),
-                )
-            )
         groups = list(grouped.values())
         for i, members in enumerate(groups):
             node, model, _ = members[0]
@@ -594,6 +777,22 @@ def execute_plan(
                     ),
                 )
             )
+        for i, bucket in enumerate(buckets):
+            node, _, _ = next(iter(bucket.values()))
+            tasks.append(
+                PointTask(
+                    index=i,
+                    value=node.value,
+                    stack=node.stack,
+                    via=node.via,
+                    power=node.power,
+                    models=tuple(model for _, model, _ in bucket.values()),
+                    # retries draw fresh fault-injection decisions
+                    attempt=(
+                        attempts.get(node.key, 0) if len(bucket) == 1 else 0
+                    ),
+                )
+            )
 
         def land(
             node: Any, cache_key: str | None, result: Any, dispatch: str
@@ -604,7 +803,20 @@ def execute_plan(
             if cache_key is not None:
                 result_cache.put(cache_key, result)
             if store is not None and is_content_key(node.key):
+                if claims is not None:
+                    try:
+                        # the zombie write guard: commit only while the
+                        # lease is provably still ours (put-before-release)
+                        claims.check(node.key)
+                    except LeaseLostError:
+                        # usurped mid-solve — the usurper publishes; our
+                        # byte-identical result still satisfies this
+                        # worker's own plan locally
+                        finish(node, result, "solved", dispatch)
+                        return
                 store.put_point(node.key, result.to_payload())
+                if claims is not None:
+                    claims.release(node.key)
             finish(node, result, "solved", dispatch)
 
         def task_members(task: SweepTask) -> list[tuple[Any, Any, str | None]]:
@@ -651,6 +863,7 @@ def execute_plan(
                 tasks, timeout_s=retry.node_timeout_s
             )
         for task, solved in stream:
+            maybe_renew()
             if isinstance(solved, TaskFailure):
                 handle_failure(task, solved)
             elif isinstance(task, (MatrixGroupTask, StackedBatchTask)):

@@ -35,18 +35,29 @@ Fault injection: every run/point write passes through the
 reader-side healing paths (truncated payloads, slow disks) with
 deterministic, seedable failures.
 
-Layout::
+Layout (sharded by the first two characters of the key — hex digits for
+content keys — so no directory ever holds more than ~1/256th of the
+artifacts and listings stay fast at millions of stored points)::
 
     <root>/manifest.json
-    <root>/objects/<key>.json     (whole runs)
-    <root>/points/<key>.json      (individual plan nodes)
-    <root>/failures/<key>.json    (quarantined plan nodes)
+    <root>/objects/<xx>/<key>.json     (whole runs)
+    <root>/points/<xx>/<key>.json      (individual plan nodes)
+    <root>/failures/<xx>/<key>.json    (quarantined plan nodes)
+    <root>/leases/<xx>/<key>.claim     (fleet worker claims; see
+                                        :mod:`repro.scenarios.lease`)
+
+Stores written by earlier versions kept every artifact flat in its space
+directory.  Reads fall back to the flat path transparently, so a legacy
+store keeps working unmodified; writes always land sharded, and
+:meth:`RunStore.migrate` (CLI: ``python -m repro migrate <dir>``) moves a
+legacy store over wholesale.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
@@ -61,7 +72,20 @@ MANIFEST_NAME = "manifest.json"
 OBJECTS_DIR = "objects"
 POINTS_DIR = "points"
 FAILURES_DIR = "failures"
+LEASES_DIR = "leases"
 MANIFEST_VERSION = 1
+
+
+def shard_prefix(key: str) -> str:
+    """The shard directory a key files under: its first two characters.
+
+    Content keys are blake2b hex digests, so this spreads artifacts
+    uniformly over 256 buckets; the handful of non-hex keys (e.g.
+    ``case_study:<hash>``) simply bucket by their prefix, which is still a
+    valid directory name.  Keys shorter than two characters are padded so
+    the shard name never collides with a flat ``<key>.json`` artifact.
+    """
+    return key[:2] if len(key) >= 2 else (key + "__")[:2]
 
 
 def _write_json_atomic(path: Path, payload: Any, fault_key: str | None = None) -> None:
@@ -78,7 +102,10 @@ def _write_json_atomic(path: Path, payload: Any, fault_key: str | None = None) -
     if fault_key is not None and faults.active():
         faults.inject("store-write", fault_key)
         text = faults.corrupt_text("store-write", fault_key, text)
-    tmp = path.with_suffix(".tmp")
+    # the tmp name is unique per writer: cooperating fleet workers write
+    # the same (deterministic) artifacts concurrently, and a shared tmp
+    # name would let one worker rename another's half-written file away
+    tmp = path.with_suffix(f".{os.getpid()}.{time.monotonic_ns():x}.tmp")
     with open(tmp, "w") as handle:
         handle.write(text)
         handle.flush()
@@ -97,11 +124,79 @@ class RunStore:
         self.points.mkdir(parents=True, exist_ok=True)
         self.failures = self.root / FAILURES_DIR
         self.failures.mkdir(parents=True, exist_ok=True)
+        self.leases = self.root / LEASES_DIR
+        self.leases.mkdir(parents=True, exist_ok=True)
         # tracks "might any failure record exist?" so the per-point clear
         # on the happy path costs a boolean, not an unlink syscall
-        self._has_failures = any(self.failures.glob("*.json"))
+        self._has_failures = any(self._space_paths(self.failures))
         self._manifest_path = self.root / MANIFEST_NAME
         self._manifest = self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # sharded layout with transparent legacy (flat) read-back
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sharded_path(space: Path, key: str, suffix: str = ".json") -> Path:
+        return space / shard_prefix(key) / f"{key}{suffix}"
+
+    @staticmethod
+    def _flat_path(space: Path, key: str, suffix: str = ".json") -> Path:
+        return space / f"{key}{suffix}"
+
+    @classmethod
+    def _read_path(cls, space: Path, key: str) -> Path | None:
+        """The existing artifact for ``key``, sharded layout preferred."""
+        path = cls._sharded_path(space, key)
+        if path.exists():
+            return path
+        legacy = cls._flat_path(space, key)
+        if legacy.exists():
+            return legacy
+        return None
+
+    @classmethod
+    def _write_path(cls, space: Path, key: str) -> Path:
+        """The (sharded) path a fresh artifact for ``key`` lands at."""
+        path = cls._sharded_path(space, key)
+        path.parent.mkdir(exist_ok=True)
+        # a rewrite must not leave a stale flat twin shadow-readable
+        cls._flat_path(space, key).unlink(missing_ok=True)
+        return path
+
+    @staticmethod
+    def _space_paths(space: Path, suffix: str = ".json") -> list[Path]:
+        """Every artifact in a space, flat and sharded layouts combined."""
+        return [*space.glob(f"*{suffix}"), *space.glob(f"*/*{suffix}")]
+
+    def migrate(self) -> dict[str, int]:
+        """Move a legacy flat layout into shards; returns moved counts.
+
+        Idempotent: an already-sharded store migrates zero artifacts.
+        Run objects keep their manifest entries pointing at the new
+        relative paths.
+        """
+        moved: dict[str, int] = {}
+        spaces = (
+            ("objects", self.objects, ".json"),
+            ("points", self.points, ".json"),
+            ("failures", self.failures, ".json"),
+            ("leases", self.leases, ".claim"),
+        )
+        for name, space, suffix in spaces:
+            count = 0
+            for path in sorted(space.glob(f"*{suffix}")):
+                target = self._sharded_path(space, path.stem, suffix)
+                target.parent.mkdir(exist_ok=True)
+                path.replace(target)
+                count += 1
+            moved[name] = count
+        if moved["objects"]:
+            for key, entry in self._manifest["runs"].items():
+                path = self._sharded_path(self.objects, key)
+                if path.exists():
+                    entry["path"] = str(path.relative_to(self.root))
+            self._write_manifest()
+        return moved
 
     def _load_manifest(self) -> dict[str, Any]:
         if not self._manifest_path.exists():
@@ -133,8 +228,8 @@ class RunStore:
         re-stores cleanly.
         """
         entry = self._manifest["runs"].get(key)
-        path = self.objects / f"{key}.json"
-        if entry is None or not path.exists():
+        path = self._read_path(self.objects, key)
+        if entry is None or path is None:
             increment("run_store_misses")
             return None
         try:
@@ -153,7 +248,7 @@ class RunStore:
         self, key: str, payload: dict[str, Any], spec: ScenarioSpec
     ) -> Path:
         """Store ``payload`` under ``key`` and index it in the manifest."""
-        path = self.objects / f"{key}.json"
+        path = self._write_path(self.objects, key)
         _write_json_atomic(path, payload, fault_key=f"run:{key}")
         self._manifest["runs"][key] = {
             "scenario_id": spec.scenario_id,
@@ -161,6 +256,15 @@ class RunStore:
             "spec": spec.to_dict(),
             "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         }
+        # merge entries a cooperating fleet worker indexed since we loaded
+        # the manifest — a plain overwrite would un-index its runs (the
+        # read-modify-write race stays, but every writer converges on the
+        # union because run objects themselves are immutable)
+        try:
+            disk_runs = self._load_manifest()["runs"]
+        except ValidationError:
+            disk_runs = {}
+        self._manifest["runs"] = {**disk_runs, **self._manifest["runs"]}
         self._write_manifest()
         return path
 
@@ -173,8 +277,8 @@ class RunStore:
         Corrupt point objects are removed and counted as misses — the
         scheduler simply re-solves the node.
         """
-        path = self.points / f"{key}.json"
-        if not path.exists():
+        path = self._read_path(self.points, key)
+        if path is None:
             increment("point_store_misses")
             return None
         try:
@@ -189,7 +293,7 @@ class RunStore:
     def put_point(self, key: str, payload: dict[str, Any]) -> Path | None:
         """Persist one plan node's payload (atomically; never raises on
         unserialisable payload metadata — the point is just not resumable)."""
-        path = self.points / f"{key}.json"
+        path = self._write_path(self.points, key)
         try:
             _write_json_atomic(path, payload, fault_key=f"point:{key}")
         except (TypeError, ValueError):
@@ -204,26 +308,27 @@ class RunStore:
         hook for payloads that parse but decode to the wrong shape —
         the scheduler deletes them so the node re-solves cleanly.
         """
-        (self.points / f"{key}.json").unlink(missing_ok=True)
+        self._sharded_path(self.points, key).unlink(missing_ok=True)
+        self._flat_path(self.points, key).unlink(missing_ok=True)
 
     def point_keys(self) -> list[str]:
-        """Keys of every stored point object."""
-        return sorted(p.stem for p in self.points.glob("*.json"))
+        """Keys of every stored point object (both layouts)."""
+        return sorted(p.stem for p in self._space_paths(self.points))
 
     # ------------------------------------------------------------------
     # the failure ledger: quarantined plan nodes
     # ------------------------------------------------------------------
     def put_failure(self, key: str, failure: NodeFailure) -> Path:
         """Record a quarantined node in the ``failures/`` space."""
-        path = self.failures / f"{key}.json"
+        path = self._write_path(self.failures, key)
         _write_json_atomic(path, failure.to_payload())
         self._has_failures = True
         return path
 
     def get_failure(self, key: str) -> NodeFailure | None:
         """The quarantine record for ``key``, or None (corruption = None)."""
-        path = self.failures / f"{key}.json"
-        if not path.exists():
+        path = self._read_path(self.failures, key)
+        if path is None:
             return None
         try:
             return NodeFailure.from_payload(json.loads(path.read_text()))
@@ -231,14 +336,31 @@ class RunStore:
             path.unlink(missing_ok=True)
             return None
 
+    def failure_age_s(self, key: str) -> float | None:
+        """Seconds since ``key``'s quarantine record was written, or None.
+
+        Cooperating fleet workers use this to tell a failure quarantined
+        *during the current run* (adopt it, don't burn a fresh retry
+        budget on every worker) from a stale record left by an earlier
+        invocation (which ``--resume`` deliberately re-attempts).
+        """
+        path = self._read_path(self.failures, key)
+        if path is None:
+            return None
+        try:
+            return max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return None
+
     def clear_failure(self, key: str) -> None:
         """Erase ``key``'s quarantine record (a later solve succeeded)."""
         if self._has_failures:
-            (self.failures / f"{key}.json").unlink(missing_ok=True)
+            self._sharded_path(self.failures, key).unlink(missing_ok=True)
+            self._flat_path(self.failures, key).unlink(missing_ok=True)
 
     def failure_keys(self) -> list[str]:
         """Keys of every quarantined node, sorted."""
-        return sorted(p.stem for p in self.failures.glob("*.json"))
+        return sorted(p.stem for p in self._space_paths(self.failures))
 
     # ------------------------------------------------------------------
     # introspection

@@ -148,7 +148,16 @@ class TestPlanRecovery:
     def test_injected_errors_retry_to_byte_identical_completion(
         self, baseline_payload
     ):
-        faults.configure(rate=0.3, kinds=("error",), sites=("solve",), seed=0)
+        # the fem reference points ride the stacked tier, so arm its
+        # fault site too — a failing batch is what degrades to solo;
+        # this (rate, seed) draw fails the batch once and lets every
+        # solo retry land within its budget
+        faults.configure(
+            rate=0.35,
+            kinds=("error",),
+            sites=("solve", "stacked-solve"),
+            seed=4,
+        )
         run = run_scenario(
             ft_spec(), retry=RetryPolicy(max_attempts=3, backoff_s=0.0)
         )

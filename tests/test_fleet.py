@@ -1,0 +1,167 @@
+"""Fleet execution: N cooperating worker processes on one shared store.
+
+The contract under test is the distributed-execution tentpole: a fleet
+of workers sharing one store produces a byte-identical store to the
+single-process path, solves every node exactly once, and survives a
+worker dying mid-plan without losing completed points.
+"""
+
+import json
+
+import pytest
+
+from repro import faults, perf
+from repro.faults import CRASH_EXIT_CODE
+from repro.perf import counter
+from repro.scenarios import AxisSpec, RunStore, ScenarioSpec, run_scenario
+from repro.scenarios.fleet import EXIT_OK, run_fleet
+from repro.__main__ import main
+
+
+def fleet_spec(scenario_id="fleet_tiny", values=(2.0, 3.0, 4.0, 5.0)):
+    return ScenarioSpec(
+        scenario_id=scenario_id,
+        title="Fleet sweep",
+        axis=AxisSpec(parameter="radius_um", values=values),
+        models=("a:paper", "1d"),
+        calibrate=False,
+    ).resolved()
+
+
+def normalized_points(store):
+    """Every stored point payload, wall-clock metadata stripped."""
+    points = {}
+    for key in store.point_keys():
+        payload = dict(store.get_point(key))
+        payload.pop("solve_time", None)
+        points[key] = payload
+    return points
+
+
+def normalized_run(store, key):
+    payload = dict(store.get(key))
+    payload.pop("runtimes_ms", None)
+    return payload
+
+
+@pytest.fixture
+def single(tmp_path):
+    """The single-process reference store plus its solve count."""
+    spec = fleet_spec()
+    store = RunStore(tmp_path / "single")
+    perf.reset()
+    run_scenario(spec, store=store)
+    return spec, store, counter("plan_point_solves")
+
+
+class TestFleet:
+    def test_four_workers_byte_identical_and_no_double_solve(
+        self, single, tmp_path
+    ):
+        spec, single_store, single_solves = single
+        outcome = run_fleet(
+            [spec],
+            store=tmp_path / "fleet",
+            workers=4,
+            timeout_s=300.0,
+        )
+        assert outcome.ok
+        assert outcome.exit_codes == (EXIT_OK,) * 4
+        assert len(outcome.reports) == 4
+
+        fleet_store = RunStore(outcome.store_root)
+        key = spec.content_hash()
+        assert normalized_run(fleet_store, key) == normalized_run(
+            single_store, key
+        )
+        assert normalized_points(fleet_store) == normalized_points(single_store)
+        # every plan node solved exactly once across the whole fleet
+        assert outcome.counters["plan_point_solves"] == single_solves
+        # every worker claimed through the lease layer
+        assert outcome.counters.get("lease_acquired", 0) > 0
+
+    def test_worker_kill_loses_no_completed_points(self, single, tmp_path):
+        spec, single_store, single_solves = single
+        # worker 0 is armed to crash the moment it holds a lease; the
+        # survivors inherit clean environments and take over its claims
+        # once the (short) TTL expires
+        outcome = run_fleet(
+            [spec],
+            store=tmp_path / "fleet",
+            workers=3,
+            ttl_s=1.0,
+            timeout_s=300.0,
+            extra_env={
+                0: {
+                    faults.ENV_RATE: "1.0",
+                    faults.ENV_SITES: "lease",
+                    faults.ENV_KINDS: "crash",
+                    faults.ENV_SEED: "1",
+                }
+            },
+        )
+        assert outcome.complete
+        assert outcome.exit_codes[0] == CRASH_EXIT_CODE
+        assert outcome.exit_codes[1] == EXIT_OK
+        assert outcome.exit_codes[2] == EXIT_OK
+        # the killed worker never reports; the survivors' stores carry
+        # the full, byte-identical result set regardless
+        assert len(outcome.reports) == 2
+        fleet_store = RunStore(outcome.store_root)
+        key = spec.content_hash()
+        assert normalized_run(fleet_store, key) == normalized_run(
+            single_store, key
+        )
+        assert normalized_points(fleet_store) == normalized_points(single_store)
+        assert outcome.counters["plan_point_solves"] == single_solves
+
+    def test_single_worker_fleet_matches_run_scenario(self, single, tmp_path):
+        spec, single_store, single_solves = single
+        outcome = run_fleet(
+            [spec], store=tmp_path / "fleet", workers=1, timeout_s=300.0
+        )
+        assert outcome.ok
+        assert outcome.counters["plan_point_solves"] == single_solves
+        assert normalized_points(RunStore(outcome.store_root)) == (
+            normalized_points(single_store)
+        )
+
+    def test_fleet_resumes_from_a_prior_partial_store(self, single, tmp_path):
+        # the store is the coordination plane: a fleet pointed at a store
+        # that already holds every point re-solves nothing
+        spec, single_store, _ = single
+        outcome = run_fleet(
+            [spec], store=single_store.root, workers=2, timeout_s=300.0
+        )
+        assert outcome.ok
+        assert outcome.counters.get("plan_point_solves", 0) == 0
+
+
+class TestFleetCLI:
+    def test_cli_fleet_smoke(self, tmp_path, capsys):
+        spec = fleet_spec()
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        code = main(
+            [
+                "fleet",
+                str(spec_file),
+                "--workers",
+                "2",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2" in out
+        assert "store complete" in out
+        assert RunStore(tmp_path / "store").get(spec.content_hash())
+
+    def test_cli_migrate_smoke(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "store")
+        (store.points / ("ab" * 32 + ".json")).write_text('{"x": 1}')
+        code = main(["migrate", str(tmp_path / "store")])
+        assert code == 0
+        assert "migrated 1 artifact(s)" in capsys.readouterr().out
+        assert RunStore(tmp_path / "store").get_point("ab" * 32) == {"x": 1}

@@ -113,7 +113,7 @@ class TestSolveMulti:
         import repro.network.solve as solve_mod
 
         class BadFactorCache:
-            def solver(self, matrix):
+            def solver(self, matrix, permc_spec=None):
                 def solve(rhs):
                     out = np.zeros(rhs.shape[0])
                     out[0] = np.inf

@@ -10,7 +10,12 @@ from repro.__main__ import main
 from repro.core.factory import make_model
 from repro.core.nonlinear import NonlinearResult, NonlinearSolver
 from repro.errors import ValidationError
-from repro.network import TransientResult, step_response, transient_lhs
+from repro.network import (
+    TransientResult,
+    pulse_train_scales,
+    step_response,
+    transient_lhs,
+)
 from repro.network.solve import factorized_solver
 from repro.scenarios import (
     SCENARIOS,
@@ -204,6 +209,129 @@ class TestSpecRoundTrip:
         assert "nonlinear_hotspot" in SCENARIOS
         assert SCENARIOS.get("transient_spike").kind == "transient"
         assert SCENARIOS.get("nonlinear_hotspot").kind == "nonlinear"
+
+
+def pulse_params(**overrides):
+    kwargs = dict(
+        t_end_s=1e-3, n_steps=40, drive="pulse_train", period_s=2e-4, duty=0.5
+    )
+    kwargs.update(overrides)
+    return TransientParams(**kwargs)
+
+
+class TestDriveShapes:
+    def test_drive_grammar_bounds(self):
+        with pytest.raises(ValidationError, match="drive"):
+            TransientParams(t_end_s=1e-3, drive="sawtooth")
+        with pytest.raises(ValidationError, match="period_s and duty"):
+            TransientParams(t_end_s=1e-3, drive="pulse_train", period_s=1e-4)
+        with pytest.raises(ValidationError, match="period_s and duty"):
+            TransientParams(t_end_s=1e-3, drive="pulse_train", duty=0.5)
+        with pytest.raises(ValidationError, match="period_s"):
+            pulse_params(period_s=0.0)
+        with pytest.raises(ValidationError, match="duty"):
+            pulse_params(duty=0.0)
+        with pytest.raises(ValidationError, match="duty"):
+            pulse_params(duty=1.5)
+        with pytest.raises(ValidationError, match="pulse_train"):
+            TransientParams(t_end_s=1e-3, period_s=1e-4)
+        with pytest.raises(ValidationError, match="pulse_train"):
+            TransientParams(t_end_s=1e-3, duty=0.5)
+
+    def test_step_spec_serialization_unchanged(self):
+        # the grammar extension must not disturb existing specs: a step
+        # drive serializes without the drive keys, so stored content
+        # hashes from before the extension still match
+        data = TransientParams(t_end_s=1e-3, n_steps=40).to_dict()
+        assert "drive" not in data
+        assert "period_s" not in data
+        assert TransientParams.from_dict(data).drive == "step"
+
+    def test_pulse_train_dict_round_trip(self):
+        spec = transient_spec(transient=pulse_params())
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.content_hash() == spec.content_hash()
+        assert spec.content_hash() != transient_spec().content_hash()
+
+    def test_pulse_train_scales_square_wave(self):
+        scales = pulse_train_scales(8.0, 8, 4.0, 0.5)
+        assert np.array_equal(
+            scales, [1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]
+        )
+        with pytest.raises(ValidationError, match="duty"):
+            pulse_train_scales(8.0, 8, 4.0, 1.5)
+
+    def test_duty_one_pulse_is_bitwise_step_response(self):
+        step = run_transient_spec_direct(transient_spec())
+        pulse = run_transient_spec_direct(
+            transient_spec(transient=pulse_params(duty=1.0, period_s=1e-3))
+        )
+        for name, trajectories in step.results.items():
+            for solo, driven in zip(trajectories, pulse.results[name]):
+                assert np.array_equal(solo.temperatures, driven.temperatures)
+
+    def test_drive_rejects_wrong_length_and_negative_scales(self):
+        spec = transient_spec()
+        params = spec.transient
+        stack, via, power = scenario_axis_points(spec)[2][0]
+        circuit = build_transient_circuit(
+            make_model("a:paper"), stack, via, power, params.capacitance
+        )
+        with pytest.raises(ValidationError, match="one scale per step"):
+            step_response(
+                circuit, t_end=1e-3, n_steps=40, drive=np.ones(39)
+            )
+        with pytest.raises(ValidationError, match="finite"):
+            step_response(
+                circuit, t_end=1e-3, n_steps=40, drive=np.full(40, -1.0)
+            )
+
+    def test_pulse_planned_equals_direct(self):
+        spec = transient_spec(
+            scenario_id="pulse_planned",
+            axis=AxisSpec(parameter="radius_um", values=(3.0, 6.0)),
+            transient=pulse_params(),
+        ).resolved()
+        direct = run_transient_spec_direct(spec)
+        perf.reset()
+        run = run_scenario(spec)
+        assert run.result.to_payload() == direct.to_payload()
+
+    def test_pulse_grouped_and_ungrouped_identical(self):
+        specs = [
+            transient_spec(
+                scenario_id=f"pulse_g_{s}",
+                transient=pulse_params(power_scale=s),
+            ).resolved()
+            for s in (1.0, 2.0)
+        ]
+        perf.reset()
+        grouped = execute_plan(compile_plan(specs))
+        assert perf.stats()["counters"]["plan_matrix_groups"] == 1
+        perf.reset()
+        ungrouped = execute_plan(compile_plan(specs), group_matrices=False)
+        assert grouped.results.keys() == ungrouped.results.keys()
+        for key in grouped.results:
+            assert np.array_equal(
+                grouped.results[key].temperatures,
+                ungrouped.results[key].temperatures,
+            )
+
+    def test_off_phase_cools_and_peak_stays_below_step(self):
+        # 40 steps of 25µs; period 200µs, duty 0.5 → 4 steps on, 4 off
+        step = run_transient_spec_direct(transient_spec())
+        pulse = run_transient_spec_direct(
+            transient_spec(transient=pulse_params(period_s=2e-4, duty=0.5))
+        )
+        for name, trajectories in pulse.results.items():
+            for driven, solo in zip(trajectories, step.results[name]):
+                trace = driven.temperatures.max(axis=1)
+                # cooling during the first off-phase (steps 5..8)
+                assert trace[8] < trace[4]
+                # and re-heating once the drive returns (steps 9..12)
+                assert trace[12] > trace[8]
+                assert driven.peak_rise <= solo.peak_rise
 
 
 # ---------------------------------------------------------------------------
@@ -521,7 +649,7 @@ class TestStoreAndResume:
         store = RunStore(tmp_path)
         run_batch([spec], store=store)
         # drop the run-level artifact, keep the points: recompiles + resumes
-        (store.objects / f"{spec.resolved().content_hash()}.json").unlink()
+        store._read_path(store.objects, spec.resolved().content_hash()).unlink()
         perf.reset()
         run = run_batch([spec], store=store, resume=True).runs[0]
         counters = perf.stats()["counters"]

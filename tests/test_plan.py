@@ -195,7 +195,7 @@ class TestPlannedEqualsEager:
 class TestResume:
     def _wipe_run_level(self, store_root):
         (store_root / "manifest.json").unlink()
-        for path in (store_root / "objects").glob("*.json"):
+        for path in (store_root / "objects").glob("**/*.json"):
             path.unlink()
 
     def test_resume_skips_stored_points(self, tmp_path):
@@ -227,7 +227,7 @@ class TestResume:
         # lose one solved point (pick a model solve, not the calibration)
         victim = next(
             p
-            for p in (tmp_path / "store" / "points").glob("*.json")
+            for p in (tmp_path / "store" / "points").glob("**/*.json")
             if "model_name" in json.loads(p.read_text())
         )
         victim.unlink()
@@ -252,7 +252,7 @@ class TestResume:
         store = RunStore(tmp_path / "store")
         run_batch([spec], store=store)
         self._wipe_run_level(tmp_path / "store")
-        for path in (tmp_path / "store" / "points").glob("*.json"):
+        for path in (tmp_path / "store" / "points").glob("**/*.json"):
             path.write_text("{truncated")
         perf.reset()
         rerun = run_batch([spec], store=RunStore(tmp_path / "store"), resume=True)

@@ -230,7 +230,7 @@ class TestRunStore:
         first = run_scenario(spec, store=store)
         # a killed process can no longer truncate an object (writes are
         # atomic), but disk corruption still can: get() must miss, not raise
-        (store.objects / f"{first.key}.json").write_text('{"series": tru')
+        store._read_path(store.objects, first.key).write_text('{"series": tru')
         misses_before = perf.stats()["counters"].get("run_store_misses", 0)
         assert store.get(first.key) is None
         assert perf.stats()["counters"]["run_store_misses"] == misses_before + 1
@@ -255,9 +255,9 @@ class TestRunStore:
         hits_before = perf.stats()["counters"].get("point_store_hits", 0)
         assert store.get_point("abc123") == payload
         assert perf.stats()["counters"]["point_store_hits"] == hits_before + 1
-        (store.points / "abc123.json").write_text("{nope")
+        store._read_path(store.points, "abc123").write_text("{nope")
         assert store.get_point("abc123") is None
-        assert not (store.points / "abc123.json").exists()  # healed away
+        assert store._read_path(store.points, "abc123") is None  # healed away
         assert store.get_point("missing") is None
         assert store.point_keys() == []
 

@@ -202,9 +202,28 @@ class TestBatchClassKey:
         cfg = fig5_config(1.0)
         assert make_model("b:100").batch_class_key(cfg.stack, cfg.via) is None
 
-    def test_fem_and_1d_opt_out(self):
+    def test_fem_coarse_meshes_stack_across_geometry(self):
+        cfg1, cfg2 = fig5_config(0.5), fig5_config(1.5)
+        model = FEMReference("coarse")
+        key = model.batch_class_key(cfg1.stack, cfg1.via)
+        assert key is not None
+        # different liner thickness: different matrix values, same mesh
+        # topology — one stackable class
+        assert key == model.batch_class_key(cfg2.stack, cfg2.via)
+        # a different stack voxelises to a different mesh: different class
+        cfg4 = fig4_config(3.0)
+        assert key != model.batch_class_key(cfg4.stack, cfg4.via)
+
+    def test_fem_large_meshes_and_cartesian_and_1d_opt_out(self):
         cfg = fig5_config(1.0)
-        assert FEMReference("coarse").batch_class_key(cfg.stack, cfg.via) is None
+        # medium voxelises past the natural-ordering cutoff
+        assert FEMReference("medium").batch_class_key(cfg.stack, cfg.via) is None
+        assert (
+            FEMReference("coarse", solver="cartesian").batch_class_key(
+                cfg.stack, cfg.via
+            )
+            is None
+        )
         assert make_model("1d").batch_class_key(cfg.stack, cfg.via) is None
 
 
@@ -236,9 +255,40 @@ class TestSolveStacked:
         for result, (m, stack, via, power) in zip(solve_stacked(members), members):
             assert_results_identical(result, m.solve(stack, via, power))
 
+    def test_fem_members_bitwise_equal_solo(self):
+        model = FEMReference("coarse")
+        members = [
+            (model, cfg.stack, cfg.via, cfg.power)
+            for cfg in (fig5_config(0.5), fig5_config(1.0), fig5_config(1.5))
+        ]
+        for result, (m, stack, via, power) in zip(solve_stacked(members), members):
+            assert_results_identical(result, m.solve(stack, via, power))
+
+    def test_fem_cluster_members_bitwise_equal_solo(self):
+        model = FEMReference("coarse")
+        cfg = fig5_config(1.0)
+        members = [
+            (model, cfg.stack, TSVCluster(cfg.via, n), cfg.power) for n in (1, 4, 9)
+        ]
+        for result, (m, stack, via, power) in zip(solve_stacked(members), members):
+            assert_results_identical(result, m.solve(stack, via, power))
+
     def test_declining_member_falls_back_to_solo_solves(self):
-        # FEM never assembles a dense stackable system: the whole batch
-        # degrades to per-member model.solve, still positionally aligned
+        # the 1-D model never assembles a stackable system: the whole
+        # batch degrades to per-member model.solve, still positionally
+        # aligned
+        cfg = fig5_config(1.0)
+        members = [
+            (make_model("1d"), cfg.stack, cfg.via, cfg.power),
+            (make_model("a:paper"), cfg.stack, cfg.via, cfg.power),
+        ]
+        results = solve_stacked(members)
+        for result, (m, stack, via, power) in zip(results, members):
+            assert result.max_rise == m.solve(stack, via, power).max_rise
+
+    def test_mixed_dense_sparse_batch_falls_back_to_solo_solves(self):
+        # a batch class is all-dense or all-sparse by construction; a
+        # hand-built mix exercises the safety net
         cfg = fig5_config(1.0)
         members = [
             (FEMReference("coarse"), cfg.stack, cfg.via, cfg.power),
@@ -246,7 +296,7 @@ class TestSolveStacked:
         ]
         results = solve_stacked(members)
         for result, (m, stack, via, power) in zip(results, members):
-            assert result.max_rise == m.solve(stack, via, power).max_rise
+            assert_results_identical(result, m.solve(stack, via, power))
 
     def test_empty(self):
         assert solve_stacked([]) == []
@@ -312,10 +362,11 @@ class TestStackedScheduling:
         run_scenario(spec)
         counters = perf.stats()["counters"]
         # the four model_a points assemble different matrices but share a
-        # batch class; the fem reference points share a matrix group only
-        # when their assembly matches (geometry sweep: it never does)
-        assert counters["plan_stacked_batches"] == 1
-        assert counters["plan_stacked_solves"] == 4
+        # batch class, and so do the four coarse fem reference points
+        # (same mesh topology, different conductivity values): two
+        # stacked batches — one dense, one block-diagonal sparse
+        assert counters["plan_stacked_batches"] == 2
+        assert counters["plan_stacked_solves"] == 8
 
     def test_no_stacking_when_disabled(self):
         perf.reset()
@@ -348,7 +399,9 @@ class TestStackedScheduling:
     def test_progress_events_carry_dispatch_provenance(self, tmp_path):
         from repro.scenarios import RunStore
 
-        spec = geometry_spec(values=(2.0, 3.0, 4.0))
+        # the 1-D model never stacks or groups, so its nodes keep the
+        # per-point dispatch provenance next to the stacked ones
+        spec = geometry_spec(values=(2.0, 3.0, 4.0), models=("a:paper", "1d"))
         store = RunStore(tmp_path / "store")
         events = []
         perf.reset()
