@@ -26,6 +26,17 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro run nonlinear_hotspo
 echo "== fault-injection matrix (crash/error/delay/corrupt at rate 0.2)"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python scripts/fault_matrix.py
 
+echo "== chaos soak (supervised fleet under kills + faults + laggy renames)"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python scripts/chaos_soak.py
+
+echo "== fsck CLI on a post-run store"
+fsck_tmp=$(mktemp -d)
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro run fig7 --fast --store "$fsck_tmp/store" >/dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro fsck "$fsck_tmp/store"
+rm -rf "$fsck_tmp"
+
 echo "== benchmark quick gate"
 benchmarks/run_bench.sh
 

@@ -46,7 +46,7 @@ from pathlib import Path
 
 from repro import faults, perf
 from repro.perf import ParallelExecutor, RetryPolicy, counter
-from repro.scenarios import SCENARIOS, RunStore, run_scenario
+from repro.scenarios import SCENARIOS, RunStore, run_scenario, scrub
 from repro.scenarios.fleet import run_fleet
 
 SCENARIO = "fig7"
@@ -67,6 +67,32 @@ def normalized_point(payload: dict) -> dict:
     payload = dict(payload)
     payload.pop("solve_time", None)
     return payload
+
+
+def fsck_verdicts(store_dir: Path, *, damage_expected: bool) -> list[str]:
+    """Post-run integrity scrub for one cell (run *before* point reads —
+    a verified ``get_point`` heals corrupt artifacts to misses, which
+    would hide exactly the on-disk damage fsck exists to find).
+
+    Cells whose faults never touch payload bytes must leave a store with
+    zero damage (notes — tmp litter from killed writers, expired claims —
+    are live-protocol residue and allowed).  The corrupt cell is the one
+    legitimate source of damage: there ``--repair`` must clear every
+    finding and a re-scrub must come back clean.
+    """
+    report = scrub(store_dir)
+    if not report.damage:
+        return []
+    if not damage_expected:
+        kinds = sorted({f.kind for f in report.damage})
+        return [f"fsck found {len(report.damage)} damaged artifact(s): {kinds}"]
+    repaired = scrub(store_dir, repair=True)
+    if repaired.exit_code != 0:
+        return ["fsck --repair could not heal the damage"]
+    after = scrub(store_dir)
+    if after.damage:
+        return [f"fsck --repair left {len(after.damage)} finding(s) behind"]
+    return []
 
 
 def run_once(
@@ -136,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
                 )
             elif normalized_run(run.result) != baseline_payload:
                 verdicts.append("assembled payload differs from fault-free run")
+            verdicts.extend(
+                fsck_verdicts(store.root, damage_expected=kind == "corrupt")
+            )
             for key in store.point_keys():
                 payload = store.get_point(key)
                 if payload is None:
@@ -173,6 +202,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         elif normalized_run(run.result) != baseline_payload:
             verdicts.append("assembled payload differs from fault-free run")
+        verdicts.extend(fsck_verdicts(store.root, damage_expected=False))
         for key in store.point_keys():
             payload = store.get_point(key)
             if payload is None:
@@ -222,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
             verdicts.append(f"survivor exit codes {outcome.exit_codes[1:]}")
         if not outcome.complete:
             verdicts.append("fleet store incomplete after worker kill")
+        verdicts.extend(fsck_verdicts(root / "fleet", damage_expected=False))
         fleet_store = RunStore(root / "fleet")
         fleet_key = SCENARIOS.get(SCENARIO).resolved(fast=True).content_hash()
         stored = fleet_store.get(fleet_key)

@@ -35,10 +35,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
 from .analysis import export_json, format_table
+from .errors import DrainError
 from .experiments import REGISTRY, case_study, render_markdown, run_all
 from .experiments.harness import ExperimentResult
 from .perf import RetryPolicy, get_executor
@@ -50,6 +52,7 @@ from .scenarios import (
     run_fleet,
     run_scenario,
 )
+from .scenarios.drain import DrainGuard, drain_exit_code
 from .scenarios.lease import DEFAULT_TTL_S
 from .scenarios.store import MANIFEST_NAME
 
@@ -270,6 +273,58 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-node wall-clock budget (default: unbounded)",
     )
+    fleet_p.add_argument(
+        "--supervise",
+        action="store_true",
+        help="self-healing mode: respawn crashed or heartbeat-silent "
+        "workers (with crash-loop backoff; respawned workers resume from "
+        "the store); graceful drains are never respawned",
+    )
+    fleet_p.add_argument(
+        "--max-respawns",
+        type=int,
+        default=3,
+        metavar="N",
+        help="respawn budget per rank under --supervise (default 3)",
+    )
+    fleet_p.add_argument(
+        "--stall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="under --supervise, kill-and-respawn a worker whose heartbeat "
+        "is older than this (default: stall detection off)",
+    )
+    fleet_p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="under --supervise, terminate the whole run after this long "
+        "(default: unbounded)",
+    )
+
+    fsck_p = sub.add_parser(
+        "fsck",
+        help="scrub a run store for damage (corrupt/orphaned/mis-filed data)",
+        description=(
+            "Walk every space of a run store and verify it end-to-end: "
+            "envelope checksums, manifest cross-references, shard placement, "
+            "lease health.  Exits non-zero when damage is found (notes such "
+            "as expired claims or tmp litter are reported but are not "
+            "damage); --repair heals everything in place."
+        ),
+    )
+    fsck_p.add_argument(
+        "directory", type=Path, help="the run-store directory to scrub"
+    )
+    fsck_p.add_argument(
+        "--repair",
+        action="store_true",
+        help="heal the damage: delete corrupt/unreachable artifacts (they "
+        "re-solve on resume), fix manifest entries, re-shard mis-filed "
+        "artifacts, clear expired claims and litter",
+    )
 
     migrate_p = sub.add_parser(
         "migrate",
@@ -370,6 +425,27 @@ def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
     )
 
 
+def _drain_notice(exc: DrainError, store: Path | None) -> None:
+    """The resume hint printed when a run/batch drains on a signal."""
+    name = signal.Signals(exc.signum).name
+    print(
+        f"\ndrained on {name}: completed plan nodes are committed, "
+        "in-flight leases were released",
+        file=sys.stderr,
+    )
+    if store is not None:
+        print(
+            f"resume with: the same command plus --store {store} --resume",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "no --store was given, so there are no stored points to resume "
+            "from",
+            file=sys.stderr,
+        )
+
+
 def _print_failures(failures) -> None:
     """The nonzero-exit quarantine table (stderr)."""
     print(
@@ -436,19 +512,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and store is None:
         print("note: --resume needs a --store; ignored", file=sys.stderr)
     progress = _make_progress(args)
-    run = run_scenario(
-        spec,
-        executor=get_executor(args.jobs),
-        store=store,
-        resume=args.resume,
-        fast=args.fast,
-        fem_resolution=args.fem_resolution,
-        calibrate=False if args.no_calibrate else None,
-        progress=progress,
-        group_matrices=not args.no_matrix_groups,
-        stack_batches=not args.no_stacked_batches,
-        retry=_retry_policy(args),
-    )
+    guard = DrainGuard()
+    try:
+        with guard.installed():
+            run = run_scenario(
+                spec,
+                executor=get_executor(args.jobs),
+                store=store,
+                resume=args.resume,
+                fast=args.fast,
+                fem_resolution=args.fem_resolution,
+                calibrate=False if args.no_calibrate else None,
+                progress=progress,
+                group_matrices=not args.no_matrix_groups,
+                stack_batches=not args.no_stacked_batches,
+                retry=_retry_policy(args),
+                drain=guard,
+            )
+    except DrainError as exc:
+        progress.close()
+        _drain_notice(exc, args.store)
+        return drain_exit_code(exc.signum)
     progress.close()
     if run.failed:
         print(f"[{run.spec.scenario_id}] FAILED (key {run.key})")
@@ -521,19 +605,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     store = RunStore(args.store if args.store else directory / "runs")
     specs = [ScenarioSpec.load(path) for path in files]
     progress = _make_progress(args)
-    batch = run_batch(
-        specs,
-        executor=get_executor(args.jobs),
-        store=store,
-        resume=args.resume,
-        fast=args.fast,
-        fem_resolution=args.fem_resolution,
-        calibrate=False if args.no_calibrate else None,
-        progress=progress,
-        group_matrices=not args.no_matrix_groups,
-        stack_batches=not args.no_stacked_batches,
-        retry=_retry_policy(args),
-    )
+    guard = DrainGuard()
+    try:
+        with guard.installed():
+            batch = run_batch(
+                specs,
+                executor=get_executor(args.jobs),
+                store=store,
+                resume=args.resume,
+                fast=args.fast,
+                fem_resolution=args.fem_resolution,
+                calibrate=False if args.no_calibrate else None,
+                progress=progress,
+                group_matrices=not args.no_matrix_groups,
+                stack_batches=not args.no_stacked_batches,
+                retry=_retry_policy(args),
+                drain=guard,
+            )
+    except DrainError as exc:
+        progress.close()
+        _drain_notice(exc, store.root)
+        return drain_exit_code(exc.signum)
     progress.close()
     solved = hits = failed = 0
     for path, run in zip(files, batch.runs):
@@ -599,6 +691,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         calibrate=False if args.no_calibrate else None,
         ttl_s=args.lease_ttl,
         retry=_retry_policy(args),
+        supervise=args.supervise,
+        max_respawns=args.max_respawns,
+        stall_timeout_s=args.stall,
+        deadline_s=args.deadline,
     )
     by_rank = {report.rank: report for report in outcome.reports}
     for rank, code in enumerate(outcome.exit_codes):
@@ -611,8 +707,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         detail = f"{solves} node(s) solved"
         if steals:
             detail += f", {steals} claim(s) stolen from dead peers"
-        status = "ok" if report.ok else (report.error or "quarantined nodes")
+        if report.drained is not None:
+            status = f"drained on signal {report.drained}"
+        else:
+            status = "ok" if report.ok else (report.error or "quarantined nodes")
         print(f"[worker {rank}] exit {code}: {detail} ({status})")
+    for event in outcome.respawns:
+        print(
+            f"[supervisor] respawned rank {event['rank']} "
+            f"(#{event['respawn']}, {event['reason']}, prior exit "
+            f"{event['exit_code']}) at t+{event['at_s']:.1f}s"
+        )
+    if outcome.deadline_exceeded:
+        print(
+            f"[supervisor] whole-run deadline of {args.deadline:g}s "
+            "exceeded; workers terminated",
+            file=sys.stderr,
+        )
     total = outcome.counters.get("plan_point_solves", 0)
     print(
         f"\nfleet of {args.workers}: {total} node(s) solved exactly once; "
@@ -626,6 +737,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
         return 3
     return 0 if outcome.ok else 3
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    directory: Path = args.directory
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    from .scenarios.fsck import scrub
+
+    report = scrub(directory, repair=args.repair)
+    print(report.table())
+    return report.exit_code
 
 
 def _cmd_migrate(args: argparse.Namespace) -> int:
@@ -684,6 +807,10 @@ def _cmd_legacy(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
+    # env-armed laggy-filesystem shim (chaos soak / NFS-semantics drills)
+    from . import fsshim
+
+    fsshim.activate_from_env()
     if argv[:1] == ["bench"]:
         # the bench harness owns its own flags; delegate before parsing
         from .perf.bench import main as bench_main
@@ -698,6 +825,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "migrate":
         return _cmd_migrate(args)
     return _cmd_legacy(args)

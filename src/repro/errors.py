@@ -72,6 +72,34 @@ class LeaseLostError(ReproError):
     """
 
 
+class CorruptArtifactError(ReproError, ValueError):
+    """A stored artifact failed its integrity check on read.
+
+    Raised by :func:`repro.scenarios.store.parse_artifact` for a torn
+    envelope header, a body/checksum mismatch (bit flip, truncation), or
+    an unparseable document.  Store readers never let it propagate — a
+    corrupt artifact is a *miss*: the file is healed away and the node
+    re-solves.  ``python -m repro fsck`` surfaces the same damage as a
+    report instead.
+    """
+
+
+class DrainError(ReproError):
+    """A drain request (SIGTERM/SIGINT) interrupted plan execution.
+
+    Raised by the scheduler at its next safe point after
+    :mod:`repro.scenarios.drain` observes a shutdown signal: no new units
+    are claimed, in-flight leases are released, and every already-landed
+    point stays committed, so ``--resume`` continues exactly where the
+    drain stopped.  Carries the signal number so the CLI can exit
+    ``128 + signum`` (130 for SIGINT, 143 for SIGTERM).
+    """
+
+    def __init__(self, signum: int, message: str | None = None) -> None:
+        self.signum = signum
+        super().__init__(message or f"drained on signal {signum}")
+
+
 class CalibrationError(ReproError):
     """Fitting-coefficient calibration failed or was given unusable data."""
 

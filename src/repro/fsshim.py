@@ -1,0 +1,130 @@
+"""Laggy-filesystem shim: deterministic delays on the rename/link seams.
+
+The store and lease protocols leans on three POSIX guarantees —
+``os.replace`` is atomic, ``os.link`` is atomic-exclusive, renames are
+immediately visible.  On a local filesystem those operations complete in
+microseconds, which makes their race windows (peek-then-steal in
+:mod:`repro.scenarios.lease`, write-then-read in
+:mod:`repro.scenarios.store`) almost impossible to hit in tests.  This
+shim widens the windows: when installed it wraps ``os.replace``,
+``os.rename`` and ``os.link`` with a *deterministic* pre-operation sleep
+— a pure hash of ``(seed, op, basename)`` scaled into ``[0, delay_s]`` —
+so a laggy NFS-ish filesystem can be simulated bit-reproducibly.  The
+atomicity guarantees are untouched; only the latency changes, which is
+exactly the regime where a renew can miss its TTL window, a steal can
+race a release, and a reader can observe the pre-rename world.
+
+Activation mirrors :mod:`repro.faults`: either call :func:`install`
+directly (tests), or export ``REPRO_FSSHIM_DELAY_S`` (and optionally
+``REPRO_FSSHIM_SEED``) and let :func:`activate_from_env` — called by the
+CLI entry point and every fleet worker — pick it up, so
+``scripts/chaos_soak.py`` can arm whole process trees through the
+environment.  :func:`install` is idempotent and :func:`uninstall`
+restores the real functions; the :func:`installed` context manager
+scopes the shim for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = [
+    "ENV_DELAY_S",
+    "ENV_SEED",
+    "SHIMMED_OPS",
+    "activate_from_env",
+    "active",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+ENV_DELAY_S = "REPRO_FSSHIM_DELAY_S"
+ENV_SEED = "REPRO_FSSHIM_SEED"
+
+#: the os-module functions the shim wraps (every atomic-visibility seam
+#: the store and lease protocols rely on)
+SHIMMED_OPS = ("replace", "rename", "link")
+
+_originals: dict[str, Callable[..., object]] = {}
+
+
+def _delay_for(op: str, dst: object, delay_s: float, seed: int) -> float:
+    """The deterministic sleep for one operation, in ``[0, delay_s]``.
+
+    Hashing the *basename* (not the full path) keeps the draw stable
+    across tmpdirs, so a seeded test or soak run sleeps identically no
+    matter where its store lives.
+    """
+    name = os.path.basename(os.fspath(dst))
+    digest = hashlib.blake2b(
+        f"{seed}|{op}|{name}".encode(), digest_size=4
+    ).digest()
+    return delay_s * (int.from_bytes(digest, "big") / float(1 << 32))
+
+
+def active() -> bool:
+    return bool(_originals)
+
+
+def install(delay_s: float, *, seed: int = 0) -> None:
+    """Wrap the shimmed os functions with deterministic pre-op sleeps.
+
+    Idempotent: a second install leaves the first one in place (so a
+    worker that inherits the env and calls :func:`activate_from_env`
+    after a test already installed the shim cannot double-wrap).
+    """
+    if _originals:
+        return
+    if delay_s < 0:
+        raise ValueError(f"fsshim delay_s must be >= 0, got {delay_s}")
+    for op in SHIMMED_OPS:
+        original = getattr(os, op)
+        _originals[op] = original
+
+        def shimmed(src, dst, *args, __op=op, __orig=original, **kwargs):
+            time.sleep(_delay_for(__op, dst, delay_s, seed))
+            return __orig(src, dst, *args, **kwargs)
+
+        setattr(os, op, shimmed)
+
+
+def uninstall() -> None:
+    """Restore the real os functions (no-op when not installed)."""
+    while _originals:
+        op, original = _originals.popitem()
+        setattr(os, op, original)
+
+
+@contextmanager
+def installed(delay_s: float, *, seed: int = 0) -> Iterator[None]:
+    """Scope the shim to a with-block (test helper)."""
+    install(delay_s, seed=seed)
+    try:
+        yield
+    finally:
+        uninstall()
+
+
+def activate_from_env() -> bool:
+    """Install the shim when ``REPRO_FSSHIM_DELAY_S`` is exported.
+
+    Returns whether the shim is active afterwards.  Invalid values are
+    ignored rather than raised — a stray variable must not take down a
+    production run.
+    """
+    raw = os.environ.get(ENV_DELAY_S)
+    if raw is None:
+        return active()
+    try:
+        delay_s = float(raw)
+        seed = int(os.environ.get(ENV_SEED, "0"))
+    except ValueError:
+        return active()
+    if delay_s > 0:
+        install(delay_s, seed=seed)
+    return active()

@@ -819,6 +819,97 @@ def bench_fleet(repeats: int) -> dict[str, Any]:
     }
 
 
+def bench_store_integrity(repeats: int) -> dict[str, Any]:
+    """Read-side cost of envelope checksum verification (PR 9).
+
+    Every store artifact now carries a blake2b checksum envelope that
+    readers verify by default.  ``plain_read_5k`` times 5 000
+    ``get_point`` reads with verification disabled (``verify=False`` —
+    the raw parse path); ``checksum_overhead`` times the identical reads
+    with verification on.  The gate (``checksum_under_5pct``) holds the
+    verified path to ≤5% over the raw path as a same-run paired ratio —
+    interleaved pairs, median of per-pair ratios, with the usual
+    absolute floor so sub-millisecond jitter cannot trip it.  A final
+    non-timed check (``checksum_detects_bitflip``) flips one byte in one
+    artifact and asserts the verified reader refuses it while the raw
+    reader would have accepted it — the overhead gate is only meaningful
+    while the verification it prices actually catches corruption.
+    """
+    import shutil
+
+    from ..scenarios import RunStore
+
+    n_points = 5_000
+    root = Path(tempfile.mkdtemp(prefix="bench_integrity_"))
+    try:
+        writer = RunStore(root / "store")
+        keys = [f"{i:064x}" for i in range(n_points)]
+        for i, key in enumerate(keys):
+            writer.put_point(key, {"i": i, "max_rise": float(i)})
+        plain_store = RunStore(root / "store", verify=False)
+        verified_store = RunStore(root / "store", verify=True)
+
+        def lookup(store: RunStore):
+            for key in keys:
+                store.get_point(key)
+
+        plain_times: list[float] = []
+        verified_times: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            lookup(plain_store)
+            plain_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            lookup(verified_store)
+            verified_times.append(time.perf_counter() - start)
+        plain_median = statistics.median(plain_times)
+        verified_median = statistics.median(verified_times)
+
+        # bit-flip detection, outside the timed loops (the verified read
+        # heals the artifact away — a deliberate store mutation)
+        victim = RunStore._sharded_path(writer.points, keys[0])
+        blob = bytearray(victim.read_bytes())
+        # the artifact ends '...0.0\n}\n': flip the final digit so the
+        # body stays parseable JSON with silently different physics —
+        # exactly the corruption only the checksum can catch
+        blob[-4] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        accepted_raw = plain_store.get_point(keys[0]) is not None
+        detects = verified_store.get_point(keys[0]) is None and accepted_raw
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    overhead = statistics.median(
+        v / p for v, p in zip(verified_times, plain_times)
+    )
+    return {
+        "benchmarks": {
+            # filesystem-bound like the lookup entries: hostage to
+            # ambient dcache/page-cache pressure
+            "plain_read_5k": _entry(
+                plain_median, plain_times, points=n_points, noisy=True
+            ),
+            "checksum_overhead": _entry(
+                verified_median,
+                verified_times,
+                points=n_points,
+                overhead_ratio=overhead,
+                noisy=True,
+            ),
+        },
+        "speedups": {"checksum_overhead_ratio": overhead},
+        "checks": {
+            "checksum_under_5pct": (
+                overhead <= 1.05
+                or statistics.median(
+                    v - p for v, p in zip(verified_times, plain_times)
+                )
+                < 0.005
+            ),
+            "checksum_detects_bitflip": detects,
+        },
+    }
+
+
 def bench_fem3d(repeats: int) -> dict[str, Any]:
     """The builtin 3-D FEM power sweep, cold — the expensive, cache-
     sensitive workload the matrix-batched plane was built for."""
@@ -914,6 +1005,7 @@ def run_benchmarks(
         bench_physics(repeats),
         bench_fault_recovery(repeats),
         bench_fleet(repeats),
+        bench_store_integrity(repeats),
         bench_fem3d(repeats),
     ):
         payload["benchmarks"].update(section["benchmarks"])

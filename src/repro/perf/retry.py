@@ -160,11 +160,24 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     max_backoff_s: float = 2.0
     node_timeout_s: float | None = None
+    #: store-wide crash count at which a node is forced to solo dispatch
+    #: (it stops riding in matrix groups / stacked batches fleet-wide)
+    poison_solo_after: int = 2
+    #: store-wide crash count at which a node is quarantined outright,
+    #: before every worker burns its own pool-rebuild budget on it
+    poison_quarantine_after: int = 4
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValidationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.poison_solo_after < 1 or self.poison_quarantine_after < 1:
+            raise ValidationError("poison thresholds must be >= 1")
+        if self.poison_quarantine_after < self.poison_solo_after:
+            raise ValidationError(
+                "poison_quarantine_after must be >= poison_solo_after "
+                f"(got {self.poison_quarantine_after} < {self.poison_solo_after})"
             )
         if self.backoff_s < 0 or self.max_backoff_s < 0:
             raise ValidationError("backoff durations must be >= 0")

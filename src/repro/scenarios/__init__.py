@@ -28,6 +28,7 @@ from .physics import (
     run_transient_spec_direct,
 )
 from .fleet import FleetOutcome, WorkerReport, run_fleet
+from .fsck import FsckReport, scrub
 from .lease import LeaseManager
 from .plan import ExecutionPlan, ScenarioPlan, compile_plan
 from .registry import SCENARIOS, ScenarioRegistry
@@ -56,6 +57,7 @@ __all__ = [
     "BatchRun",
     "ExecutionPlan",
     "FleetOutcome",
+    "FsckReport",
     "GeometryParams",
     "GeometryRule",
     "LeaseManager",
@@ -82,4 +84,5 @@ __all__ = [
     "run_nonlinear_spec_direct",
     "run_scenario",
     "run_transient_spec_direct",
+    "scrub",
 ]

@@ -1,0 +1,104 @@
+"""Graceful drain: SIGTERM/SIGINT become an orderly stop, not an abort.
+
+A :class:`DrainGuard` turns the first shutdown signal into a *request*:
+the handler records the signal and returns, and the scheduler observes
+the request at its next safe point — after the current completion has
+been committed — where it stops claiming new units, releases every held
+lease, and raises :class:`~repro.errors.DrainError`.  Every point that
+already landed stays in the store, so ``--resume`` continues exactly
+where the drain stopped.  A *second* signal restores the default
+disposition and re-raises itself: the escape hatch when the user really
+means "die now".
+
+The CLI (``run``/``batch``) and every fleet worker install a guard, map
+the drain to exit code ``128 + signum`` (130 for Ctrl-C/SIGINT, 143 for
+SIGTERM — the conventional shell codes), and print a resume hint.  The
+fleet supervisor treats those exit codes as *deliberate* and never
+respawns a drained worker.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import DrainError
+
+__all__ = ["DRAIN_SIGNALS", "DrainGuard", "drain_exit_code", "is_drain_exit"]
+
+#: the signals a guard converts into drain requests
+DRAIN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+def drain_exit_code(signum: int) -> int:
+    """The conventional shell exit code for dying on ``signum``."""
+    return 128 + signum
+
+
+def is_drain_exit(code: int | None) -> bool:
+    """True when a process exit code means "drained on request".
+
+    Covers both the cooperative path (the worker caught the signal and
+    exited ``128 + signum``) and the raw-kill path multiprocessing
+    reports as a negative exit code (``-signum``) — for the *drain*
+    signals only, so a SIGKILL (no graceful path exists) stays a crash.
+    """
+    if code is None:
+        return False
+    return any(
+        code == drain_exit_code(s) or code == -int(s) for s in DRAIN_SIGNALS
+    )
+
+
+class DrainGuard:
+    """Converts shutdown signals into a checkable drain request.
+
+    Use as ``with guard.installed(): ...`` (or call
+    :meth:`install`/:meth:`uninstall` explicitly).  Signal handlers can
+    only be installed on the main thread; elsewhere :meth:`install`
+    degrades to a no-op and the guard simply never fires.
+    """
+
+    def __init__(self) -> None:
+        self._signum: int | None = None
+        self._previous: dict[int, object] = {}
+
+    def _handle(self, signum: int, frame: object) -> None:
+        if self._signum is not None:
+            # the user insists: restore the default and die the normal way
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        self._signum = signum
+
+    def install(self) -> None:
+        try:
+            for signum in DRAIN_SIGNALS:
+                self._previous[signum] = signal.signal(signum, self._handle)
+        except ValueError:  # not the main thread: no signals here anyway
+            self._previous.clear()
+
+    def uninstall(self) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+    @contextmanager
+    def installed(self) -> Iterator["DrainGuard"]:
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    @property
+    def requested(self) -> int | None:
+        """The signal that requested the drain, or None."""
+        return self._signum
+
+    def check(self) -> None:
+        """Raise :class:`DrainError` when a drain has been requested."""
+        if self._signum is not None:
+            raise DrainError(self._signum)

@@ -15,12 +15,20 @@ same way — and makes worker death a non-event: a dead worker's leases
 expire, survivors steal its nodes, and nothing it completed is lost or
 re-solved.
 
-Each worker writes a report (``<store>/fleet/worker-<rank>.json``) with
-its perf counters and per-scenario outcomes; :func:`run_fleet` aggregates
-them into a :class:`FleetOutcome`.  The summed ``plan_point_solves``
-across reports equals the plan's node count when no worker died — the
-``fleet_no_double_solve`` bench check and the fleet tests assert exactly
-that.
+Each worker writes a report (``<store>/fleet/worker-<rank>.json``,
+atomically — a killed worker leaves no torn report) with its perf
+counters and per-scenario outcomes, plus heartbeats under
+``<store>/fleet/heartbeats/<rank>.json``; :func:`run_fleet` aggregates
+the reports into a :class:`FleetOutcome`.  The summed
+``plan_point_solves`` across reports equals the plan's node count when
+no worker died — the ``fleet_no_double_solve`` bench check and the fleet
+tests assert exactly that.
+
+``supervise=True`` adds the self-healing layer
+(:mod:`repro.scenarios.supervisor`): crashed or heartbeat-silent workers
+are respawned with backoff and resume from the store, graceful drains
+(SIGTERM/SIGINT — :mod:`repro.scenarios.drain`) are honoured and never
+respawned, and an optional whole-run deadline bounds the worst case.
 
 ``extra_env`` injects per-rank environment overrides into the children
 before any work starts; the fault matrix uses it to arm a
@@ -38,14 +46,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
-from .. import perf
-from ..errors import ValidationError
+from .. import fsshim, perf
+from ..errors import DrainError, ValidationError
 from ..perf.retry import DEFAULT_RETRY, RetryPolicy
+from .drain import DrainGuard, drain_exit_code
 from .lease import DEFAULT_TTL_S, LeaseManager
 from .registry import SCENARIOS
 from .runner import run_batch
 from .spec import ScenarioSpec
-from .store import RunStore
+from .store import RunStore, _write_json_atomic
+from .supervisor import HeartbeatWriter, Supervisor
 
 __all__ = ["FleetOutcome", "WorkerReport", "run_fleet"]
 
@@ -69,6 +79,7 @@ class WorkerReport:
     counters: dict[str, int]
     elapsed_s: float
     runs: tuple[dict[str, Any], ...]
+    drained: int | None = None  # the signal a graceful drain honoured
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "WorkerReport":
@@ -81,6 +92,7 @@ class WorkerReport:
             counters={k: int(v) for k, v in payload.get("counters", {}).items()},
             elapsed_s=float(payload.get("elapsed_s", 0.0)),
             runs=tuple(payload.get("runs", ())),
+            drained=payload.get("drained"),
         )
 
 
@@ -101,6 +113,10 @@ class FleetOutcome:
     exit_codes: tuple[int | None, ...]
     complete: bool
     counters: dict[str, int] = field(default_factory=dict)
+    #: supervision audit trail: one payload per respawn (supervised runs)
+    respawns: tuple[dict[str, Any], ...] = ()
+    #: True when a supervised run hit its whole-run deadline
+    deadline_exceeded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -130,6 +146,26 @@ def _report_path(root: Path, rank: int) -> Path:
     return root / FLEET_DIR / f"worker-{rank}.json"
 
 
+def read_reports(root: Path, workers: int) -> list[WorkerReport]:
+    """Every rank's report that survived the run, skipping the rest.
+
+    A killed worker writes no report (``os._exit`` skips the finally
+    block) and a worker dying mid-``os.replace`` on an exotic filesystem
+    can leave a truncated or garbled one; neither may poison the fleet
+    aggregation — the missing rank's exit code already tells the story.
+    """
+    reports = []
+    for rank in range(workers):
+        path = _report_path(root, rank)
+        try:
+            reports.append(
+                WorkerReport.from_payload(json.loads(path.read_text()))
+            )
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            continue
+    return reports
+
+
 def _worker_main(
     rank: int,
     store_root: str,
@@ -142,22 +178,41 @@ def _worker_main(
     retry: RetryPolicy | None,
     env: Mapping[str, str] | None,
 ) -> None:
-    """One fleet worker: claim, solve, read back, report, exit.
+    """One fleet worker: claim, solve, beat, read back, report, exit.
 
     Runs in a child process.  The exit code mirrors the CLI contract
-    (0 ok, 3 quarantined nodes, 4 the run itself raised); the report
-    JSON carries the details either way.
+    (0 ok, 3 quarantined nodes, 4 the run itself raised, ``128 +
+    signum`` for a graceful drain); the report JSON carries the details
+    either way.  Heartbeats land in the store's ``fleet/heartbeats/``
+    space on every plan completion, so the supervisor can tell a slow
+    worker from a dead or hung one.
     """
     if env:
         os.environ.update(env)
+    # honour an inherited laggy-filesystem shim (chaos soak arms it
+    # through the environment; a fresh ``spawn`` child starts unshimmed)
+    fsshim.activate_from_env()
     start = time.perf_counter()
     specs = [ScenarioSpec.from_dict(d) for d in spec_dicts]
     store = RunStore(store_root)
     claims = LeaseManager(
         store, owner=f"w{rank}.pid{os.getpid()}", ttl_s=ttl_s
     )
+    guard = DrainGuard()
+    guard.install()
+    beats = HeartbeatWriter(store.root, rank)
+    beats.beat(force=True)  # visible before the first (possibly slow) solve
+
+    def progress(event: dict[str, Any]) -> None:
+        beats.beat(
+            claim=event.get("key"),
+            held=len(claims.held),
+            done=event.get("done"),
+            total=event.get("total"),
+        )
+
     perf.reset()
-    ok, error, runs = False, None, []
+    ok, error, runs, drained = False, None, [], None
     try:
         # the specs are pre-resolved by the parent; ``fast`` is passed
         # anyway so the assembled metadata matches a single-process
@@ -170,6 +225,8 @@ def _worker_main(
             claims=claims,
             poll_s=poll_s,
             retry=retry,
+            progress=progress,
+            drain=guard,
         )
         ok = not any(run.failed for run in batch.runs)
         runs = [
@@ -181,6 +238,8 @@ def _worker_main(
             }
             for run in batch.runs
         ]
+    except DrainError as exc:
+        drained = exc.signum
     except Exception as exc:  # noqa: BLE001 — the report is the channel
         error = f"{type(exc).__name__}: {exc}"
     finally:
@@ -191,13 +250,19 @@ def _worker_main(
             "owner": claims.owner,
             "ok": ok,
             "error": error,
+            "drained": drained,
             "counters": perf.stats()["counters"],
             "elapsed_s": time.perf_counter() - start,
             "runs": runs,
         }
         path = _report_path(store.root, rank)
         path.parent.mkdir(exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        # atomic: a worker killed mid-report must leave the previous
+        # (or no) report, never a truncated one
+        _write_json_atomic(path, payload)
+        beats.beat(force=True)
+    if drained is not None:
+        raise SystemExit(drain_exit_code(drained))
     raise SystemExit(
         EXIT_ERROR if error else (EXIT_OK if ok else EXIT_FAILED_NODES)
     )
@@ -217,6 +282,10 @@ def run_fleet(
     retry: RetryPolicy | None = DEFAULT_RETRY,
     extra_env: Mapping[int, Mapping[str, str]] | None = None,
     timeout_s: float | None = None,
+    supervise: bool = False,
+    max_respawns: int = 3,
+    stall_timeout_s: float | None = None,
+    deadline_s: float | None = None,
 ) -> FleetOutcome:
     """Run ``specs`` across ``workers`` cooperating processes.
 
@@ -228,6 +297,16 @@ def run_fleet(
     before it starts (fault-injection cells use it to kill exactly one
     worker).  ``timeout_s`` bounds each worker's join; workers still
     alive afterwards are terminated and reported with their exit code.
+
+    ``supervise=True`` runs the workers under a
+    :class:`~repro.scenarios.supervisor.Supervisor`: abnormally-dead
+    workers are respawned (up to ``max_respawns`` per rank, with
+    crash-loop backoff) and resume from the store; a worker alive but
+    heartbeat-silent for ``stall_timeout_s`` is killed and respawned
+    too; ``deadline_s`` bounds the whole supervised run (on expiry every
+    worker is terminated and the outcome reports
+    ``deadline_exceeded``).  Every respawn lands in
+    :attr:`FleetOutcome.respawns`.
     """
     if workers < 1:
         raise ValidationError(f"fleet needs >= 1 worker, got {workers}")
@@ -241,8 +320,8 @@ def run_fleet(
 
     spec_dicts = [spec.to_dict() for spec in resolved]
     ctx = multiprocessing.get_context()
-    procs = []
-    for rank in range(workers):
+
+    def spawn(rank: int):
         proc = ctx.Process(
             target=_worker_main,
             args=(rank, str(root), spec_dicts),
@@ -257,29 +336,40 @@ def run_fleet(
             name=f"repro-fleet-{rank}",
         )
         proc.start()
-        procs.append(proc)
+        return proc
 
-    deadline = None if timeout_s is None else time.monotonic() + timeout_s
-    exit_codes: list[int | None] = []
-    for proc in procs:
-        remaining = (
-            None if deadline is None else max(0.0, deadline - time.monotonic())
+    procs = [spawn(rank) for rank in range(workers)]
+
+    respawn_events: tuple[dict[str, Any], ...] = ()
+    deadline_exceeded = False
+    if supervise:
+        sup = Supervisor(
+            root,
+            spawn,
+            max_respawns=max_respawns,
+            stall_timeout_s=stall_timeout_s,
+            deadline_s=deadline_s if deadline_s is not None else timeout_s,
         )
-        proc.join(remaining)
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(5.0)
-        exit_codes.append(proc.exitcode)
-
-    reports = []
-    for rank in range(workers):
-        path = _report_path(root, rank)
-        try:
-            reports.append(
-                WorkerReport.from_payload(json.loads(path.read_text()))
+        final = sup.run(dict(enumerate(procs)))
+        exit_codes = [final[rank] for rank in range(workers)]
+        respawn_events = tuple(e.to_payload() for e in sup.events)
+        deadline_exceeded = sup.deadline_exceeded
+    else:
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        exit_codes = []
+        for proc in procs:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
             )
-        except (OSError, json.JSONDecodeError, KeyError, ValueError):
-            continue  # a killed worker writes no report; its exit code tells
+            proc.join(remaining)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(5.0)
+            exit_codes.append(proc.exitcode)
+
+    reports = read_reports(root, workers)
     counters: dict[str, int] = {}
     for report in reports:
         for name, value in report.counters.items():
@@ -295,4 +385,6 @@ def run_fleet(
         exit_codes=tuple(exit_codes),
         complete=complete,
         counters=counters,
+        respawns=respawn_events,
+        deadline_exceeded=deadline_exceeded,
     )

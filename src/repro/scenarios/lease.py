@@ -152,10 +152,12 @@ class LeaseManager:
         exactly like a stale claim and steal it, which heals torn files
         left by a worker that died mid-tombstone.
         """
+        return self._read_lease(self._claim_path(key))
+
+    @staticmethod
+    def _read_lease(path: Path) -> Lease | None:
         try:
-            return Lease.from_payload(
-                json.loads(self._claim_path(key).read_text())
-            )
+            return Lease.from_payload(json.loads(path.read_text()))
         except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError):
             return None
 
@@ -204,6 +206,24 @@ class LeaseManager:
             try:
                 os.replace(claim, tombstone)
             except FileNotFoundError:
+                increment("lease_conflicts")
+                return False
+            # the rename is atomic but not conditional: between the peek
+            # above and the replace, a rival may have finished the whole
+            # steal dance and linked a *fresh* claim under the same name —
+            # in which case what we just tombstoned is live.  Read it back
+            # before declaring victory, and hand a live claim straight
+            # back (same bytes, so its holder's owner+token guard keeps
+            # passing).
+            stolen = self._read_lease(tombstone)
+            if stolen is not None and not stolen.expired:
+                try:
+                    os.link(tombstone, claim)
+                except FileExistsError:
+                    # a third contender claimed meanwhile; the displaced
+                    # holder's fencing token reports the loss at commit
+                    pass
+                tombstone.unlink(missing_ok=True)
                 increment("lease_conflicts")
                 return False
             # the tombstone is ours to drop; then retry the claim once

@@ -41,6 +41,7 @@ from .plan import (
     compile_plan,
     run_case_study_spec,
 )
+from .drain import DrainGuard
 from .lease import LeaseManager
 from .registry import SCENARIOS
 from .scheduler import ProgressFn, execute_plan
@@ -184,6 +185,7 @@ def run_batch(
     retry: RetryPolicy | None = DEFAULT_RETRY,
     claims: LeaseManager | None = None,
     poll_s: float = 0.05,
+    drain: DrainGuard | None = None,
 ) -> BatchRun:
     """Run many scenarios as one merged, deduplicated execution plan.
 
@@ -210,7 +212,11 @@ def run_batch(
     are solved under lease, peer results are read back from the point
     space (paced by ``poll_s``), and every worker assembles every
     scenario — run-level artifacts are deterministic, so concurrent
-    writes are idempotent.
+    writes are idempotent.  ``drain`` (a
+    :class:`~repro.scenarios.drain.DrainGuard`) lets a shutdown signal
+    stop the plan at a safe point: landed points stay committed, held
+    leases are released, and :class:`~repro.errors.DrainError`
+    propagates out for the caller to map to an exit code.
     """
     resolved: list[ScenarioSpec] = []
     for spec in specs:
@@ -287,6 +293,7 @@ def run_batch(
             retry=retry,
             claims=claims,
             poll_s=poll_s,
+            drain=drain,
         )
         stats.update(plan.stats)
         stats.update(outcome.counts)
@@ -327,6 +334,7 @@ def run_scenario(
     group_matrices: bool = True,
     stack_batches: bool = True,
     retry: RetryPolicy | None = DEFAULT_RETRY,
+    drain: DrainGuard | None = None,
 ) -> ScenarioRun:
     """Run one scenario (a spec, or a registered scenario id).
 
@@ -353,5 +361,6 @@ def run_scenario(
         group_matrices=group_matrices,
         stack_batches=stack_batches,
         retry=retry,
+        drain=drain,
     )
     return batch.runs[0]

@@ -85,13 +85,19 @@ physics-kind subsets), ``plan_matrix_groups`` / ``plan_grouped_solves``
 dispatched and the nodes they carried),
 ``plan_calibrations``, ``point_store_hits`` / ``point_store_misses``,
 ``plan_retries`` (failed dispatches re-attempted),
-``plan_group_degradations`` (multi-node tasks split after a failure) and
-``plan_quarantined`` (nodes that exhausted their budget).
+``plan_group_degradations`` (multi-node tasks split after a failure),
+``plan_quarantined`` (nodes that exhausted their budget),
+``plan_poison_degradations`` (nodes forced solo by the fleet-wide blame
+ledger) and ``plan_poison_quarantined`` (nodes quarantined outright for
+repeatedly crashing executors — see the store's ``blame/`` space and
+:class:`~repro.perf.RetryPolicy`'s ``poison_solo_after`` /
+``poison_quarantine_after`` thresholds).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from collections import defaultdict, deque
 from collections.abc import Callable
@@ -101,7 +107,7 @@ from typing import Any
 from ..calibration import fit_coefficients
 from ..core.nonlinear import NonlinearResult
 from ..core.result import ModelResult
-from ..errors import ExperimentError, LeaseLostError
+from ..errors import DrainError, ExperimentError, LeaseLostError
 from ..experiments.harness import calibrated_model_from_fit
 from ..network.transient import TransientResult
 from ..perf import (
@@ -140,6 +146,7 @@ from .plan import (
     is_content_key,
     run_case_study_spec,
 )
+from .drain import DrainGuard
 from .lease import LeaseManager
 from .store import RunStore
 
@@ -151,6 +158,31 @@ from .store import RunStore
 #: was dispatched: ``"point"`` (solo/per-point bucket), ``"group"``
 #: (multi-RHS matrix group) or ``"stacked"`` (cross-matrix stacked batch)
 ProgressFn = Callable[[dict[str, Any]], None]
+
+#: audit hook for the chaos harness: when this names a directory, every
+#: *fresh* point commit (a solve landed under this process's own lease —
+#: not cache republishes, not store read-backs) appends its node key to
+#: ``<dir>/<pid>.solves``.  The append happens after ``put_point``
+#: succeeds and before the lease is released, so a kill at any instant
+#: can only under-record, never attribute a commit that did not happen —
+#: which is what lets ``scripts/chaos_soak.py`` assert *zero
+#: double-solves*: the lease fencing guarantees at most one committed
+#: solve per key fleet-wide, and the union of ledgers proves it.
+SOLVE_LEDGER_ENV = "REPRO_SOLVE_LEDGER"
+
+
+def _record_solve(key: str) -> None:
+    ledger_dir = os.environ.get(SOLVE_LEDGER_ENV)
+    if not ledger_dir:
+        return
+    try:
+        path = os.path.join(ledger_dir, f"{os.getpid()}.solves")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(key + "\n")
+    except OSError:
+        # the audit trail must never fail the run it audits
+        pass
+
 
 #: completion hook: ``(node key, node result)`` the moment a node finishes
 #: (:func:`repro.scenarios.runner.run_batch` uses it to assemble and store
@@ -188,6 +220,7 @@ def execute_plan(
     retry: RetryPolicy | None = DEFAULT_RETRY,
     claims: LeaseManager | None = None,
     poll_s: float = 0.05,
+    drain: DrainGuard | None = None,
 ) -> ScheduleOutcome:
     """Execute every node of ``plan`` and return the per-key results.
 
@@ -220,6 +253,13 @@ def execute_plan(
     ``store`` (the point space is the inter-worker result channel).
     Deterministic solves make any interleaving byte-identical to the
     single-process path.
+
+    ``drain`` is a :class:`~repro.scenarios.drain.DrainGuard`: when a
+    shutdown signal has been observed, the scheduler stops at its next
+    safe point — after the in-flight completion has been committed —
+    releases every held lease, and raises
+    :class:`~repro.errors.DrainError`.  Landed points stay in the store,
+    so ``resume=True`` continues exactly where the drain stopped.
     """
     executor = executor or SerialExecutor()
     if claims is not None and store is None:
@@ -233,6 +273,9 @@ def execute_plan(
     failures = outcome.failures
     attempts: dict[str, int] = {}  # failed dispatches per node key
     solo: set[str] = set()  # keys that must dispatch alone (post-failure)
+    #: this wave's snapshot of the store's fleet-wide poison-unit ledger
+    blame_snapshot: dict[str, int] = {}
+    poison_forced: set[str] = set()  # keys already counted as poison-solo
     #: nodes claimed by a cooperating worker: key -> (node, model, cache_key)
     deferred: dict[str, tuple[Any, Any, str | None]] = {}
     wall_start = time.time()  # gates peer-failure adoption to this run
@@ -613,7 +656,20 @@ def execute_plan(
             claims.renew_all()
             last_renew = now
 
+    def check_drain() -> None:
+        """Honour a pending drain request at this safe point.
+
+        Everything that already landed is committed; every lease this
+        worker still holds is released so peers (or a later ``--resume``)
+        pick the nodes up immediately instead of waiting out the TTL.
+        """
+        if drain is not None and drain.requested is not None:
+            if claims is not None:
+                claims.release_all()
+            raise DrainError(drain.requested)
+
     while done < total:
+        check_drain()
         progressed = drain_parent_nodes()
         if claims is not None and deferred:
             progressed = poll_deferred() or progressed
@@ -623,6 +679,7 @@ def execute_plan(
             if claims is not None and deferred:
                 # every remaining node is in a peer's hands: wait for
                 # results (or expired claims) instead of busy-spinning
+                check_drain()
                 maybe_renew()
                 time.sleep(poll_s)
                 continue
@@ -658,6 +715,50 @@ def execute_plan(
                         finish(node, result, "store")
                         continue
             dispatch.append((node, model, cache_key))
+
+        # poison-unit isolation: consult the store's fleet-wide blame
+        # ledger before building dispatch units.  A node whose executors
+        # have crashed poison_solo_after times (across every worker and
+        # every supervisor respawn) is forced out of the batch tiers into
+        # solo dispatch; past poison_quarantine_after it goes straight to
+        # the failure ledger without costing this worker a single pool
+        # rebuild.
+        if store is not None and retry is not None and dispatch:
+            blame_snapshot = store.blame_counts()
+            if blame_snapshot:
+                kept: list[tuple[Any, Any, str | None]] = []
+                for entry in dispatch:
+                    node = entry[0]
+                    count = (
+                        blame_snapshot.get(node.key, 0)
+                        if is_content_key(node.key)
+                        else 0
+                    )
+                    if count >= retry.poison_quarantine_after:
+                        increment("plan_poison_quarantined")
+                        quarantine(
+                            node,
+                            NodeFailure(
+                                key=node.key,
+                                kind=node.kind,
+                                error_class="PoisonedUnitError",
+                                message=(
+                                    f"poison unit: crashed its executor "
+                                    f"{count}x fleet-wide (threshold "
+                                    f"{retry.poison_quarantine_after})"
+                                ),
+                                traceback_digest="",
+                                attempts=attempts.get(node.key, 0),
+                            ),
+                        )
+                        continue
+                    if count >= retry.poison_solo_after and node.key not in solo:
+                        solo.add(node.key)
+                        if node.key not in poison_forced:
+                            poison_forced.add(node.key)
+                            increment("plan_poison_degradations")
+                    kept.append(entry)
+                dispatch = kept
 
         # matrix groups first: nodes sharing an assembly_key solve the
         # identical system matrix and differ only in their RHS, so they
@@ -815,6 +916,12 @@ def execute_plan(
                         finish(node, result, "solved", dispatch)
                         return
                 store.put_point(node.key, result.to_payload())
+                _record_solve(node.key)
+                if node.key in blame_snapshot:
+                    # it finally solved cleanly: absolve it so a lingering
+                    # blame count cannot poison-quarantine future runs
+                    store.clear_blame(node.key)
+                    blame_snapshot.pop(node.key, None)
                 if claims is not None:
                     claims.release(node.key)
             finish(node, result, "solved", dispatch)
@@ -848,6 +955,20 @@ def execute_plan(
             node = members[0][0]
             n = attempts.get(node.key, 0) + 1
             attempts[node.key] = n
+            if (
+                store is not None
+                and is_content_key(node.key)
+                and failure.error_class == "WorkerCrashError"
+            ):
+                # a solo crash is unambiguous blame: count it in the
+                # fleet-wide ledger so peers (and respawned workers) stop
+                # feeding this unit to fresh executors, and quarantine it
+                # here the moment it crosses the threshold
+                count = store.add_blame(node.key)
+                if count >= retry.poison_quarantine_after:
+                    increment("plan_poison_quarantined")
+                    quarantine_task_failure(node, failure, n)
+                    return
             if failure.transient and n < retry.max_attempts:
                 increment("plan_retries")
                 solo.add(node.key)
@@ -863,6 +984,10 @@ def execute_plan(
                 tasks, timeout_s=retry.node_timeout_s
             )
         for task, solved in stream:
+            # drain between completions: the finished result has been
+            # committed by land(); anything still in flight is abandoned
+            # (its lease is released, a peer or a resume re-solves it)
+            check_drain()
             maybe_renew()
             if isinstance(solved, TaskFailure):
                 handle_failure(task, solved)

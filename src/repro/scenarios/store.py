@@ -26,6 +26,30 @@ leaves a half-written artifact behind the rename.  A corrupt or
 unreadable object is treated as a miss (and healed out of the manifest)
 rather than an error.
 
+Every ``objects/``, ``points/``, ``failures/`` and ``blame/`` payload is
+written inside an **integrity envelope**: a one-line JSON header carrying
+a blake2b checksum of the body, followed by the body document itself ::
+
+    {"repro_envelope": 1, "checksum": "<blake2b-128-hex>"}
+    {
+      ... the payload ...
+    }
+
+Readers verify the checksum against the raw body bytes before parsing —
+a bit flip, a truncation, or bytes lost between write and fsync all read
+as a *miss* (plus the usual healing), never as silently different
+physics.  Envelope-less artifacts written by earlier versions parse as
+legacy documents without verification, so old stores keep working;
+``python -m repro fsck <store>`` (see :mod:`repro.scenarios.fsck`)
+scrubs a whole store for damage and ``--repair`` heals it in place.
+
+The ``blame/`` space is the fleet-wide poison-unit ledger: one small
+record per plan node that has crashed its executor, counted across every
+cooperating worker (and across supervisor respawns).  The scheduler
+consults it to force-degrade repeat offenders to solo dispatch and to
+quarantine them outright before each worker burns its own
+``max_pool_rebuilds`` on the same poison unit.
+
 Hits and misses are counted into :func:`repro.perf.stats` under
 ``run_store_hits`` / ``run_store_misses`` and ``point_store_hits`` /
 ``point_store_misses``.
@@ -43,6 +67,7 @@ artifacts and listings stay fast at millions of stored points)::
     <root>/objects/<xx>/<key>.json     (whole runs)
     <root>/points/<xx>/<key>.json      (individual plan nodes)
     <root>/failures/<xx>/<key>.json    (quarantined plan nodes)
+    <root>/blame/<xx>/<key>.json       (fleet-wide poison-unit counts)
     <root>/leases/<xx>/<key>.claim     (fleet worker claims; see
                                         :mod:`repro.scenarios.lease`)
 
@@ -55,6 +80,7 @@ legacy store over wholesale.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -63,7 +89,7 @@ from pathlib import Path
 from typing import Any
 
 from .. import faults
-from ..errors import ValidationError
+from ..errors import CorruptArtifactError, ValidationError
 from ..perf import increment
 from ..perf.retry import NodeFailure
 from .spec import ScenarioSpec
@@ -72,8 +98,73 @@ MANIFEST_NAME = "manifest.json"
 OBJECTS_DIR = "objects"
 POINTS_DIR = "points"
 FAILURES_DIR = "failures"
+BLAME_DIR = "blame"
 LEASES_DIR = "leases"
 MANIFEST_VERSION = 1
+
+ENVELOPE_KEY = "repro_envelope"
+ENVELOPE_VERSION = 1
+#: every envelope header starts with exactly these bytes (json.dumps of a
+#: dict whose first key is ENVELOPE_KEY) — the legacy/envelope detector
+ENVELOPE_PREFIX = f'{{"{ENVELOPE_KEY}"'
+
+
+def artifact_checksum(body_text: str) -> str:
+    """The envelope checksum of an artifact body: blake2b-128 of its bytes.
+
+    Hashing the serialised bytes (not a re-canonicalised document) keeps
+    verify-on-read cheap — one hash pass over the text that was going to
+    be parsed anyway, no second ``json.dumps``.
+    """
+    return hashlib.blake2b(body_text.encode(), digest_size=16).hexdigest()
+
+
+def render_artifact(payload: Any, *, envelope: bool = True) -> str:
+    """Serialise ``payload`` for storage, integrity envelope included."""
+    body = json.dumps(payload, indent=2) + "\n"
+    if not envelope:
+        return body
+    header = json.dumps(
+        {ENVELOPE_KEY: ENVELOPE_VERSION, "checksum": artifact_checksum(body)}
+    )
+    return header + "\n" + body
+
+
+def parse_artifact(text: str, *, verify: bool = True) -> tuple[Any, bool]:
+    """``(payload, enveloped)`` for a stored artifact's text.
+
+    Enveloped artifacts are checksum-verified (unless ``verify=False``)
+    before the body is parsed; envelope-less text parses as a legacy
+    single-document artifact.  Any damage — torn header, checksum
+    mismatch, unparseable body — raises
+    :class:`~repro.errors.CorruptArtifactError`, which every store reader
+    treats as a miss-plus-heal.
+    """
+    if text.startswith(ENVELOPE_PREFIX):
+        header_text, sep, body = text.partition("\n")
+        if not sep:
+            raise CorruptArtifactError("artifact envelope has no body")
+        try:
+            header = json.loads(header_text)
+        except json.JSONDecodeError as exc:
+            raise CorruptArtifactError(
+                f"unreadable artifact envelope header: {exc}"
+            ) from None
+        if verify and header.get("checksum") != artifact_checksum(body):
+            increment("store_checksum_failures")
+            raise CorruptArtifactError(
+                "artifact body does not match its envelope checksum"
+            )
+        try:
+            return json.loads(body), True
+        except json.JSONDecodeError as exc:
+            raise CorruptArtifactError(
+                f"unparseable artifact body: {exc}"
+            ) from None
+    try:
+        return json.loads(text), False
+    except json.JSONDecodeError as exc:
+        raise CorruptArtifactError(f"unparseable legacy artifact: {exc}") from None
 
 
 def shard_prefix(key: str) -> str:
@@ -88,7 +179,13 @@ def shard_prefix(key: str) -> str:
     return key[:2] if len(key) >= 2 else (key + "__")[:2]
 
 
-def _write_json_atomic(path: Path, payload: Any, fault_key: str | None = None) -> None:
+def _write_json_atomic(
+    path: Path,
+    payload: Any,
+    fault_key: str | None = None,
+    *,
+    envelope: bool = False,
+) -> None:
     """Write JSON durably: serialise, fsync the tmp file, then rename.
 
     The fsync-before-rename matters: without it a machine crash shortly
@@ -96,9 +193,12 @@ def _write_json_atomic(path: Path, payload: Any, fault_key: str | None = None) -
     on some filesystems — exactly the truncated-artifact shape the
     readers heal, but better never to write it.  ``fault_key`` routes the
     write through the ``store-write`` fault-injection site (delay or
-    payload corruption) when the :mod:`repro.faults` registry is armed.
+    payload corruption) when the :mod:`repro.faults` registry is armed;
+    ``envelope=True`` wraps the payload in the integrity envelope
+    (injected corruption is applied to the *enveloped* text, so a
+    truncated write always fails its own checksum).
     """
-    text = json.dumps(payload, indent=2) + "\n"
+    text = render_artifact(payload, envelope=envelope)
     if fault_key is not None and faults.active():
         faults.inject("store-write", fault_key)
         text = faults.corrupt_text("store-write", fault_key, text)
@@ -116,14 +216,20 @@ def _write_json_atomic(path: Path, payload: Any, fault_key: str | None = None) -
 class RunStore:
     """A content-addressed artifact store for scenario results."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, verify: bool = True) -> None:
         self.root = Path(root)
+        #: checksum-verify enveloped artifacts on read (the production
+        #: default; ``verify=False`` exists for the paired
+        #: ``checksum_overhead`` bench measurement)
+        self.verify = verify
         self.objects = self.root / OBJECTS_DIR
         self.objects.mkdir(parents=True, exist_ok=True)
         self.points = self.root / POINTS_DIR
         self.points.mkdir(parents=True, exist_ok=True)
         self.failures = self.root / FAILURES_DIR
         self.failures.mkdir(parents=True, exist_ok=True)
+        self.blame = self.root / BLAME_DIR
+        self.blame.mkdir(parents=True, exist_ok=True)
         self.leases = self.root / LEASES_DIR
         self.leases.mkdir(parents=True, exist_ok=True)
         # tracks "might any failure record exist?" so the per-point clear
@@ -131,6 +237,21 @@ class RunStore:
         self._has_failures = any(self._space_paths(self.failures))
         self._manifest_path = self.root / MANIFEST_NAME
         self._manifest = self._load_manifest()
+
+    def _read_artifact(self, space: Path, key: str) -> Any | None:
+        """The parsed (and checksum-verified) payload for ``key``, or None.
+
+        Missing, unreadable, truncated, or checksum-failing artifacts all
+        read as None; the caller decides whether to heal the file away.
+        """
+        path = self._read_path(space, key)
+        if path is None:
+            return None
+        try:
+            payload, _ = parse_artifact(path.read_text(), verify=self.verify)
+        except (OSError, CorruptArtifactError):
+            return None
+        return payload
 
     # ------------------------------------------------------------------
     # sharded layout with transparent legacy (flat) read-back
@@ -180,6 +301,7 @@ class RunStore:
             ("objects", self.objects, ".json"),
             ("points", self.points, ".json"),
             ("failures", self.failures, ".json"),
+            ("blame", self.blame, ".json"),
             ("leases", self.leases, ".claim"),
         )
         for name, space, suffix in spaces:
@@ -233,12 +355,13 @@ class RunStore:
             increment("run_store_misses")
             return None
         try:
-            payload = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+            payload, _ = parse_artifact(path.read_text(), verify=self.verify)
+        except (CorruptArtifactError, OSError):
             # heal: drop the manifest entry for the corrupt artifact
             del self._manifest["runs"][key]
             self._write_manifest()
             path.unlink(missing_ok=True)
+            increment("store_integrity_heals")
             increment("run_store_misses")
             return None
         increment("run_store_hits")
@@ -249,7 +372,7 @@ class RunStore:
     ) -> Path:
         """Store ``payload`` under ``key`` and index it in the manifest."""
         path = self._write_path(self.objects, key)
-        _write_json_atomic(path, payload, fault_key=f"run:{key}")
+        _write_json_atomic(path, payload, fault_key=f"run:{key}", envelope=True)
         self._manifest["runs"][key] = {
             "scenario_id": spec.scenario_id,
             "path": str(path.relative_to(self.root)),
@@ -282,9 +405,10 @@ class RunStore:
             increment("point_store_misses")
             return None
         try:
-            payload = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+            payload, _ = parse_artifact(path.read_text(), verify=self.verify)
+        except (CorruptArtifactError, OSError):
             path.unlink(missing_ok=True)
+            increment("store_integrity_heals")
             increment("point_store_misses")
             return None
         increment("point_store_hits")
@@ -295,7 +419,9 @@ class RunStore:
         unserialisable payload metadata — the point is just not resumable)."""
         path = self._write_path(self.points, key)
         try:
-            _write_json_atomic(path, payload, fault_key=f"point:{key}")
+            _write_json_atomic(
+                path, payload, fault_key=f"point:{key}", envelope=True
+            )
         except (TypeError, ValueError):
             increment("point_store_skipped")
             return None
@@ -321,7 +447,7 @@ class RunStore:
     def put_failure(self, key: str, failure: NodeFailure) -> Path:
         """Record a quarantined node in the ``failures/`` space."""
         path = self._write_path(self.failures, key)
-        _write_json_atomic(path, failure.to_payload())
+        _write_json_atomic(path, failure.to_payload(), envelope=True)
         self._has_failures = True
         return path
 
@@ -331,8 +457,9 @@ class RunStore:
         if path is None:
             return None
         try:
-            return NodeFailure.from_payload(json.loads(path.read_text()))
-        except (json.JSONDecodeError, OSError, KeyError, TypeError):
+            payload, _ = parse_artifact(path.read_text(), verify=self.verify)
+            return NodeFailure.from_payload(payload)
+        except (CorruptArtifactError, OSError, KeyError, TypeError):
             path.unlink(missing_ok=True)
             return None
 
@@ -361,6 +488,49 @@ class RunStore:
     def failure_keys(self) -> list[str]:
         """Keys of every quarantined node, sorted."""
         return sorted(p.stem for p in self._space_paths(self.failures))
+
+    # ------------------------------------------------------------------
+    # the blame ledger: fleet-wide poison-unit counts
+    # ------------------------------------------------------------------
+    def add_blame(self, key: str) -> int:
+        """Count one executor crash against plan node ``key``; new total.
+
+        A read-modify-write without locking: two workers blaming the same
+        key at the same instant may lose one increment.  That only delays
+        the poison threshold by one extra crash — acceptable for a ledger
+        whose job is to stop *repeat* offenders — and every write is
+        atomic, so the count never tears.
+        """
+        count = self.get_blame(key) + 1
+        path = self._write_path(self.blame, key)
+        _write_json_atomic(
+            path,
+            {"key": key, "count": count, "updated_unix": time.time()},
+            envelope=True,
+        )
+        return count
+
+    def get_blame(self, key: str) -> int:
+        """Crash count recorded against ``key`` (0 if none/corrupt)."""
+        payload = self._read_artifact(self.blame, key)
+        if not isinstance(payload, dict):
+            return 0
+        count = payload.get("count")
+        return count if isinstance(count, int) and count > 0 else 0
+
+    def blame_counts(self) -> dict[str, int]:
+        """Every blamed key and its count — one scan, for per-wave use."""
+        counts: dict[str, int] = {}
+        for path in self._space_paths(self.blame):
+            count = self.get_blame(path.stem)
+            if count:
+                counts[path.stem] = count
+        return counts
+
+    def clear_blame(self, key: str) -> None:
+        """Erase ``key``'s blame record (it finally solved cleanly)."""
+        self._sharded_path(self.blame, key).unlink(missing_ok=True)
+        self._flat_path(self.blame, key).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # introspection

@@ -8,7 +8,6 @@ that matters: completed points are byte-identical to a fault-free run
 (modulo ``runtimes_ms``, which is wall-clock).
 """
 
-import json
 import warnings
 
 import pytest
@@ -236,6 +235,9 @@ class TestPlanRecovery:
 
 class TestStoreDurability:
     def test_corrupt_point_write_heals_to_a_miss(self, tmp_path):
+        from repro.errors import CorruptArtifactError
+        from repro.scenarios.store import parse_artifact
+
         store = RunStore(tmp_path / "store")
         faults.configure(
             rate=1.0, kinds=("corrupt",), sites=("store-write",), seed=0
@@ -243,11 +245,15 @@ class TestStoreDurability:
         path = store.put_point("k1", {"kind": "solve", "max_rise": 1.0})
         faults.reset()
         assert path.exists()
-        with pytest.raises(json.JSONDecodeError):
-            json.loads(path.read_text())  # the write really was corrupted
+        # the truncated write fails its own envelope checksum — the
+        # corruption is detectable from the artifact bytes alone
+        with pytest.raises(CorruptArtifactError):
+            parse_artifact(path.read_text())
         assert store.get_point("k1") is None  # reader treats it as a miss
         assert not path.exists()  # and heals the object away
-        assert perf.stats()["counters"]["fault_injected_corrupt"] >= 1
+        counters = perf.stats()["counters"]
+        assert counters["fault_injected_corrupt"] >= 1
+        assert counters["store_integrity_heals"] >= 1
 
     def test_corrupt_run_write_heals_manifest(self, tmp_path):
         store = RunStore(tmp_path / "store")

@@ -165,3 +165,30 @@ class TestFleetCLI:
         assert code == 0
         assert "migrated 1 artifact(s)" in capsys.readouterr().out
         assert RunStore(tmp_path / "store").get_point("ab" * 32) == {"x": 1}
+
+
+class TestReportAggregation:
+    def test_missing_truncated_and_garbled_reports_are_skipped(self, tmp_path):
+        from repro.scenarios.fleet import _report_path, read_reports
+
+        good = {
+            "rank": 0,
+            "pid": 1234,
+            "owner": "w0",
+            "ok": True,
+            "error": None,
+            "counters": {"plan_point_solves": 3},
+            "elapsed_s": 1.0,
+            "runs": [],
+        }
+        path0 = _report_path(tmp_path, 0)
+        path0.parent.mkdir(parents=True)
+        path0.write_text(json.dumps(good))
+        # rank 1 died mid-write on a laggy filesystem: truncated JSON
+        _report_path(tmp_path, 1).write_text('{"rank": 1, "exit_code"')
+        # rank 2 wrote valid JSON missing the report fields
+        _report_path(tmp_path, 2).write_text("{}")
+        # rank 3 was SIGKILLed before writing anything at all
+        reports = read_reports(tmp_path, workers=4)
+        assert [r.rank for r in reports] == [0]
+        assert reports[0].counters == {"plan_point_solves": 3}

@@ -217,7 +217,9 @@ class TestShardedLayout:
 
         migrated = RunStore(store.root)
         moved = migrated.migrate()
-        assert moved == {"objects": 1, "points": 1, "failures": 1, "leases": 1}
+        assert moved == {
+            "objects": 1, "points": 1, "failures": 1, "blame": 0, "leases": 1,
+        }
         assert migrated.get(run_key) == {"kind": "sweep"}
         assert migrated.get_point(KEY) == {"x": 1}
         assert migrated.get_failure("ab" * 32) is not None
@@ -225,10 +227,94 @@ class TestShardedLayout:
         assert entry["path"].startswith(f"objects/{shard_prefix(run_key)}/")
         # idempotent: nothing flat remains
         assert RunStore(store.root).migrate() == {
-            "objects": 0, "points": 0, "failures": 0, "leases": 0,
+            "objects": 0, "points": 0, "failures": 0, "blame": 0, "leases": 0,
         }
 
     def test_short_keys_pad_into_a_distinct_shard(self, store):
         store.put_point("a", {"v": 1})
         assert shard_prefix("a") == "a_"
         assert store.get_point("a") == {"v": 1}
+
+
+class TestLaggyFilesystem:
+    """The steal dance under :mod:`repro.fsshim`'s laggy renames.
+
+    The shim injects deterministic sleeps before every ``os.replace`` /
+    ``os.rename`` / ``os.link``, widening exactly the windows — between
+    reading an expired claim and tombstoning it, between tombstoning and
+    re-linking — where NFS-grade latency could let two workers disagree
+    about who stole a lease.
+    """
+
+    def test_shim_installs_and_uninstalls_cleanly(self):
+        import os as os_mod
+
+        from repro import fsshim
+
+        originals = (os_mod.replace, os_mod.rename, os_mod.link)
+        with fsshim.installed(0.0, seed=1):
+            assert fsshim.active()
+            assert os_mod.replace is not originals[0]
+        assert not fsshim.active()
+        assert (os_mod.replace, os_mod.rename, os_mod.link) == originals
+
+    def test_expired_claim_steal_survives_laggy_renames(self, store):
+        from repro import fsshim
+
+        w1 = manager(store, "w1", ttl_s=0.05)
+        w2 = manager(store, "w2")
+        assert w1.acquire(KEY)
+        time.sleep(0.06)
+        with fsshim.installed(0.02, seed=3):
+            assert w2.acquire(KEY)
+        assert counter("lease_steals") == 1
+        assert w2.peek(KEY).owner == "w2"
+        # the tombstone dance never leaves the claim itself torn
+        claim = store.leases / shard_prefix(KEY) / f"{KEY}.claim"
+        json.loads(claim.read_text())
+
+    def test_zombie_is_fenced_out_despite_slow_commit(self, store):
+        from repro import fsshim
+
+        w1 = manager(store, "w1", ttl_s=0.05)
+        w2 = manager(store, "w2")
+        assert w1.acquire(KEY)
+        time.sleep(0.06)
+        with fsshim.installed(0.02, seed=5):
+            assert w2.acquire(KEY)
+            # the usurped holder discovers the loss at its write guard no
+            # matter how slowly the steal's renames landed
+            with pytest.raises(LeaseLostError):
+                w1.check(KEY)
+            w2.check(KEY)
+
+    def test_concurrent_steal_race_has_exactly_one_winner(self, store):
+        import threading
+
+        from repro import fsshim
+
+        w1 = manager(store, "w1", ttl_s=0.05)
+        assert w1.acquire(KEY)
+        time.sleep(0.06)
+        contenders = [manager(store, f"s{i}") for i in range(3)]
+        results = {}
+        with fsshim.installed(0.02, seed=7):
+            threads = [
+                threading.Thread(
+                    target=lambda m: results.__setitem__(m.owner, m.acquire(KEY)),
+                    args=(m,),
+                )
+                for m in contenders
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sum(results.values()) == 1
+        (winner,) = [owner for owner, won in results.items() if won]
+        final = manager(store, "observer").peek(KEY)
+        assert final.owner == winner
+        # and the loser(s) recorded a conflict or lost the tombstone race;
+        # either way nobody tore the claim file
+        claim = store.leases / shard_prefix(KEY) / f"{KEY}.claim"
+        json.loads(claim.read_text())

@@ -23,6 +23,7 @@ from repro.scenarios.plan import (
     assemble_scenario,
 )
 from repro.scenarios.runner import _run_scenario_eager
+from repro.scenarios.store import parse_artifact
 
 
 def tiny_spec(scenario_id="plan_tiny", models=("1d",), calibrate=False, **overrides):
@@ -228,7 +229,7 @@ class TestResume:
         victim = next(
             p
             for p in (tmp_path / "store" / "points").glob("**/*.json")
-            if "model_name" in json.loads(p.read_text())
+            if "model_name" in parse_artifact(p.read_text())[0]
         )
         victim.unlink()
         perf.reset()

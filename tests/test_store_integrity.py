@@ -1,0 +1,349 @@
+"""Store integrity: envelopes, read-side healing, blame, fsck, poison.
+
+The contract under test is PR 9's integrity layer: every artifact is
+wrapped in a checksum envelope, a flipped bit reads as a miss-plus-heal
+(never as different physics), ``fsck`` finds and repairs whole-store
+damage offline, and the fleet-wide blame ledger isolates poison units
+before they burn every worker's executor budget.
+"""
+
+import json
+
+import pytest
+
+from repro import faults, perf
+from repro.errors import CorruptArtifactError
+from repro.perf import RetryPolicy, counter
+from repro.scenarios import AxisSpec, RunStore, ScenarioSpec, run_scenario, scrub
+from repro.scenarios.store import (
+    ENVELOPE_PREFIX,
+    artifact_checksum,
+    parse_artifact,
+    render_artifact,
+    shard_prefix,
+)
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _reset_counters():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+KEY = "ab" * 32
+KEY2 = "cd" * 32
+
+SPEC = ScenarioSpec(
+    scenario_id="integrity_tiny",
+    title="Integrity sweep",
+    axis=AxisSpec(parameter="radius_um", values=(2.0, 3.0, 4.0, 5.0)),
+    models=("a:paper", "1d"),
+    calibrate=False,
+).resolved()
+RUN_KEY = SPEC.content_hash()
+
+
+def flip_last_digit(path):
+    """Flip one bit of the artifact's final payload digit.
+
+    The body stays valid JSON (``1.0`` becomes ``1.1``) so only the
+    checksum can tell the difference — exactly the silent-corruption
+    shape the envelope exists to catch.
+    """
+    blob = bytearray(path.read_bytes())
+    blob[-4] ^= 0x01
+    path.write_bytes(bytes(blob))
+
+
+def seeded_store(root):
+    """A small store with one indexed run and two points."""
+    store = RunStore(root)
+    store.put(RUN_KEY, {"experiment": {"v": 1}}, SPEC)
+    store.put_point(KEY, {"kind": "solve", "max_rise": 1.0})
+    store.put_point(KEY2, {"kind": "solve", "max_rise": 2.0})
+    return store
+
+
+class TestEnvelope:
+    def test_render_parse_round_trip(self):
+        text = render_artifact({"max_rise": 4.0})
+        assert text.startswith(ENVELOPE_PREFIX)
+        payload, enveloped = parse_artifact(text)
+        assert payload == {"max_rise": 4.0}
+        assert enveloped
+
+    def test_legacy_document_parses_without_envelope(self):
+        payload, enveloped = parse_artifact('{"max_rise": 4.0}\n')
+        assert payload == {"max_rise": 4.0}
+        assert not enveloped
+
+    def test_tampered_body_fails_its_checksum(self):
+        text = render_artifact({"max_rise": 4.0})
+        header, _, body = text.partition("\n")
+        tampered = header + "\n" + body.replace("4.0", "5.0")
+        with pytest.raises(CorruptArtifactError):
+            parse_artifact(tampered)
+        assert counter("store_checksum_failures") == 1
+        # the tampered body is valid JSON: without verification it would
+        # have been silently accepted as different physics
+        payload, _ = parse_artifact(tampered, verify=False)
+        assert payload == {"max_rise": 5.0}
+
+    def test_checksum_covers_exact_body_bytes(self):
+        body = json.dumps({"a": 1}, indent=2) + "\n"
+        assert artifact_checksum(body) != artifact_checksum(body + " ")
+
+    def test_torn_header_and_garbage_raise(self):
+        with pytest.raises(CorruptArtifactError):
+            parse_artifact(ENVELOPE_PREFIX)  # envelope with no body
+        with pytest.raises(CorruptArtifactError):
+            parse_artifact("{ not json")
+
+
+class TestReadSideHealing:
+    def test_point_bit_flip_heals_to_a_miss(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        path = store.put_point(KEY, {"kind": "solve", "max_rise": 1.0})
+        flip_last_digit(path)
+        assert store.get_point(KEY) is None
+        assert not path.exists()  # healed away, re-solves on resume
+        assert counter("store_checksum_failures") == 1
+        assert counter("store_integrity_heals") == 1
+        assert counter("point_store_misses") == 1
+
+    def test_run_bit_flip_heals_artifact_and_manifest(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        path = store._sharded_path(store.objects, RUN_KEY)
+        flip_last_digit(path)
+        assert store.get(RUN_KEY) is None
+        assert not path.exists()
+        assert RUN_KEY not in RunStore(tmp_path / "store")
+        assert counter("store_integrity_heals") == 1
+
+    def test_verify_off_accepts_the_flipped_artifact(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        path = store.put_point(KEY, {"kind": "solve", "max_rise": 1.0})
+        flip_last_digit(path)
+        raw = RunStore(tmp_path / "store", verify=False)
+        assert raw.get_point(KEY) == {"kind": "solve", "max_rise": 1.1}
+        assert path.exists()  # the unverified reader never heals
+
+    def test_legacy_flat_plain_artifact_still_reads(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        (store.points / f"{KEY}.json").write_text('{"max_rise": 1.0}')
+        assert store.get_point(KEY) == {"max_rise": 1.0}
+
+
+class TestBlameLedger:
+    def test_blame_round_trip_and_persistence(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.get_blame(KEY) == 0
+        assert store.add_blame(KEY) == 1
+        assert store.add_blame(KEY) == 2
+        assert store.blame_counts() == {KEY: 2}
+        # the ledger is fleet-wide: a fresh driver on the same store
+        # (another worker, a respawned incarnation) sees the counts
+        reopened = RunStore(tmp_path / "store")
+        assert reopened.get_blame(KEY) == 2
+        reopened.clear_blame(KEY)
+        assert reopened.get_blame(KEY) == 0
+        assert reopened.blame_counts() == {}
+
+    def test_blame_records_shard_and_survive_corruption(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.add_blame(KEY)
+        path = store._sharded_path(store.blame, KEY)
+        assert path.parent.name == shard_prefix(KEY)
+        path.write_text("torn")
+        assert store.get_blame(KEY) == 0  # corrupt count reads as absent
+
+
+class TestFsck:
+    def test_clean_store(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        report = scrub(store.root)
+        assert report.clean
+        assert report.exit_code == 0
+        assert not report.findings
+        assert report.scanned["points"] == 2
+
+    def test_corrupt_point_detected_and_repaired(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        flip_last_digit(store._sharded_path(store.points, KEY))
+        report = scrub(store.root)
+        assert {f.kind for f in report.damage} == {"corrupt"}
+        assert report.exit_code == 1
+        repaired = scrub(store.root, repair=True)
+        assert repaired.exit_code == 0
+        assert scrub(store.root).clean
+        assert RunStore(store.root).get_point(KEY) is None
+
+    def test_orphaned_manifest_entry(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        store._sharded_path(store.objects, RUN_KEY).unlink()
+        report = scrub(store.root)
+        assert {f.kind for f in report.damage} == {"orphaned-manifest-entry"}
+        assert scrub(store.root, repair=True).exit_code == 0
+        assert scrub(store.root).clean
+        assert RUN_KEY not in RunStore(store.root)
+
+    def test_unindexed_object_is_unreachable_and_removed(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        stray = store.objects / shard_prefix(KEY2) / f"{KEY2}.json"
+        stray.parent.mkdir(exist_ok=True)
+        stray.write_text(render_artifact({"experiment": {"v": 2}}))
+        report = scrub(store.root)
+        assert {f.kind for f in report.damage} == {"unindexed-object"}
+        assert scrub(store.root, repair=True).exit_code == 0
+        assert not stray.exists()
+
+    def test_mis_sharded_artifact_moves_back_into_reach(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        good = store._sharded_path(store.points, KEY)
+        wrong = store.points / "zz" / good.name
+        wrong.parent.mkdir()
+        good.replace(wrong)
+        assert RunStore(store.root).get_point(KEY) is None  # invisible
+        report = scrub(store.root)
+        assert {f.kind for f in report.damage} == {"mis-sharded"}
+        assert scrub(store.root, repair=True).exit_code == 0
+        assert good.exists()
+        assert RunStore(store.root).get_point(KEY) is not None
+
+    def test_corrupt_manifest_resets_on_repair(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        (store.root / "manifest.json").write_text("{ torn")
+        report = scrub(store.root)
+        assert "corrupt-manifest" in {f.kind for f in report.damage}
+        # repair resets the index; the now-unindexed run object is
+        # flagged and removed in the same pass
+        repaired = scrub(store.root, repair=True)
+        assert repaired.exit_code == 0
+        assert {f.kind for f in repaired.damage} == {
+            "corrupt-manifest",
+            "unindexed-object",
+        }
+        assert scrub(store.root).clean
+
+    def test_live_protocol_residue_is_notes_not_damage(self, tmp_path):
+        import time as _time
+
+        store = seeded_store(tmp_path / "store")
+        shard = store.leases / shard_prefix(KEY)
+        shard.mkdir(exist_ok=True)
+        (shard / f"{KEY}.claim").write_text(
+            json.dumps(
+                {
+                    "key": KEY,
+                    "owner": "w1",
+                    "token": 1,
+                    "ttl_s": 0.01,
+                    "deadline": _time.monotonic() - 1.0,
+                }
+            )
+        )
+        (shard / f"{KEY2}.claim").write_text("{ torn")
+        (shard / f"{KEY}.stale.w1.deadbeef").write_text("tombstone")
+        (store.points / "x.1234.tmp").write_text("half a write")
+        report = scrub(store.root)
+        assert report.clean  # none of this is damage
+        assert report.exit_code == 0
+        assert {f.kind for f in report.notes} >= {
+            "expired-claim",
+            "torn-claim",
+            "stale-tombstone",
+            "tmp-litter",
+        }
+        scrub(store.root, repair=True)
+        assert not list(store.leases.glob("**/*.claim"))
+        assert not list(store.root.glob("**/*.tmp"))
+
+    def test_cli_exit_codes_and_repair(self, tmp_path, capsys):
+        store = seeded_store(tmp_path / "store")
+        root = str(store.root)
+        assert main(["fsck", root]) == 0
+        assert "store is clean" in capsys.readouterr().out
+        flip_last_digit(store._sharded_path(store.points, KEY))
+        assert main(["fsck", root]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+        assert main(["fsck", root, "--repair"]) == 0
+        assert main(["fsck", root]) == 0
+
+
+@pytest.fixture(scope="class")
+def harvested(tmp_path_factory):
+    """The tiny spec's point keys, harvested from one clean run."""
+    store = RunStore(tmp_path_factory.mktemp("harvest") / "store")
+    perf.reset()
+    run_scenario(SPEC, store=store)
+    return sorted(store.point_keys())
+
+
+POISON_RETRY = RetryPolicy(
+    max_attempts=3,
+    backoff_s=0.0,
+    poison_solo_after=1,
+    poison_quarantine_after=2,
+)
+
+
+class TestPoisonIsolation:
+    def test_blamed_unit_quarantines_without_dispatch(self, harvested, tmp_path):
+        victim = harvested[0]
+        store = RunStore(tmp_path / "store")
+        store.add_blame(victim)
+        store.add_blame(victim)
+        run = run_scenario(SPEC, store=store, retry=POISON_RETRY)
+        assert run.failed
+        assert any(
+            f.key == victim and f.error_class == "PoisonedUnitError"
+            for f in run.failures
+        )
+        assert counter("plan_poison_quarantined") == 1
+
+    def test_blame_below_threshold_forces_solo_then_absolves(
+        self, harvested, tmp_path
+    ):
+        victim = harvested[0]
+        store = RunStore(tmp_path / "store")
+        store.add_blame(victim)
+        retry = RetryPolicy(
+            max_attempts=3,
+            backoff_s=0.0,
+            poison_solo_after=1,
+            poison_quarantine_after=5,
+        )
+        run = run_scenario(SPEC, store=store, retry=retry)
+        assert not run.failed
+        assert counter("plan_poison_degradations") == 1
+        # it solved cleanly this time: the ledger absolves it so a stale
+        # count cannot quarantine future runs
+        assert store.get_blame(victim) == 0
+
+    def test_executor_crashes_accrue_blame_then_quarantine(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        faults.configure(
+            rate=1.0,
+            kinds=("crash",),
+            sites=("solve", "group-solve", "stacked-solve"),
+            seed=0,
+        )
+        try:
+            run = run_scenario(SPEC, store=store, retry=POISON_RETRY)
+        finally:
+            faults.reset()
+        assert run.failed
+        assert counter("plan_poison_quarantined") >= 1
+        counts = store.blame_counts()
+        assert counts
+        assert all(c >= POISON_RETRY.poison_quarantine_after for c in counts.values())
+
+        # a later run against the same store (a peer, a respawn) sees the
+        # ledger and quarantines the poison units before dispatching them
+        perf.reset()
+        run2 = run_scenario(SPEC, store=store, retry=POISON_RETRY)
+        assert run2.failed
+        assert counter("plan_point_solves") == 0
+        assert counter("plan_poison_quarantined") == len(counts)
