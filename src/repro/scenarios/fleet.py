@@ -161,7 +161,17 @@ def read_reports(root: Path, workers: int) -> list[WorkerReport]:
             reports.append(
                 WorkerReport.from_payload(json.loads(path.read_text()))
             )
-        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+        except (
+            OSError,
+            json.JSONDecodeError,
+            KeyError,
+            ValueError,
+            # a garbled report can parse to a non-dict, or to a dict
+            # whose fields have the wrong shape — from_payload then
+            # raises these rather than the JSON/key errors above
+            TypeError,
+            AttributeError,
+        ):
             continue
     return reports
 

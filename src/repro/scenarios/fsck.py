@@ -20,15 +20,24 @@ store offline and classifies every file it finds:
   invisible to every reader.  Repair moves it to its correct shard
   (or deletes it when the correct path is already occupied).
 * ``corrupt-manifest`` — ``manifest.json`` itself does not parse.
-  Repair resets it to an empty index; the orphaned objects are then
-  flagged (and repaired) as ``unindexed-object`` on the next pass.
+  Repair resets it to an empty index, which makes every healthy run
+  object read as ``unindexed-object`` — those are *reported but never
+  deleted in the same pass* (the repair pass exits non-zero), so a
+  one-byte manifest corruption cannot silently erase the whole
+  ``objects/`` space; a deliberate second ``--repair`` removes them.
 
 **Notes** (reported, removable with ``--repair``, but *not* damage —
 every one is a shape the live protocols produce and tolerate, so a
 store that just survived a chaotic fleet run still fscks clean):
 
 * ``expired-claim`` — a lease past its deadline (its holder died;
-  any live worker would steal it).
+  any live worker would steal it).  Judged by the claim's wall-clock
+  ``deadline_unix`` — the monotonic deadline the live protocol uses is
+  only meaningful within the boot that wrote it, and fsck may run after
+  a reboot or against a store copied from another host.  Legacy claims
+  without a wall deadline fall back to the monotonic clock, with a
+  deadline more than one TTL beyond this boot's clock read as
+  cross-boot (and therefore expired).
 * ``torn-claim`` — an unreadable claim file (died mid-write; stealable
   for the same reason).
 * ``stale-tombstone`` — a leftover rename-tombstone or unique temp file
@@ -223,6 +232,7 @@ def _scrub_manifest(
     manifest_path = root / MANIFEST_NAME
     runs: dict[str, dict] = {}
     dirty = False
+    manifest_reset = False
     if manifest_path.exists():
         try:
             manifest = json.loads(manifest_path.read_text())
@@ -239,6 +249,7 @@ def _scrub_manifest(
                     manifest_path, {"version": MANIFEST_VERSION, "runs": {}}
                 )
                 finding.repaired = True
+                manifest_reset = True
             runs = {}
             dirty = False
     for key in sorted(set(runs) - set(objects)):
@@ -256,6 +267,23 @@ def _scrub_manifest(
             finding.repaired = True
     for key in sorted(set(objects) - set(runs)):
         path = objects[key]
+        if manifest_reset:
+            # the index was just rebuilt from nothing, so *every* healthy
+            # object reads as unindexed — deleting them now would turn a
+            # one-byte manifest corruption into losing the whole objects
+            # space.  Report only; the operator sees the blast radius and
+            # a deliberate second ``--repair`` pass removes them.
+            report.findings.append(
+                Finding(
+                    OBJECTS_DIR,
+                    "unindexed-object",
+                    str(path.relative_to(root)),
+                    key,
+                    "unindexed after manifest reset (kept this pass; "
+                    "re-run --repair to remove)",
+                )
+            )
+            continue
         finding = Finding(
             OBJECTS_DIR,
             "unindexed-object",
@@ -295,6 +323,8 @@ def _scrub_leases(report: FsckReport, root: Path, *, repair: bool) -> None:
         try:
             claim = json.loads(path.read_text())
             deadline = float(claim["deadline"])
+            ttl_s = float(claim["ttl_s"])
+            deadline_unix = float(claim.get("deadline_unix", 0.0))
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
             finding = Finding(
                 LEASES_DIR, "torn-claim", rel, key, "unreadable claim (stealable)"
@@ -302,14 +332,29 @@ def _scrub_leases(report: FsckReport, root: Path, *, repair: bool) -> None:
             report.findings.append(finding)
             _unlink(path, finding, repair)
             continue
-        if time.monotonic() >= deadline:
-            finding = Finding(
-                LEASES_DIR,
-                "expired-claim",
-                rel,
-                key,
-                "claim past its deadline (holder presumed dead)",
+        # Expiry must be judged on a clock that survives the writer's
+        # process: the claim's monotonic deadline only means anything
+        # within the boot that wrote it, and fsck runs offline — maybe
+        # after a reboot, maybe against a store copied from another
+        # host.  Claims carry a wall-clock twin for exactly this; for
+        # legacy claims without one, fall back to the monotonic clock
+        # but treat a deadline implausibly far beyond this boot's clock
+        # (more than one TTL out, which no renewal can produce) as
+        # cross-boot — its holder cannot be alive here.
+        if deadline_unix > 0.0:
+            expired = time.time() >= deadline_unix
+            detail = "claim past its deadline (holder presumed dead)"
+        else:
+            now = time.monotonic()
+            cross_boot = deadline - now > ttl_s + 1.0
+            expired = cross_boot or now >= deadline
+            detail = (
+                "claim deadline from another boot (holder cannot be alive)"
+                if cross_boot
+                else "claim past its deadline (holder presumed dead)"
             )
+        if expired:
+            finding = Finding(LEASES_DIR, "expired-claim", rel, key, detail)
             report.findings.append(finding)
             _unlink(path, finding, repair)
     report.scanned[LEASES_DIR] = count

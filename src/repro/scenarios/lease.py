@@ -23,6 +23,10 @@ Protocol (plain POSIX filesystem operations, no daemon, no sidecar):
   (``time.monotonic()`` + TTL), comparable across processes on one
   machine and immune to wall-clock steps.  Holders renew well before
   the deadline; a claim past its deadline is *stale* and up for grabs.
+  A wall-clock twin (``deadline_unix``) rides along purely for offline
+  tooling: monotonic clocks are per-boot, so ``fsck`` scanning a store
+  after a reboot (or copied from another host) classifies expiry by
+  wall time instead.
 * **Steal** — a worker takes a stale (or unparseable) claim by renaming
   it to a unique tombstone.  ``rename(2)`` succeeds for exactly one
   contender — the losers see ``ENOENT`` and back off — after which the
@@ -85,6 +89,13 @@ class Lease:
     token: int
     deadline: float  # CLOCK_MONOTONIC seconds
     ttl_s: float
+    #: wall-clock companion to ``deadline``.  The live protocol never
+    #: reads it — monotonic time is what's comparable between running
+    #: processes — but monotonic clocks are only meaningful within one
+    #: boot of one machine, so an *offline* scrubber (``fsck``) on a
+    #: rebooted or foreign host classifies expiry by this instead.
+    #: 0.0 on claims written by older versions.
+    deadline_unix: float = 0.0
 
     @property
     def expired(self) -> bool:
@@ -97,6 +108,7 @@ class Lease:
             "token": self.token,
             "deadline": self.deadline,
             "ttl_s": self.ttl_s,
+            "deadline_unix": self.deadline_unix,
         }
 
     @classmethod
@@ -107,6 +119,7 @@ class Lease:
             token=int(payload["token"]),
             deadline=float(payload["deadline"]),
             ttl_s=float(payload["ttl_s"]),
+            deadline_unix=float(payload.get("deadline_unix", 0.0)),
         )
 
 
@@ -192,6 +205,7 @@ class LeaseManager:
             token=time.monotonic_ns(),
             deadline=time.monotonic() + self.ttl_s,
             ttl_s=self.ttl_s,
+            deadline_unix=time.time() + self.ttl_s,
         )
         tmp = self._write_unique(key, lease, "new")
         try:
@@ -214,7 +228,15 @@ class LeaseManager:
             # in which case what we just tombstoned is live.  Read it back
             # before declaring victory, and hand a live claim straight
             # back (same bytes, so its holder's owner+token guard keeps
-            # passing).
+            # passing).  The hand-back is not seamless: if the rightful
+            # holder renews or checks in the gap between the tombstone
+            # rename and the restoring link, it sees its claim missing,
+            # records the lease lost, and abandons the node — leaving a
+            # live claim with no holder that blocks the key for up to one
+            # full TTL until it expires and is stolen again.  Fencing
+            # still holds (nobody double-publishes); the cost is bounded
+            # extra latency on one key, accepted to keep the protocol to
+            # plain link/rename/unlink.
             stolen = self._read_lease(tombstone)
             if stolen is not None and not stolen.expired:
                 try:
@@ -292,6 +314,7 @@ class LeaseManager:
             token=token,
             deadline=time.monotonic() + self.ttl_s,
             ttl_s=self.ttl_s,
+            deadline_unix=time.time() + self.ttl_s,
         )
         tmp = self._write_unique(key, renewed, "renew")
         os.replace(tmp, self._claim_path(key))

@@ -201,8 +201,11 @@ class Supervisor:
     (``backoff_s * 2^(respawn-1)``, capped at ``max_backoff_s``) spaces
     them out so a deterministic instant crash cannot hot-loop.  A rank
     is declared *stalled* when its process is alive but its heartbeat is
-    older than ``stall_timeout_s`` (None disables stall detection; the
-    first grace period also waits on ranks that have never beaten).
+    older than ``stall_timeout_s`` (None disables stall detection).  A
+    beat that *predates the incarnation's spawn* — the previous
+    incarnation's leftover file — counts as absent, so every fresh
+    (re)spawn gets the full stall timeout as grace before its first
+    beat, the same grace a rank that has never beaten gets.
     ``deadline_s`` bounds the whole supervised run.
     """
 
@@ -240,8 +243,11 @@ class Supervisor:
         if self.stall_timeout_s is None:
             return False
         beat = read_heartbeat(self.root, rank)
-        if beat is None:
-            # never beaten: grant the stall timeout from (re)spawn time
+        if beat is None or beat.stamp < started_at:
+            # never beaten *by this incarnation*: a leftover heartbeat
+            # from the previous one must not condemn a fresh respawn
+            # before its first beat — grant the stall timeout from
+            # (re)spawn time instead
             return time.monotonic() - started_at > self.stall_timeout_s
         return beat.age_s() > self.stall_timeout_s
 

@@ -189,6 +189,12 @@ class TestReportAggregation:
         # rank 2 wrote valid JSON missing the report fields
         _report_path(tmp_path, 2).write_text("{}")
         # rank 3 was SIGKILLed before writing anything at all
-        reports = read_reports(tmp_path, workers=4)
+        # rank 4's JSON parses, but to a non-dict
+        _report_path(tmp_path, 4).write_text('["not", "a", "report"]')
+        # rank 5's fields have the wrong shapes entirely
+        _report_path(tmp_path, 5).write_text(
+            json.dumps({**good, "rank": 5, "counters": 7, "runs": 9})
+        )
+        reports = read_reports(tmp_path, workers=6)
         assert [r.rank for r in reports] == [0]
         assert reports[0].counters == {"plan_point_solves": 3}

@@ -45,6 +45,23 @@ class TestLeaseProtocol:
         assert claim.exists()
         payload = json.loads(claim.read_text())
         assert payload["owner"] == "w1"
+        # the wall-clock twin of the monotonic deadline rides along for
+        # offline tooling (fsck after a reboot / on a foreign host)
+        assert payload["deadline_unix"] == pytest.approx(
+            time.time() + 30.0, abs=5.0
+        )
+
+    def test_renewal_refreshes_the_wall_clock_deadline(self, store):
+        w1 = manager(store, "w1")
+        assert w1.acquire(KEY)
+        first = w1.peek(KEY).deadline_unix
+        assert first > 0.0
+        assert w1.renew(KEY)
+        assert w1.peek(KEY).deadline_unix >= first
+        # legacy claims without the field parse with the 0.0 sentinel
+        legacy = dict(w1.peek(KEY).to_payload())
+        legacy.pop("deadline_unix")
+        assert Lease.from_payload(legacy).deadline_unix == 0.0
 
     def test_reacquire_is_reentrant_and_renews(self, store):
         w1 = manager(store, "w1")

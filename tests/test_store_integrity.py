@@ -212,19 +212,29 @@ class TestFsck:
         assert good.exists()
         assert RunStore(store.root).get_point(KEY) is not None
 
-    def test_corrupt_manifest_resets_on_repair(self, tmp_path):
+    def test_corrupt_manifest_repair_keeps_objects_for_a_second_pass(
+        self, tmp_path
+    ):
         store = seeded_store(tmp_path / "store")
+        obj = store._sharded_path(store.objects, RUN_KEY)
         (store.root / "manifest.json").write_text("{ torn")
         report = scrub(store.root)
         assert "corrupt-manifest" in {f.kind for f in report.damage}
-        # repair resets the index; the now-unindexed run object is
-        # flagged and removed in the same pass
+        # the first repair resets the index — which makes every healthy
+        # run object read as unindexed.  Deleting them now would turn a
+        # one-byte manifest corruption into losing the whole objects
+        # space, so they are reported, kept, and the pass exits non-zero
         repaired = scrub(store.root, repair=True)
-        assert repaired.exit_code == 0
         assert {f.kind for f in repaired.damage} == {
             "corrupt-manifest",
             "unindexed-object",
         }
+        assert repaired.exit_code == 1
+        assert obj.exists()
+        # only a deliberate second --repair removes the orphans
+        second = scrub(store.root, repair=True)
+        assert second.exit_code == 0
+        assert not obj.exists()
         assert scrub(store.root).clean
 
     def test_live_protocol_residue_is_notes_not_damage(self, tmp_path):
@@ -259,6 +269,63 @@ class TestFsck:
         scrub(store.root, repair=True)
         assert not list(store.leases.glob("**/*.claim"))
         assert not list(store.root.glob("**/*.tmp"))
+
+    def test_claim_expiry_is_judged_by_wall_clock(self, tmp_path):
+        import time as _time
+
+        store = seeded_store(tmp_path / "store")
+
+        def write_claim(key, **fields):
+            shard = store.leases / shard_prefix(key)
+            shard.mkdir(exist_ok=True)
+            payload = {"key": key, "owner": "w1", "token": 1, "ttl_s": 30.0}
+            payload.update(fields)
+            (shard / f"{key}.claim").write_text(json.dumps(payload))
+
+        # a live claim scanned from a machine with much longer uptime
+        # than the writer: the monotonic deadline reads as long past,
+        # but the wall deadline says the holder is alive — not expired
+        write_claim(
+            KEY,
+            deadline=_time.monotonic() - 1e6,
+            deadline_unix=_time.time() + 30.0,
+        )
+        # a dead claim whose monotonic deadline looks far in the future
+        # (written before a reboot): wall clock tells the truth
+        write_claim(
+            KEY2,
+            deadline=_time.monotonic() + 1e6,
+            deadline_unix=_time.time() - 1.0,
+        )
+        report = scrub(store.root)
+        expired = [f for f in report.notes if f.kind == "expired-claim"]
+        assert [f.key for f in expired] == [KEY2]
+
+    def test_legacy_claim_from_another_boot_reads_as_expired(self, tmp_path):
+        import time as _time
+
+        store = seeded_store(tmp_path / "store")
+        shard = store.leases / shard_prefix(KEY)
+        shard.mkdir(exist_ok=True)
+        # no deadline_unix (pre-wall-clock claim), and a monotonic
+        # deadline no renewal on this boot could have produced: the
+        # writer's clock belonged to another boot, its holder cannot
+        # be alive here
+        (shard / f"{KEY}.claim").write_text(
+            json.dumps(
+                {
+                    "key": KEY,
+                    "owner": "w1",
+                    "token": 1,
+                    "ttl_s": 30.0,
+                    "deadline": _time.monotonic() + 1e9,
+                }
+            )
+        )
+        report = scrub(store.root)
+        (finding,) = [f for f in report.notes if f.kind == "expired-claim"]
+        assert finding.key == KEY
+        assert "another boot" in finding.detail
 
     def test_cli_exit_codes_and_repair(self, tmp_path, capsys):
         store = seeded_store(tmp_path / "store")

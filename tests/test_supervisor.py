@@ -10,6 +10,7 @@ the second-signal escape hatch (restore default disposition and re-kill)
 is deliberately never triggered here.
 """
 
+import json
 import os
 import signal
 import time
@@ -108,6 +109,26 @@ def supervisor(tmp_path, spawn, **kwargs):
     return Supervisor(tmp_path, spawn, **kwargs)
 
 
+def write_stale_heartbeat(tmp_path, rank, age_s):
+    """A heartbeat as a long-dead incarnation would have left it."""
+    path = heartbeat_path(tmp_path, rank)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "rank": rank,
+                "pid": 4242,
+                "stamp": time.monotonic() - age_s,
+                "wall_unix": time.time() - age_s,
+                "claim": None,
+                "held": 0,
+                "done": 0,
+                "total": 0,
+            }
+        )
+    )
+
+
 class TestSupervisor:
     def test_deliberate_exits_retire_without_respawn(self, tmp_path):
         sup = supervisor(tmp_path, lambda rank: pytest.fail("spawned"))
@@ -174,6 +195,46 @@ class TestSupervisor:
         assert sup._stalled(0, started_at=old)  # never beaten, grace spent
         HeartbeatWriter(tmp_path, 0).beat(force=True)
         assert not sup._stalled(0, started_at=old)
+
+    def test_predecessors_heartbeat_reads_as_absent_for_a_respawn(
+        self, tmp_path
+    ):
+        sup = supervisor(tmp_path, lambda rank: None, stall_timeout_s=5.0)
+        write_stale_heartbeat(tmp_path, 0, age_s=30.0)
+        # a beat older than the incarnation is the *previous* life's —
+        # the fresh respawn gets the full grace period from spawn time
+        assert not sup._stalled(0, started_at=time.monotonic())
+        # and once its own grace is spent, silence is a stall again
+        assert sup._stalled(0, started_at=time.monotonic() - 30.0)
+
+    def test_respawn_outlives_its_predecessors_stale_heartbeat(self, tmp_path):
+        # regression: the supervisor used to judge a freshly respawned
+        # worker by the dead incarnation's heartbeat file, kill it in
+        # the same poll, and loop until the respawn budget retired the
+        # rank — stall recovery never actually recovered
+        write_stale_heartbeat(tmp_path, 0, age_s=30.0)
+
+        class SilentThenClean(FakeProc):
+            """Alive (not yet beating) for a few polls, then exits 0."""
+
+            def __init__(self, polls=3):
+                super().__init__(alive=True)
+                self.polls = polls
+
+            def is_alive(self):
+                self.polls -= 1
+                if self.polls < 0:
+                    self._alive = False
+                    self.exitcode = 0
+                return self._alive
+
+        sup = supervisor(
+            tmp_path, lambda rank: SilentThenClean(), stall_timeout_s=5.0
+        )
+        final = sup.run({0: FakeProc(7)})
+        assert final == {0: 0}
+        (event,) = sup.events  # the crash respawn, and no stall kill after
+        assert event.reason == "crash"
 
     def test_deadline_kills_everything_and_reports(self, tmp_path):
         stuck = FakeProc(alive=True)
